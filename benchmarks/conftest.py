@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures on the
+full-size dataset (190 patterns x 20 s where the paper uses it) and prints
+the paper-vs-measured rows.  Heavy experiments run with
+``benchmark.pedantic(rounds=1)`` — the interesting output is the table,
+the timing is a bonus.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.signals.dataset import default_dataset
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    """The full 190-pattern, 20 s dataset (patterns generated lazily)."""
+    return default_dataset()
+
+
+def print_report(title: str, body: str) -> None:
+    """Uniform report formatting for all benches."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,53 @@
+"""Microbenchmarks: encoder and RTL throughput.
+
+These are conventional pytest-benchmark timing runs (many rounds): the
+frame-vectorised behavioural encoder must process a full 20 s / 50000-
+sample pattern in milliseconds, and the cycle-accurate RTL model must
+sustain well over its own 2 kHz real-time clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.atc import atc_encode
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.datc import datc_encode
+from repro.digital.dtc_rtl import DTCRtl
+from repro.rx.reconstruction import reconstruct_hybrid
+
+
+@pytest.fixture(scope="module")
+def pattern(paper_dataset):
+    return paper_dataset.pattern(22)
+
+
+def test_datc_encode_throughput(benchmark, pattern):
+    stream, _ = benchmark(datc_encode, pattern.emg, pattern.fs, DATCConfig())
+    assert stream.n_events > 0
+
+
+def test_atc_encode_throughput(benchmark, pattern):
+    stream, _ = benchmark(atc_encode, pattern.emg, pattern.fs, ATCConfig())
+    assert stream.n_events > 0
+
+
+def test_rtl_simulation_throughput(benchmark, pattern):
+    _, trace = datc_encode(pattern.emg, pattern.fs, DATCConfig(quantized=True))
+    d_in = trace.d_in[:4000]  # 2 s of clock cycles
+
+    def run():
+        return DTCRtl().run(d_in)
+
+    out = benchmark(run)
+    assert out["set_vth"].size == 4000
+
+
+def test_reconstruction_throughput(benchmark, pattern):
+    stream, _ = datc_encode(pattern.emg, pattern.fs)
+    recon = benchmark(reconstruct_hybrid, stream)
+    assert recon.size > 0
+
+
+def test_dataset_generation_throughput(benchmark, paper_dataset):
+    pattern = benchmark(paper_dataset.pattern, 7)
+    assert pattern.n_samples == 50_000

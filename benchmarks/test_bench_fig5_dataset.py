@@ -1,0 +1,30 @@
+"""Bench: Fig. 5 — correlation across the full 190-pattern dataset.
+
+Paper: ATC(0.3 V) correlations range 47-95.2% across patterns while D-ATC
+stays within 85-98% ("lower fluctuation"), and D-ATC's event count is
+stable across patterns while ATC's is not.
+"""
+
+from repro.analysis.experiments import run_fig5
+
+from conftest import print_report
+
+
+def test_fig5_full_dataset(benchmark, paper_dataset):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"dataset": paper_dataset}, rounds=1, iterations=1
+    )
+    print_report("Fig. 5 — 190-pattern correlation comparison", result.format_table())
+
+    a_lo, a_hi = result.atc.correlation_range
+    d_lo, d_hi = result.datc.correlation_range
+
+    # D-ATC band high and tight (paper: 85-98).
+    assert d_lo > 85.0
+    assert result.datc_summary.mean > 93.0
+    # ATC band wide, collapsing for weak subjects (paper: 47-95.2).
+    assert a_lo < 60.0
+    assert (a_hi - a_lo) > 2.5 * (d_hi - d_lo)
+    # Event-count stability (paper: "D-ATC is even stable as a function of
+    # the number of transmitted events ... constant thresholding is not").
+    assert result.datc.event_spread < 0.5 * result.atc.event_spread

@@ -1,0 +1,57 @@
+"""Bench: TX energy comparison over the IR-UWB link.
+
+Extends the paper's symbol accounting (Sec. III-B) to transmit *energy*:
+with OOK, a symbol slot only costs a pulse when it carries a '1', so
+D-ATC's 5-symbol bursts average ~3 pulses while the 12-bit packet baseline
+pays for every other bit of 600000+.  This is the "power consumption
+decrease at the TX" argument made quantitative.
+"""
+
+import numpy as np
+
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.atc import atc_encode
+from repro.core.datc import datc_encode
+from repro.uwb.link import LinkConfig, packet_baseline_accounting, simulate_link
+
+from conftest import print_report
+
+
+def test_link_energy_comparison(benchmark, paper_dataset):
+    pattern = paper_dataset.pattern(22)
+    link_cfg = LinkConfig(pulse_energy_pj=30.0)
+
+    def run():
+        datc_stream, _ = datc_encode(pattern.emg, pattern.fs, DATCConfig())
+        atc_stream, _ = atc_encode(pattern.emg, pattern.fs, ATCConfig(vth=0.3))
+        return (
+            simulate_link(datc_stream, link_cfg),
+            simulate_link(atc_stream, link_cfg),
+            packet_baseline_accounting(pattern.n_samples, pulse_energy_pj=30.0),
+        )
+
+    datc_link, atc_link, packet = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("packet-based (12-bit ADC)", packet["total_symbols"], packet["n_pulses_ook"],
+         packet["tx_energy_j"]),
+        ("ATC (0.3 V)", atc_link.n_symbols, atc_link.n_pulses, atc_link.tx_energy_j),
+        ("D-ATC", datc_link.n_symbols, datc_link.n_pulses, datc_link.tx_energy_j),
+    ]
+    lines = [f"{'system':<28}{'symbols':>12}{'pulses':>12}{'TX energy':>14}"]
+    for name, symbols, pulses, energy in rows:
+        lines.append(
+            f"{name:<28}{int(symbols):>12,}{int(pulses):>12,}{energy * 1e9:>11.2f} uJ"
+            .replace("uJ", "nJ")
+        )
+    print_report("TX energy per 20 s wave (OOK, 30 pJ/pulse)", "\n".join(lines))
+
+    # The event encoders transmit orders of magnitude less energy.
+    assert packet["tx_energy_j"] > 30 * datc_link.tx_energy_j
+    assert datc_link.tx_energy_j > atc_link.tx_energy_j  # levels cost pulses
+    # OOK average: between 1 (marker only) and 5 pulses per D-ATC event.
+    per_event = datc_link.n_pulses / datc_link.tx_stream.n_events
+    assert 1.0 <= per_event <= 5.0
+    # Ideal link delivers every event and level.
+    assert datc_link.event_delivery_ratio == 1.0
+    assert datc_link.level_error_ratio == 0.0

@@ -1,0 +1,39 @@
+"""Bench: Sec. III-B — transmitted-symbol comparison for a 20 s wave.
+
+Paper bullet list:
+  * packet-based (12-bit ADC): 12 x 50000 = 600000 symbols
+  * ATC (0.3 V):  3183 symbols
+  * ATC (0.2 V):  5821 symbols
+  * D-ATC:        3724 x 5 = 18620 symbols
+Shape: event encoders are orders of magnitude below the packet baseline;
+D-ATC pays 5x per event but stays ~1-3% of the packet cost.
+"""
+
+from repro.analysis.experiments import run_symbol_comparison
+from repro.uwb.link import packet_baseline_accounting
+
+from conftest import print_report
+
+
+def test_symbol_comparison(benchmark, paper_dataset):
+    result = benchmark.pedantic(
+        run_symbol_comparison, kwargs={"dataset": paper_dataset}, rounds=1, iterations=1
+    )
+    overhead = packet_baseline_accounting(result.n_samples)
+    body = result.format_table() + (
+        f"\npacket baseline incl. framing overhead: "
+        f"{int(overhead['total_symbols']):,} symbols"
+    )
+    print_report("Sec. III-B — symbols per 20 s sEMG wave", body)
+
+    assert result.packet_symbols == 600_000
+    # Event symbol ordering as in the paper.
+    assert result.datc_symbols > result.atc_0v2_symbols > result.atc_0v3_symbols
+    # Event encoders are >30x below the packet baseline (paper: ~32x for
+    # D-ATC, >100x for plain ATC).
+    assert result.packet_symbols > 30 * result.datc_symbols
+    assert result.packet_symbols > 100 * result.atc_0v2_symbols
+    # D-ATC symbols are exactly events x 5.
+    assert result.datc_symbols == 5 * result.datc_events
+    # Real framing makes the baseline even worse than 600000.
+    assert overhead["total_symbols"] > result.packet_symbols

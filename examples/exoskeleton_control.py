@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Hand-exoskeleton control from D-ATC events (the paper's motivation).
+
+The introduction cites sEMG-driven hand-exoskeleton control (ref. [8]:
+"Continuous Position Control of 1 DOF Manipulator Using EMG Signals") as
+the driving application: bioreceptor data used directly for actuation.
+This example closes that loop end to end:
+
+  muscle force -> synthetic sEMG -> D-ATC transmitter -> IR-UWB link
+  -> receiver reconstruction -> proportional position controller
+  -> 1-DOF actuator model -> grip aperture
+
+and reports how faithfully the actuated aperture tracks the subject's
+intended grip, including with a lossy radio.
+
+Usage::
+
+    python examples/exoskeleton_control.py
+"""
+
+import numpy as np
+
+from repro import DATCConfig, datc_encode
+from repro.rx.correlation import correlation_percent, resample_to_length
+from repro.rx.reconstruction import reconstruct_hybrid
+from repro.signals import EMGModel, mvc_grip_protocol, synthesize_emg
+from repro.uwb.channel import UWBChannel
+from repro.uwb.link import LinkConfig, simulate_link
+
+
+class OneDofActuator:
+    """A first-order 1-DOF exoskeleton joint: commanded vs actual aperture.
+
+    ``tau_s`` models the mechanical lag of the actuator; the proportional
+    controller simply commands the normalised force estimate.
+    """
+
+    def __init__(self, tau_s: float = 0.15, fs: float = 100.0):
+        self.alpha = 1.0 - np.exp(-1.0 / (tau_s * fs))
+        self.fs = fs
+
+    def drive(self, command: np.ndarray) -> np.ndarray:
+        """Track the command with first-order dynamics."""
+        position = np.empty_like(command)
+        state = 0.0
+        for i, c in enumerate(np.clip(command, 0.0, 1.0)):
+            state += self.alpha * (c - state)
+            position[i] = state
+        return position
+
+
+def run_trial(erasure_prob: float, rng: np.random.Generator) -> None:
+    fs = 2500.0
+    duration = 20.0
+    force = mvc_grip_protocol(duration, fs)  # the subject's intent
+    emg = synthesize_emg(force, fs, EMGModel(gain_v=0.45), rng)
+
+    # Transmit side: D-ATC events over the IR-UWB link.
+    stream, _ = datc_encode(emg, fs, DATCConfig())
+    channel = UWBChannel(erasure_prob=erasure_prob)
+    link = simulate_link(stream, LinkConfig(), channel=channel,
+                         rng=rng if erasure_prob else None)
+
+    # Receive side: envelope estimate -> normalised control command.
+    fs_ctrl = 100.0
+    envelope = reconstruct_hybrid(link.rx_stream, fs_out=fs_ctrl)
+    peak = envelope.max()
+    command = envelope / peak if peak > 0 else envelope
+
+    # Actuate and score against the intended grip profile.
+    actuator = OneDofActuator(fs=fs_ctrl)
+    aperture = actuator.drive(command)
+    intent = resample_to_length(force, aperture.size)
+    tracking = correlation_percent(aperture, intent)
+    rmse = float(np.sqrt(np.mean((aperture - intent) ** 2)))
+
+    print(f"  pulse loss {erasure_prob:4.0%}: "
+          f"{link.rx_stream.n_events:4d} events delivered, "
+          f"tracking correlation {tracking:6.2f}%, RMSE {rmse:.3f} (of MVC)")
+
+
+def main() -> None:
+    print("1-DOF hand-exoskeleton control via D-ATC / IR-UWB")
+    print("grip intent: 70% MVC contractions decreasing to rest over 20 s\n")
+    rng = np.random.default_rng(2015)
+    for erasure in (0.0, 0.1, 0.3):
+        run_trial(erasure, rng)
+    print("\nEven with 30% of radiated pulses lost, the reconstructed grip "
+          "command remains usable —\nthe event representation degrades "
+          "gracefully (paper Sec. III-B artifact argument).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate Table I and explore the DTC's hardware design space.
+
+Prints the paper-vs-model synthesis table, the area breakdown per
+architectural block, power with *measured* switching activity (a real
+pattern replayed through the cycle-accurate RTL), and the DAC-resolution /
+supply-voltage scaling of the design.
+
+Usage::
+
+    python examples/hardware_report.py
+"""
+
+from repro import DATCConfig, datc_encode, default_dataset
+from repro.digital.dtc_rtl import DTCRtl
+from repro.hardware import (
+    build_dtc_netlist,
+    estimate_power,
+    generate_table1,
+    hv180_library,
+    synthesize,
+)
+from repro.hardware.power import activity_from_rtl
+
+
+def main() -> None:
+    table = generate_table1()
+    print(table.format_table())
+
+    print("\narea by architectural block:")
+    syn = synthesize(build_dtc_netlist())
+    for block, area in sorted(syn.area_by_block().items(), key=lambda kv: -kv[1]):
+        share = 100.0 * area / syn.cell_area_um2
+        print(f"  {block:<18} {area:8.0f} um^2  ({share:4.1f}%)")
+
+    # Power with measured activity: replay a real pattern's comparator
+    # stream through the RTL (the paper's post-synthesis simulation flow).
+    pattern = default_dataset().pattern(22)
+    _, trace = datc_encode(pattern.emg, pattern.fs, DATCConfig(quantized=True))
+    activity = activity_from_rtl(DTCRtl(), trace.d_in)
+    measured = estimate_power(build_dtc_netlist(), hv180_library(), activity=activity)
+    print(f"\npower with measured activity (pattern 22): "
+          f"{measured.dynamic_nw:.1f} nW dynamic "
+          f"(clock {measured.clock_nw:.1f}, sequential {measured.sequential_nw:.1f}, "
+          f"combinational {measured.combinational_nw:.1f}), "
+          f"leakage {measured.leakage_nw:.2f} nW")
+
+    print("\nDAC-resolution scaling (cells / area / power):")
+    for bits in (2, 3, 4, 5, 6):
+        n_levels = 1 << bits
+        t1 = generate_table1(
+            DATCConfig(dac_bits=bits, n_levels=n_levels,
+                       interval_step=0.48 / n_levels, initial_level=n_levels // 2)
+        )
+        marker = "  <- paper" if bits == 4 else ""
+        print(f"  {bits} bits: {t1.n_cells:4d} cells, {t1.core_area_um2:7.0f} um^2, "
+              f"{t1.dynamic_power_nw:5.1f} nW{marker}")
+
+    print("\nsupply-voltage scaling (dynamic power ~ VDD^2):")
+    nl = build_dtc_netlist()
+    for vdd in (1.8, 1.2, 0.9):
+        report = estimate_power(nl, hv180_library().scaled(vdd))
+        print(f"  {vdd:.1f} V: {report.dynamic_nw:5.1f} nW dynamic, "
+              f"{report.leakage_nw:.2f} nW leakage")
+
+
+if __name__ == "__main__":
+    main()

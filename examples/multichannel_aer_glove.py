@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Multi-channel AER transmission: the sensing-glove scenario (ref. [12]).
+
+The paper's system context is multi-channel: refs. [9] and [12] transmit
+several ATC channels over one IR-UWB link with Address-Event
+Representation (AER).  This example runs four forearm electrode channels —
+each with its own D-ATC encoder — through a shared AER link and recovers
+every channel's force envelope at the receiver:
+
+  4 x sEMG -> 4 x D-ATC -> AER merge -> one IR-UWB link -> AER demux
+  -> 4 x envelope reconstruction
+
+Usage::
+
+    python examples/multichannel_aer_glove.py
+"""
+
+import numpy as np
+
+from repro import DATCConfig, datc_encode
+from repro.rx.correlation import aligned_correlation_percent
+from repro.rx.reconstruction import reconstruct_hybrid
+from repro.signals import (
+    EMGModel,
+    arv_envelope,
+    mvc_grip_protocol,
+    sinusoidal_profile,
+    synthesize_emg,
+    trapezoid_profile,
+    rest_profile,
+    concatenate_profiles,
+)
+from repro.uwb.aer import AERConfig, aer_decode, aer_encode
+from repro.uwb.link import LinkConfig, simulate_link
+
+
+def make_channels(fs: float, duration: float, rng: np.random.Generator):
+    """Four channels with distinct activation patterns (different muscles
+    engage at different phases of a grasp)."""
+    profiles = [
+        mvc_grip_protocol(duration, fs),
+        sinusoidal_profile(duration, fs, mean=0.35, amplitude=0.25, frequency_hz=0.3),
+        concatenate_profiles(
+            rest_profile(duration / 4, fs),
+            trapezoid_profile(duration / 8, duration / 4, duration / 8, fs, 0.6),
+            rest_profile(duration / 4, fs),
+        ),
+        mvc_grip_protocol(duration, fs, max_level=0.4, n_contractions=3),
+    ]
+    gains = (0.5, 0.3, 0.7, 0.2)  # per-site amplitude spread
+    channels = []
+    for profile, gain in zip(profiles, gains):
+        profile = profile[: int(duration * fs)]
+        if profile.size < int(duration * fs):
+            profile = np.concatenate(
+                [profile, np.zeros(int(duration * fs) - profile.size)]
+            )
+        emg = synthesize_emg(profile, fs, EMGModel(gain_v=gain), rng)
+        channels.append((profile, emg))
+    return channels
+
+
+def main() -> None:
+    fs, duration = 2500.0, 20.0
+    rng = np.random.default_rng(7)
+    channels = make_channels(fs, duration, rng)
+
+    config = DATCConfig()
+    streams = [datc_encode(emg, fs, config)[0] for _, emg in channels]
+
+    aer = AERConfig(n_channels=len(streams), level_bits=config.dac_bits)
+    # Arbiter serialisation: each event's burst occupies
+    # symbols_per_event x 2 us on the link, so colliding events are queued.
+    merged = aer_encode(streams, aer, min_spacing_s=aer.symbols_per_event * 2e-6)
+    print(f"AER link: {aer.n_channels} channels, "
+          f"{aer.symbols_per_event} symbols/event "
+          f"(1 marker + {aer.address_bits} address + {aer.level_bits} level)")
+    print(f"merged stream: {merged.n_events} events, "
+          f"{merged.n_symbols} symbols over {duration:.0f} s\n")
+
+    link = simulate_link(merged, LinkConfig(symbol_period_s=2e-6))
+    decoded = aer_decode(link.rx_stream, aer)
+
+    print(f"{'channel':>8}{'events':>9}{'corr %':>9}")
+    for ch, ((profile, emg), stream) in enumerate(zip(channels, decoded)):
+        recon = reconstruct_hybrid(stream, vref=config.vref, dac_bits=config.dac_bits)
+        reference = arv_envelope(emg, fs)
+        corr = aligned_correlation_percent(recon, reference)
+        print(f"{ch:>8d}{stream.n_events:>9d}{corr:>9.2f}")
+
+    print("\nEvery channel's force envelope is recovered from the single "
+          "shared link; addresses\nkeep the channels separable exactly as "
+          "in the quasi-digital tactile glove of ref. [12].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: encode one sEMG pattern with ATC and D-ATC and compare.
+
+Runs the paper's core comparison on a single 20 s synthetic recording:
+
+1. generate a pattern from the 190-pattern dataset;
+2. encode it with fixed-threshold ATC (0.3 V) and with D-ATC;
+3. reconstruct the muscle-force envelope at the receiver;
+4. report correlation and symbol cost for both schemes.
+
+Usage::
+
+    python examples/quickstart.py [pattern_id]
+"""
+
+import sys
+
+from repro import ATCConfig, default_dataset, run_atc, run_datc
+
+
+def main() -> None:
+    pattern_id = int(sys.argv[1]) if len(sys.argv) > 1 else 22
+    dataset = default_dataset()
+    pattern = dataset.pattern(pattern_id)
+
+    print(f"pattern {pattern_id}: subject {pattern.subject.subject_id}, "
+          f"{pattern.n_samples} samples over {pattern.duration_s:.0f} s, "
+          f"amplified sEMG gain {pattern.subject.model.gain_v:.2f} V @ MVC")
+
+    atc = run_atc(pattern, ATCConfig(vth=0.3))
+    datc = run_datc(pattern)
+
+    print(f"\n{'scheme':<14}{'events':>8}{'symbols':>9}{'correlation':>13}")
+    print("-" * 44)
+    print(f"{'ATC (0.3 V)':<14}{atc.n_events:>8d}{atc.n_symbols:>9d}"
+          f"{atc.correlation_pct:>12.2f}%")
+    print(f"{'D-ATC':<14}{datc.n_events:>8d}{datc.n_symbols:>9d}"
+          f"{datc.correlation_pct:>12.2f}%")
+
+    advantage = datc.correlation_pct - atc.correlation_pct
+    print(f"\nD-ATC reconstructs the muscle-force envelope {advantage:+.2f}% "
+          f"better than the fixed threshold,")
+    print(f"spending {datc.n_events / max(atc.n_events, 1):.2f}x the events "
+          f"— no per-subject threshold trimming required.")
+
+    # Show the dynamic threshold at work: the mean level it selected.
+    levels = datc.trace.frame_levels
+    print(f"\nDTC threshold levels over the recording: "
+          f"min {levels.min()}, mean {levels.mean():.1f}, max {levels.max()} "
+          f"(DAC range 1-15, 62.5 mV/step)")
+
+
+if __name__ == "__main__":
+    main()

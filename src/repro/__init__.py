@@ -1,0 +1,55 @@
+"""repro — reproduction of the DATE 2015 D-ATC muscle-force transmission system.
+
+An all-digital spike-based scheme that encodes surface-EMG as asynchronous
+threshold-crossing events with a dynamically adapted threshold (D-ATC),
+transmitted over a behavioural IR-UWB link and reconstructed at the
+receiver.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured results.
+
+Quick start::
+
+    from repro import default_dataset, run_atc, run_datc
+
+    pattern = default_dataset().pattern(0)
+    atc = run_atc(pattern)     # fixed 0.3 V threshold (baseline)
+    datc = run_datc(pattern)   # dynamic threshold (the paper's scheme)
+    print(atc.correlation_pct, datc.correlation_pct)
+"""
+
+from .core import (
+    ATCConfig,
+    ATCTrace,
+    DATCConfig,
+    DATCTrace,
+    EventStream,
+    PipelineResult,
+    ThresholdPredictor,
+    atc_encode,
+    datc_encode,
+    merge_streams,
+    run_atc,
+    run_datc,
+)
+from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATCConfig",
+    "ATCTrace",
+    "DATCConfig",
+    "DATCTrace",
+    "EventStream",
+    "PipelineResult",
+    "ThresholdPredictor",
+    "atc_encode",
+    "datc_encode",
+    "merge_streams",
+    "run_atc",
+    "run_datc",
+    "DatasetSpec",
+    "EMGModel",
+    "Pattern",
+    "default_dataset",
+    "__version__",
+]

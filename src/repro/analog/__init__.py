@@ -1,0 +1,8 @@
+"""Analog front-end behavioural models: amplifier, comparator, DAC, ADC."""
+
+from .adc import ADC
+from .amplifier import Amplifier
+from .comparator import Comparator, ideal_compare
+from .dac import DAC
+
+__all__ = ["ADC", "Amplifier", "Comparator", "ideal_compare", "DAC"]

@@ -1,0 +1,62 @@
+"""Analog-to-digital converter model — only used by the *baseline*.
+
+The paper's comparison point (Sec. II and III-B) is a "standard
+packet-based system" that digitises each sEMG sample with an A/D converter
+(12 bit in the symbol-count example) and transmits the codes in packets.
+D-ATC itself needs no ADC — that is the point — but reproducing the
+comparison requires one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ADC"]
+
+
+@dataclass(frozen=True)
+class ADC:
+    """A uniform mid-rise quantiser with clipping.
+
+    Attributes
+    ----------
+    n_bits:
+        Resolution (12 in the paper's packet-based example).
+    vref:
+        Full-scale input; inputs are clipped to ``[0, vref]`` (the encoder
+        operates on the rectified sEMG) before quantisation.
+    """
+
+    n_bits: int = 12
+    vref: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {self.n_bits}")
+        if self.vref <= 0:
+            raise ValueError(f"vref must be positive, got {self.vref}")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of output codes."""
+        return 1 << self.n_bits
+
+    @property
+    def lsb_v(self) -> float:
+        """Input step per code."""
+        return self.vref / self.n_levels
+
+    def sample(self, signal: np.ndarray) -> np.ndarray:
+        """Quantise ``signal`` to integer codes in ``[0, 2**n_bits - 1]``."""
+        x = np.clip(np.asarray(signal, dtype=float), 0.0, self.vref)
+        codes = np.floor(x / self.lsb_v).astype(np.int64)
+        return np.clip(codes, 0, self.n_levels - 1)
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Mid-rise reconstruction: code -> (code + 0.5) * lsb volts."""
+        codes = np.asarray(codes)
+        if np.any(codes < 0) or np.any(codes >= self.n_levels):
+            raise ValueError(f"code out of range [0, {self.n_levels})")
+        return (codes.astype(float) + 0.5) * self.lsb_v

@@ -1,0 +1,59 @@
+"""Pre-amplifier model for the sEMG front-end.
+
+In the ATC system of [10] the preamp gain must be *trimmed per subject* so
+that the fixed threshold sits inside the signal dynamic range; the whole
+point of D-ATC is to remove that calibration.  The model here exposes the
+gain-spread and saturation effects that motivate the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Amplifier"]
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """A behavioural instrumentation-amplifier model.
+
+    Attributes
+    ----------
+    gain:
+        Voltage gain applied to the input signal.  Note that the synthetic
+        dataset of :mod:`repro.signals` already expresses signals *after*
+        pre-amplification (``EMGModel.gain_v`` is the amplified amplitude),
+        so the default here is 1; the explicit model exists for front-end
+        studies (gain mistrim, saturation).
+    offset_v:
+        Output-referred DC offset in volts.
+    saturation_v:
+        Supply-limited output swing: the output is clipped to
+        ``[-saturation_v, +saturation_v]``.
+    noise_rms_v:
+        Output-referred RMS noise added when a random generator is given.
+    """
+
+    gain: float = 1.0
+    offset_v: float = 0.0
+    saturation_v: float = 1.8
+    noise_rms_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ValueError(f"gain must be positive, got {self.gain}")
+        if self.saturation_v <= 0:
+            raise ValueError(f"saturation_v must be positive, got {self.saturation_v}")
+        if self.noise_rms_v < 0:
+            raise ValueError(f"noise_rms_v must be non-negative, got {self.noise_rms_v}")
+
+    def apply(self, signal: np.ndarray, rng: "np.random.Generator | None" = None) -> np.ndarray:
+        """Amplify, offset, add noise, and clip to the output swing."""
+        out = self.gain * np.asarray(signal, dtype=float) + self.offset_v
+        if self.noise_rms_v > 0:
+            if rng is None:
+                raise ValueError("noise_rms_v > 0 requires an rng")
+            out = out + self.noise_rms_v * rng.standard_normal(out.shape)
+        return np.clip(out, -self.saturation_v, self.saturation_v)

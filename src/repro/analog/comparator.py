@@ -1,0 +1,90 @@
+"""Analog comparator model.
+
+The comparator is the single analog decision element of both ATC and D-ATC:
+its output is the 1-bit stream the DTC consumes ("the application of a hard
+decision mechanism on an analog signal ... requires careful control of its
+features").  The model includes the two non-idealities that matter at the
+system level:
+
+* **hysteresis** — a small Schmitt-trigger window that suppresses noise
+  chatter around the threshold (and slightly biases the duty cycle);
+* **input-referred noise** — Gaussian noise added before the decision.
+
+Metastability of the *sampled* output is modelled separately in
+:mod:`repro.digital.synchronizer`, because it is a property of the clocked
+``In_reg``, not of the continuous-time comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Comparator", "ideal_compare"]
+
+
+def ideal_compare(signal: np.ndarray, threshold: "float | np.ndarray") -> np.ndarray:
+    """Ideal comparison ``signal > threshold`` as a uint8 {0,1} array."""
+    return (np.asarray(signal, dtype=float) > threshold).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """A behavioural continuous-time comparator.
+
+    Attributes
+    ----------
+    hysteresis_v:
+        Full hysteresis window width: the rising decision point is
+        ``vth + hysteresis_v / 2`` and the falling one
+        ``vth - hysteresis_v / 2``.
+    noise_rms_v:
+        Input-referred RMS noise (requires ``rng`` in :meth:`compare`).
+    """
+
+    hysteresis_v: float = 0.0
+    noise_rms_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_v < 0:
+            raise ValueError(f"hysteresis_v must be non-negative, got {self.hysteresis_v}")
+        if self.noise_rms_v < 0:
+            raise ValueError(f"noise_rms_v must be non-negative, got {self.noise_rms_v}")
+
+    def compare(
+        self,
+        signal: np.ndarray,
+        threshold: "float | np.ndarray",
+        rng: "np.random.Generator | None" = None,
+        initial_state: int = 0,
+    ) -> np.ndarray:
+        """Compare ``signal`` against ``threshold`` sample by sample.
+
+        ``threshold`` may be a scalar or an array aligned with ``signal``
+        (the D-ATC case, where the DAC retargets it each frame).
+
+        Returns a uint8 {0,1} array.
+        """
+        x = np.asarray(signal, dtype=float)
+        if self.noise_rms_v > 0:
+            if rng is None:
+                raise ValueError("noise_rms_v > 0 requires an rng")
+            x = x + self.noise_rms_v * rng.standard_normal(x.shape)
+
+        if self.hysteresis_v == 0.0:
+            return ideal_compare(x, threshold)
+
+        th = np.broadcast_to(np.asarray(threshold, dtype=float), x.shape)
+        half = self.hysteresis_v / 2.0
+        rising = x > (th + half)
+        falling = x < (th - half)
+        out = np.empty(x.shape, dtype=np.uint8)
+        state = 1 if initial_state else 0
+        for i in range(x.size):
+            if state == 0 and rising[i]:
+                state = 1
+            elif state == 1 and falling[i]:
+                state = 0
+            out[i] = state
+        return out

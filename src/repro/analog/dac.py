@@ -1,0 +1,84 @@
+"""Digital-to-analog converter model (the threshold trimmer of D-ATC).
+
+Paper Eqn. (3): ``Vth = (Vref * Set_Vth) / 2**Nb`` with ``Vref = 1 V`` and
+``Nb = 4`` — a 4-bit DAC giving a 0..0.9375 V threshold range in 62.5 mV
+steps ("accurate enough for this application"; the paper examined several
+resolutions for the accuracy/complexity trade-off, which our ablation bench
+re-runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DAC"]
+
+
+@dataclass(frozen=True)
+class DAC:
+    """An ``n_bits`` DAC with optional static non-linearity.
+
+    Attributes
+    ----------
+    n_bits:
+        Resolution; the paper uses 4.
+    vref:
+        Full-scale reference voltage; the paper uses 1 V.
+    inl_lsb:
+        Optional per-code integral non-linearity, expressed in LSBs.  When
+        given, must have ``2**n_bits`` entries; code ``k`` then produces
+        ``(k + inl_lsb[k]) * lsb`` volts.
+    """
+
+    n_bits: int = 4
+    vref: float = 1.0
+    inl_lsb: "tuple[float, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {self.n_bits}")
+        if self.vref <= 0:
+            raise ValueError(f"vref must be positive, got {self.vref}")
+        if self.inl_lsb and len(self.inl_lsb) != self.n_levels:
+            raise ValueError(
+                f"inl_lsb must have {self.n_levels} entries, got {len(self.inl_lsb)}"
+            )
+
+    @property
+    def n_levels(self) -> int:
+        """Number of distinct output codes (``2**n_bits``)."""
+        return 1 << self.n_bits
+
+    @property
+    def lsb_v(self) -> float:
+        """Voltage step per code: ``vref / 2**n_bits``."""
+        return self.vref / self.n_levels
+
+    def to_voltage(self, code: "int | np.ndarray") -> "float | np.ndarray":
+        """Paper Eqn. (3): convert a code (or array of codes) to volts."""
+        codes = np.asarray(code)
+        if np.any(codes < 0) or np.any(codes >= self.n_levels):
+            raise ValueError(
+                f"code out of range [0, {self.n_levels}): {code!r}"
+            )
+        if self.inl_lsb:
+            inl = np.asarray(self.inl_lsb, dtype=float)[codes]
+        else:
+            inl = 0.0
+        out = (codes + inl) * self.lsb_v
+        if np.isscalar(code) or np.ndim(code) == 0:
+            return float(out)
+        return out
+
+    def nearest_code(self, voltage: float) -> int:
+        """The code whose ideal output is closest to ``voltage`` (clipped)."""
+        code = int(round(voltage / self.lsb_v))
+        return int(np.clip(code, 0, self.n_levels - 1))
+
+    def transfer_curve(self) -> np.ndarray:
+        """Output voltage for every code, shape ``(2**n_bits,)``."""
+        return np.asarray(
+            [self.to_voltage(code) for code in range(self.n_levels)], dtype=float
+        )

@@ -1,0 +1,44 @@
+"""Summary-statistics helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a metric across patterns."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def format_row(self, label: str, unit: str = "") -> str:
+        """One formatted text row for report tables."""
+        return (
+            f"{label:<24} n={self.n:<4d} mean={self.mean:8.2f}{unit} "
+            f"std={self.std:7.2f} min={self.minimum:8.2f} "
+            f"median={self.median:8.2f} max={self.maximum:8.2f}"
+        )
+
+
+def summarize(values: "np.ndarray | list[float]") -> Summary:
+    """Summary statistics of a non-empty value collection."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty collection")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )

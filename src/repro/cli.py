@@ -1,0 +1,199 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro fig3                 # one figure's paper-vs-measured rows
+    python -m repro fig5 --patterns 24   # reduced-size dataset sweep
+    python -m repro table1               # synthesis summary
+    python -m repro timing               # DTC static timing budget
+    python -m repro verilog -o dtc.v     # emit synthesizable RTL
+    python -m repro vcd -o dtc.vcd       # waveform dump of a real pattern
+    python -m repro report --quick       # regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_fig2
+
+    print(run_fig2().format_table())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_fig3
+
+    print(run_fig3(pattern_id=args.pattern).format_table())
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_fig5
+
+    print(run_fig5(n_patterns=args.patterns).format_table())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_fig6
+
+    print(run_fig6(pattern_id=args.pattern).format_table())
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_fig7
+
+    print(run_fig7().format_table())
+    return 0
+
+
+def _cmd_symbols(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_symbol_comparison
+
+    print(run_symbol_comparison(pattern_id=args.pattern).format_table())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_table1
+
+    print(run_table1().format_table())
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from .hardware.timing import estimate_timing
+
+    print(estimate_timing().format_table())
+    return 0
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    from .hardware.verilog import generate_dtc_verilog
+
+    text = generate_dtc_verilog()
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_vcd(args: argparse.Namespace) -> int:
+    from .core.config import DATCConfig
+    from .core.datc import datc_encode
+    from .digital.vcd import vcd_from_dtc_run
+    from .signals.dataset import default_dataset
+
+    pattern = default_dataset().pattern(args.pattern)
+    _, trace = datc_encode(pattern.emg, pattern.fs, DATCConfig(quantized=True))
+    n = min(args.cycles, trace.d_in.size)
+    vcd_from_dtc_run(args.output, trace.d_in[:n])
+    print(f"wrote {args.output} ({n} clock cycles of pattern {args.pattern})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import main as report_main
+
+    argv = ["--output", args.output]
+    if args.quick:
+        argv.append("--quick")
+    return report_main(argv)
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from .core.config import DATCConfig
+    from .core.datc import datc_encode
+    from .signals.dataset import default_dataset
+    from .signals.io import export_events_csv, save_event_stream
+
+    pattern = default_dataset().pattern(args.pattern)
+    stream, _ = datc_encode(pattern.emg, pattern.fs, DATCConfig())
+    if args.output.endswith(".csv"):
+        export_events_csv(args.output, stream)
+    else:
+        save_event_stream(args.output, stream)
+    print(
+        f"pattern {args.pattern}: {stream.n_events} events "
+        f"({stream.n_symbols} symbols) -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="D-ATC (DATE 2015) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="Fig. 2 concept demo").set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="Fig. 3 single-pattern comparison")
+    p.add_argument("--pattern", type=int, default=22)
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig5", help="Fig. 5 dataset sweep")
+    p.add_argument("--patterns", type=int, default=None, help="limit pattern count")
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="Fig. 6 iso-correlation comparison")
+    p.add_argument("--pattern", type=int, default=22)
+    p.set_defaults(func=_cmd_fig6)
+
+    sub.add_parser("fig7", help="Fig. 7 trade-off curves").set_defaults(func=_cmd_fig7)
+
+    p = sub.add_parser("symbols", help="Sec. III-B symbol accounting")
+    p.add_argument("--pattern", type=int, default=22)
+    p.set_defaults(func=_cmd_symbols)
+
+    sub.add_parser("table1", help="Table I synthesis summary").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("timing", help="DTC static timing budget").set_defaults(
+        func=_cmd_timing
+    )
+
+    p = sub.add_parser("verilog", help="emit synthesizable DTC Verilog")
+    p.add_argument("-o", "--output", default="dtc.v", help="'-' for stdout")
+    p.set_defaults(func=_cmd_verilog)
+
+    p = sub.add_parser("vcd", help="dump a DTC waveform (VCD)")
+    p.add_argument("-o", "--output", default="dtc.vcd")
+    p.add_argument("--pattern", type=int, default=22)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.set_defaults(func=_cmd_vcd)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("encode", help="encode a pattern to .npz/.csv events")
+    p.add_argument("--pattern", type=int, default=22)
+    p.add_argument("-o", "--output", default="events.npz")
+    p.set_defaults(func=_cmd_encode)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

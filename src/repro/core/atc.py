@@ -1,0 +1,131 @@
+"""Fixed-threshold Average Threshold Crossing (ATC) — the baseline of [10].
+
+An IR-UWB pulse is radiated at every positive-edge crossing of a *fixed*
+threshold ``Vth`` by the rectified, amplified sEMG signal.  The average
+pulse rate is proportional to the exerted muscle force, which the receiver
+recovers with simple windowing.  Its weakness — the reason D-ATC exists —
+is that ``Vth`` must be trimmed per subject: too high and low-amplitude
+signals are never sensed, too low and the event (hence power) budget
+explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analog.comparator import Comparator
+from .config import ATCConfig
+from .events import EventStream
+
+__all__ = ["ATCTrace", "atc_encode", "rising_edges"]
+
+
+def rising_edges(bits: np.ndarray, initial: int = 0) -> np.ndarray:
+    """Indices where a {0,1} stream transitions 0 -> 1.
+
+    ``initial`` is the state before the first sample (reset value of the
+    comparator flop).
+    """
+    bits = np.asarray(bits).astype(np.int8)
+    if bits.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    prev = np.concatenate([[1 if initial else 0], bits[:-1]])
+    return np.flatnonzero((bits == 1) & (prev == 0))
+
+
+@dataclass(frozen=True)
+class ATCTrace:
+    """Diagnostic trace of an ATC encoding run."""
+
+    d_in: np.ndarray  # clock-sampled comparator output, uint8
+    vth: float
+    clock_hz: float
+
+    @property
+    def n_clocks(self) -> int:
+        """Number of clock cycles simulated."""
+        return int(self.d_in.size)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of clock cycles with the signal above threshold."""
+        if self.d_in.size == 0:
+            return 0.0
+        return float(np.mean(self.d_in))
+
+
+def atc_encode(
+    signal: np.ndarray,
+    fs: float,
+    config: "ATCConfig | None" = None,
+    comparator: "Comparator | None" = None,
+    rectify: bool = True,
+    rng: "np.random.Generator | None" = None,
+) -> "tuple[EventStream, ATCTrace]":
+    """Encode a signal as fixed-threshold crossing events.
+
+    Parameters
+    ----------
+    signal:
+        The amplified sEMG trace (signed volts when ``rectify``, already
+        rectified otherwise), sampled at ``fs``.
+    fs:
+        Input sampling rate in Hz (dataset rate, e.g. 2500 Hz).
+    config:
+        Threshold and clock; defaults to the paper's ``Vth = 0.3 V`` at
+        2 kHz.
+    comparator:
+        Optional non-ideal comparator; ``None`` means ideal comparison.
+    rectify:
+        Apply full-wave rectification before comparison (the front-end of
+        Fig. 1 compares the rectified envelope side of the signal).
+    rng:
+        Randomness source for a noisy comparator.
+
+    Returns
+    -------
+    (EventStream, ATCTrace)
+        The event stream (1 symbol per event) and the diagnostic trace.
+    """
+    config = config if config is not None else ATCConfig()
+    x = np.asarray(signal, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {x.shape}")
+    if fs <= 0:
+        raise ValueError(f"fs must be positive, got {fs}")
+    if rectify:
+        x = np.abs(x)
+
+    duration = x.size / fs
+    n_clocks = int(np.floor(duration * config.clock_hz))
+    if n_clocks == 0:
+        raise ValueError(
+            f"signal too short: {x.size} samples at {fs} Hz covers no "
+            f"{config.clock_hz} Hz clock period"
+        )
+
+    if comparator is None:
+        dense_bits = (x > config.vth).astype(np.uint8)
+    else:
+        dense_bits = comparator.compare(x, config.vth, rng=rng)
+
+    # Clock edge k (1-based) samples the dense value active just before it
+    # (same convention as repro.digital.synchronizer.sample_at_clock).
+    edge_idx = np.ceil(
+        np.arange(1, n_clocks + 1) * (fs / config.clock_hz) - 1e-9
+    ).astype(np.int64) - 1
+    edge_idx = np.clip(edge_idx, 0, x.size - 1)
+    d_in = dense_bits[edge_idx]
+
+    idx = rising_edges(d_in)
+    times = (idx + 1) / config.clock_hz
+    stream = EventStream(
+        times=times,
+        duration_s=duration,
+        levels=None,
+        clock_hz=config.clock_hz,
+        symbols_per_event=config.symbols_per_event,
+    )
+    return stream, ATCTrace(d_in=d_in, vth=config.vth, clock_hz=config.clock_hz)

@@ -1,0 +1,180 @@
+"""Configuration objects for the ATC and D-ATC encoders.
+
+All tunables of paper Secs. II-III live here with the paper's values as
+defaults, so an encoder call with a bare ``DATCConfig()`` reproduces the
+published operating point: 2 kHz clock, 4-bit DAC with 1 V reference,
+frames of 100 clocks, weights (0.35, 0.65, 1.0) divided by 2, interval
+fractions 0.03..0.48.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..digital.fixed_point import DEFAULT_WEIGHT_FRAC_BITS, FixedWeights
+from ..digital.lut import (
+    FRAME_SIZES,
+    INTERVAL_FRACTION_STEP,
+    N_INTERVALS,
+)
+
+__all__ = ["ATCConfig", "DATCConfig", "PAPER_CLOCK_HZ"]
+
+PAPER_CLOCK_HZ = 2000.0  # fclk = 2 * fsEMG with fsEMG ~ 1 kHz (Sec. III-C)
+
+
+@dataclass(frozen=True)
+class ATCConfig:
+    """Fixed-threshold Average Threshold Crossing (the baseline of [10]).
+
+    Attributes
+    ----------
+    vth:
+        The fixed comparator threshold in volts (the paper evaluates 0.3 V
+        and 0.2 V).
+    clock_hz:
+        Sampling clock of the event generator.  The original ATC is fully
+        asynchronous; clocking it at the same 2 kHz as D-ATC makes the
+        event-count comparison apples-to-apples, and 2 kHz satisfies
+        Nyquist for the ~1 kHz sEMG band.
+    symbols_per_event:
+        IR-UWB symbols radiated per event: plain ATC sends a single pulse.
+    """
+
+    vth: float = 0.3
+    clock_hz: float = PAPER_CLOCK_HZ
+    symbols_per_event: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vth < 0:
+            raise ValueError(f"vth must be non-negative, got {self.vth}")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {self.clock_hz}")
+        if self.symbols_per_event < 1:
+            raise ValueError(
+                f"symbols_per_event must be >= 1, got {self.symbols_per_event}"
+            )
+
+
+@dataclass(frozen=True)
+class DATCConfig:
+    """Dynamic Average Threshold Crossing configuration (paper defaults).
+
+    Attributes
+    ----------
+    frame_selector:
+        Index into ``frame_sizes`` (the 2-bit ``Frame_selector`` input).
+    frame_sizes:
+        Legal frame lengths in clock cycles; paper: (100, 200, 400, 800).
+    clock_hz:
+        DTC system clock (paper: 2 kHz).
+    dac_bits, vref:
+        Threshold DAC resolution and reference (paper: 4 bits, 1 V);
+        ``Vth = vref * Set_Vth / 2**dac_bits`` (Eqn. 3).
+    weights:
+        Predictor weights, **oldest frame first**: (W_F1, W_F2, W_F3) =
+        (0.35, 0.65, 1.0).
+    weight_divisor:
+        Denominator of Listing 1's average (the weights sum to 2).
+    interval_step:
+        Fraction step of Eqn. (2): level i sits at
+        ``interval_step * (i+1) * frame_size``.
+    n_levels:
+        Number of threshold levels (= DAC codes = 16).
+    min_level:
+        Floor of the predictor output (Listing 1 never goes below 1).
+    initial_level:
+        ``Set_Vth`` at reset (unspecified in the paper; mid-scale).
+    quantized:
+        When True the behavioural encoder uses the exact Q8 integer
+        arithmetic of the RTL (bit-for-bit equivalence); when False it
+        uses exact float weights (the "Matlab" reference flavour).
+    weight_frac_bits:
+        Q-format of the quantised weights.
+    symbols_per_event:
+        D-ATC radiates the event marker plus the 4-bit threshold level:
+        5 symbols (Sec. III-B: "3724 x 5 = 18620 event symbols").
+    """
+
+    frame_selector: int = 0
+    frame_sizes: "tuple[int, ...]" = FRAME_SIZES
+    clock_hz: float = PAPER_CLOCK_HZ
+    dac_bits: int = 4
+    vref: float = 1.0
+    weights: "tuple[float, float, float]" = (0.35, 0.65, 1.0)
+    weight_divisor: float = 2.0
+    interval_step: float = INTERVAL_FRACTION_STEP
+    n_levels: int = N_INTERVALS
+    min_level: int = 1
+    initial_level: int = 8
+    quantized: bool = False
+    weight_frac_bits: int = DEFAULT_WEIGHT_FRAC_BITS
+    symbols_per_event: int = field(default=0)  # 0 -> derived: 1 + dac_bits
+
+    def __post_init__(self) -> None:
+        if not self.frame_sizes:
+            raise ValueError("frame_sizes must not be empty")
+        if any(f < 1 for f in self.frame_sizes):
+            raise ValueError(f"frame sizes must be >= 1, got {self.frame_sizes}")
+        if not 0 <= self.frame_selector < len(self.frame_sizes):
+            raise ValueError(
+                f"frame_selector {self.frame_selector} out of range "
+                f"[0, {len(self.frame_sizes)})"
+            )
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {self.clock_hz}")
+        if self.dac_bits < 1:
+            raise ValueError(f"dac_bits must be >= 1, got {self.dac_bits}")
+        if self.vref <= 0:
+            raise ValueError(f"vref must be positive, got {self.vref}")
+        if len(self.weights) != 3:
+            raise ValueError(f"exactly three weights required, got {self.weights}")
+        if any(w < 0 for w in self.weights):
+            raise ValueError(f"weights must be non-negative, got {self.weights}")
+        if self.weight_divisor <= 0:
+            raise ValueError(f"weight_divisor must be positive, got {self.weight_divisor}")
+        if self.interval_step <= 0:
+            raise ValueError(f"interval_step must be positive, got {self.interval_step}")
+        if self.n_levels != (1 << self.dac_bits):
+            raise ValueError(
+                f"n_levels ({self.n_levels}) must equal 2**dac_bits "
+                f"({1 << self.dac_bits}); the predictor output drives the DAC directly"
+            )
+        if not 0 <= self.min_level < self.n_levels:
+            raise ValueError(
+                f"min_level {self.min_level} out of range [0, {self.n_levels})"
+            )
+        if not self.min_level <= self.initial_level < self.n_levels:
+            raise ValueError(
+                f"initial_level {self.initial_level} out of range "
+                f"[{self.min_level}, {self.n_levels})"
+            )
+        if self.symbols_per_event == 0:
+            object.__setattr__(self, "symbols_per_event", 1 + self.dac_bits)
+        elif self.symbols_per_event < 1:
+            raise ValueError(
+                f"symbols_per_event must be >= 1, got {self.symbols_per_event}"
+            )
+
+    @property
+    def frame_size(self) -> int:
+        """Selected frame length in clock cycles."""
+        return self.frame_sizes[self.frame_selector]
+
+    @property
+    def frame_duration_s(self) -> float:
+        """Frame length in seconds."""
+        return self.frame_size / self.clock_hz
+
+    @property
+    def lsb_v(self) -> float:
+        """DAC threshold step (Eqn. 3): vref / 2**dac_bits."""
+        return self.vref / float(1 << self.dac_bits)
+
+    def level_to_voltage(self, level: "int | float") -> float:
+        """Paper Eqn. (3): DAC output voltage for a threshold level."""
+        return self.vref * float(level) / float(1 << self.dac_bits)
+
+    def fixed_weights(self) -> FixedWeights:
+        """The quantised (RTL) form of the predictor weights."""
+        return FixedWeights.from_floats(self.weights, self.weight_frac_bits)

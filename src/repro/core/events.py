@@ -1,0 +1,185 @@
+"""Event-stream containers for threshold-crossing transmission.
+
+An :class:`EventStream` is the library's common currency: both ATC and
+D-ATC encoders produce one, the UWB link transports one, and the
+receiver-side reconstructors consume one.  Events are positive-edge
+threshold crossings; D-ATC streams additionally carry the 4-bit threshold
+level in force when each event fired (the payload of the paper's Fig. 2(E)
+packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EventStream", "merge_streams"]
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """An asynchronous stream of threshold-crossing events.
+
+    Attributes
+    ----------
+    times:
+        Event timestamps in seconds, strictly increasing.
+    duration_s:
+        Observation-window length (events live in ``[0, duration_s]``).
+    levels:
+        Optional per-event threshold levels (D-ATC); ``None`` for plain
+        ATC streams.
+    clock_hz:
+        The clock that timestamped the events (metadata; 0 = unclocked).
+    symbols_per_event:
+        IR-UWB symbols radiated per event (1 for ATC, 1 + DAC bits for
+        D-ATC).
+    """
+
+    times: np.ndarray
+    duration_s: float
+    levels: "np.ndarray | None" = None
+    clock_hz: float = 0.0
+    symbols_per_event: int = 1
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        object.__setattr__(self, "times", times)
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if times.ndim != 1:
+            raise ValueError(f"times must be 1-D, got shape {times.shape}")
+        if times.size and (times[0] < 0 or times[-1] > self.duration_s):
+            raise ValueError("event times must lie within [0, duration_s]")
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ValueError("event times must be non-decreasing")
+        if self.levels is not None:
+            levels = np.asarray(self.levels, dtype=np.int64)
+            object.__setattr__(self, "levels", levels)
+            if levels.shape != times.shape:
+                raise ValueError(
+                    f"levels shape {levels.shape} must match times shape {times.shape}"
+                )
+        if self.symbols_per_event < 1:
+            raise ValueError(
+                f"symbols_per_event must be >= 1, got {self.symbols_per_event}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Number of events in the stream."""
+        return int(self.times.size)
+
+    @property
+    def mean_rate_hz(self) -> float:
+        """Average firing rate over the observation window."""
+        return self.n_events / self.duration_s
+
+    @property
+    def n_symbols(self) -> int:
+        """Total IR-UWB symbols this stream costs to transmit.
+
+        This is the paper's Sec. III-B accounting: e.g. 3724 D-ATC events
+        x 5 symbols = 18620.
+        """
+        return self.n_events * self.symbols_per_event
+
+    @property
+    def has_levels(self) -> bool:
+        """True when the stream carries threshold-level payloads (D-ATC)."""
+        return self.levels is not None
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def counts_in_windows(self, window_s: float) -> np.ndarray:
+        """Event counts in contiguous windows of ``window_s`` seconds.
+
+        The receiver's "low-complexity windowing" for force recovery.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        n_windows = int(np.ceil(self.duration_s / window_s))
+        edges = np.arange(n_windows + 1) * window_s
+        counts, _ = np.histogram(self.times, bins=edges)
+        return counts
+
+    def inter_event_intervals(self) -> np.ndarray:
+        """Differences between consecutive event times."""
+        return np.diff(self.times)
+
+    def slice(self, t_start: float, t_stop: float) -> "EventStream":
+        """Events within ``[t_start, t_stop)``, re-referenced to t_start."""
+        if not 0 <= t_start < t_stop <= self.duration_s:
+            raise ValueError(
+                f"need 0 <= t_start < t_stop <= duration, got [{t_start}, {t_stop})"
+            )
+        mask = (self.times >= t_start) & (self.times < t_stop)
+        return EventStream(
+            times=self.times[mask] - t_start,
+            duration_s=t_stop - t_start,
+            levels=self.levels[mask] if self.levels is not None else None,
+            clock_hz=self.clock_hz,
+            symbols_per_event=self.symbols_per_event,
+        )
+
+    def drop_events(self, keep_mask: np.ndarray) -> "EventStream":
+        """A copy keeping only events where ``keep_mask`` is True.
+
+        Used by the channel model for pulse erasures and by the artifact
+        robustness experiments ("artifacts effect is similar to pulse
+        missing").
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.times.shape:
+            raise ValueError(
+                f"keep_mask shape {keep_mask.shape} must match times shape "
+                f"{self.times.shape}"
+            )
+        return EventStream(
+            times=self.times[keep_mask],
+            duration_s=self.duration_s,
+            levels=self.levels[keep_mask] if self.levels is not None else None,
+            clock_hz=self.clock_hz,
+            symbols_per_event=self.symbols_per_event,
+        )
+
+    def level_voltages(self, vref: float = 1.0, dac_bits: int = 4) -> np.ndarray:
+        """Per-event threshold voltages via paper Eqn. (3)."""
+        if self.levels is None:
+            raise ValueError("stream carries no threshold levels (plain ATC)")
+        return vref * self.levels.astype(float) / float(1 << dac_bits)
+
+
+def merge_streams(streams: "list[EventStream]") -> EventStream:
+    """Merge multiple single-channel streams into one time-sorted stream.
+
+    All inputs must share the same duration and symbol cost.  Levels are
+    preserved only when *every* stream carries them.  This models the AER
+    arbiter of the multi-channel systems in refs. [9]/[12].
+    """
+    if not streams:
+        raise ValueError("need at least one stream to merge")
+    duration = streams[0].duration_s
+    spe = streams[0].symbols_per_event
+    for s in streams[1:]:
+        if s.duration_s != duration:
+            raise ValueError("all streams must share duration_s")
+        if s.symbols_per_event != spe:
+            raise ValueError("all streams must share symbols_per_event")
+    times = np.concatenate([s.times for s in streams])
+    order = np.argsort(times, kind="stable")
+    levels = None
+    if all(s.has_levels for s in streams):
+        levels = np.concatenate([s.levels for s in streams])[order]
+    return EventStream(
+        times=times[order],
+        duration_s=duration,
+        levels=levels,
+        clock_hz=streams[0].clock_hz,
+        symbols_per_event=spe,
+    )

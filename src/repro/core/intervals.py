@@ -1,0 +1,39 @@
+"""Interval-level computation (paper Eqn. 2) and level selection.
+
+This is the float-domain ("Matlab") counterpart of the hardware LUT in
+:mod:`repro.digital.lut`; both views coexist because the paper validates
+its Verilog against a Matlab reference, and so do our tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..digital.lut import interval_levels
+
+__all__ = ["interval_levels_float", "select_level"]
+
+
+def interval_levels_float(
+    frame_size: int, n_levels: int = 16, step: float = 0.03
+) -> np.ndarray:
+    """Eqn. (2) levels as floats: ``step * (i+1) * frame_size``."""
+    return interval_levels(frame_size, n_intervals=n_levels, step=step)
+
+
+def select_level(
+    avr: float, levels: "np.ndarray | tuple", min_level: int = 1
+) -> int:
+    """Listing 1's priority encoder: highest ``i`` with ``avr >= levels[i]``.
+
+    Scans from the top level down to ``min_level + 1``; if none matches the
+    result is ``min_level`` (the listing's final ``else`` assigns 1, never
+    0 — the threshold must stay above the noise floor).
+    """
+    n = len(levels)
+    if not 0 <= min_level < n:
+        raise ValueError(f"min_level {min_level} out of range [0, {n})")
+    for i in range(n - 1, min_level, -1):
+        if avr >= levels[i]:
+            return i
+    return min_level

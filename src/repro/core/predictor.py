@@ -1,0 +1,117 @@
+"""The D-ATC Predictor: frame-history weighted average -> threshold level.
+
+Implements paper Eqn. (1) / Listing 1 as a small stateful object shared by
+the behavioural encoder.  Two arithmetic flavours:
+
+* **float** — the exact weighted average of the Matlab reference,
+  ``AVR = (W_F3*N3 + W_F2*N2 + W_F1*N1) / weight_divisor``;
+* **quantized** — the Q8 integer datapath of the synthesized RTL
+  (identical to :class:`repro.digital.dtc_rtl.DTCRtl`).
+
+The history update ``N_one1 <- N_one2 <- N_one3`` happens inside
+:meth:`ThresholdPredictor.update`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..digital.fixed_point import FixedWeights
+from .config import DATCConfig
+from .intervals import interval_levels_float, select_level
+
+__all__ = ["ThresholdPredictor"]
+
+
+class ThresholdPredictor:
+    """Stateful per-frame threshold-level predictor.
+
+    Parameters
+    ----------
+    config:
+        The D-ATC configuration (weights, intervals, levels, arithmetic
+        flavour all come from it).
+    """
+
+    def __init__(self, config: DATCConfig):
+        self.config = config
+        self._weights = config.weights
+        self._divisor = config.weight_divisor
+        self._fixed: "FixedWeights | None" = (
+            config.fixed_weights() if config.quantized else None
+        )
+        if config.quantized:
+            self._levels = tuple(
+                int(round(v))
+                for v in interval_levels_float(
+                    config.frame_size, config.n_levels, config.interval_step
+                )
+            )
+        else:
+            self._levels = interval_levels_float(
+                config.frame_size, config.n_levels, config.interval_step
+            )
+        # History of per-frame ones counts, oldest first: (N_one1, N_one2).
+        # N_one3 is supplied to update() as the just-finished frame.
+        self._n_one1 = 0
+        self._n_one2 = 0
+        self._level = config.initial_level
+
+    @property
+    def level(self) -> int:
+        """The current threshold level (``Set_Vth``)."""
+        return self._level
+
+    @property
+    def vth(self) -> float:
+        """The current threshold voltage (Eqn. 3)."""
+        return self.config.level_to_voltage(self._level)
+
+    @property
+    def history(self) -> "tuple[int, int]":
+        """(N_one1, N_one2): the two retained previous-frame counts."""
+        return (self._n_one1, self._n_one2)
+
+    def average(self, n_one3: int) -> float:
+        """Eqn. (1) weighted average with the just-finished frame count."""
+        if n_one3 < 0 or n_one3 > self.config.frame_size:
+            raise ValueError(
+                f"n_one3 must be within [0, frame_size={self.config.frame_size}], "
+                f"got {n_one3}"
+            )
+        if self._fixed is not None:
+            return float(self._fixed.average(self._n_one1, self._n_one2, n_one3))
+        w1, w2, w3 = self._weights
+        return (w3 * n_one3 + w2 * self._n_one2 + w1 * self._n_one1) / self._divisor
+
+    def update(self, n_one3: int) -> int:
+        """End-of-frame step: compute AVR, pick the level, shift history.
+
+        Returns the new ``Set_Vth`` level, which applies from the first
+        clock of the next frame.
+        """
+        avr = self.average(n_one3)
+        self._level = select_level(avr, self._levels, self.config.min_level)
+        self._n_one1 = self._n_one2
+        self._n_one2 = int(n_one3)
+        return self._level
+
+    def reset(self) -> None:
+        """Return to the reset state (history cleared, initial level)."""
+        self._n_one1 = 0
+        self._n_one2 = 0
+        self._level = self.config.initial_level
+
+    def steady_state_level(self, duty: float) -> int:
+        """Level the predictor converges to for a constant duty cycle.
+
+        For a stationary input with fraction ``duty`` of ones per frame
+        the weighted average equals ``duty * frame_size`` (the weights sum
+        to ``weight_divisor``), so convergence is a pure Eqn. (2) lookup.
+        Used by convergence tests and the design-space benches.
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be within [0, 1], got {duty}")
+        n = duty * self.config.frame_size
+        levels = np.asarray(self._levels, dtype=float)
+        return select_level(float(n), levels, self.config.min_level)

@@ -1,0 +1,49 @@
+"""RTL-level digital substrate: fixed point, primitives, LUT, the DTC."""
+
+from .dtc_rtl import DTC_PORT_LIST, DTCPorts, DTCRtl, DTCStepOutput
+from .fixed_point import (
+    DEFAULT_WEIGHT_FRAC_BITS,
+    FixedWeights,
+    from_fixed,
+    quantize_weights,
+    to_fixed,
+)
+from .lut import (
+    FRAME_SIZES,
+    INTERVAL_FRACTION_STEP,
+    N_INTERVALS,
+    IntervalLUT,
+    interval_fractions,
+    interval_levels,
+)
+from .primitives import Counter, Mux, Register, ShiftRegister, mask_for_width
+from .synchronizer import Synchronizer, sample_at_clock
+from .vcd import VCDSignal, dump_vcd, vcd_from_dtc_run
+
+__all__ = [
+    "DTC_PORT_LIST",
+    "DTCPorts",
+    "DTCRtl",
+    "DTCStepOutput",
+    "DEFAULT_WEIGHT_FRAC_BITS",
+    "FixedWeights",
+    "from_fixed",
+    "quantize_weights",
+    "to_fixed",
+    "FRAME_SIZES",
+    "INTERVAL_FRACTION_STEP",
+    "N_INTERVALS",
+    "IntervalLUT",
+    "interval_fractions",
+    "interval_levels",
+    "Counter",
+    "Mux",
+    "Register",
+    "ShiftRegister",
+    "mask_for_width",
+    "Synchronizer",
+    "sample_at_clock",
+    "VCDSignal",
+    "dump_vcd",
+    "vcd_from_dtc_run",
+]

@@ -1,0 +1,267 @@
+"""Cycle-accurate model of the Dynamic Threshold Controller (DTC).
+
+This is a direct transcription of the synthesized block of paper Fig. 4 /
+Listing 1, built from the primitives of :mod:`repro.digital.primitives`:
+
+* ``In_reg`` — the input synchronizer flop for the asynchronous comparator
+  output;
+* a frame counter that raises ``End_of_frame`` every ``frame_size`` clocks
+  (``frame_size`` is one of 100/200/400/800, chosen by the 2-bit
+  ``Frame_selector``);
+* the ``N_one`` ones-counter plus a 3-deep history of per-frame counts;
+* the Predictor: the Q8 integer weighted average
+  ``AVR = (256*N_one3 + 166*N_one2 + 90*N_one1) >> 9`` compared against
+  the precomputed integer Intervals LUT, producing the 4-bit ``Set_Vth``.
+
+The paper verified "that Verilog results perfectly match the Matlab
+simulation outputs"; our equivalence is the same statement between this
+model and :func:`repro.core.datc.datc_encode` in quantized mode, enforced
+by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fixed_point import FixedWeights
+from .lut import FRAME_SIZES, N_INTERVALS, IntervalLUT
+from .primitives import Counter, Register, ShiftRegister
+
+__all__ = ["DTCRtl", "DTCStepOutput", "DTCPorts", "DTC_PORT_LIST"]
+
+# Port list of the IP as described in Sec. III-C: D_in + clock, the 4-bit
+# Set_Vth vector, an 8-bit debug/state output, asynchronous reset, enable
+# and the supply pins — 12 ports in total (paper Table I: "Number of
+# ports 12").
+DTC_PORT_LIST = (
+    ("CLK", 1, "in"),
+    ("RST", 1, "in"),
+    ("EN", 1, "in"),
+    ("D_in", 1, "in"),
+    ("Frame_sel0", 1, "in"),
+    ("Frame_sel1", 1, "in"),
+    ("Set_Vth", 4, "out"),
+    ("D_out", 1, "out"),
+    ("End_of_frame", 1, "out"),
+    ("Dbg_state", 8, "out"),
+    ("VDD", 1, "supply"),
+    ("GND", 1, "supply"),
+)
+
+
+@dataclass(frozen=True)
+class DTCPorts:
+    """Static port metadata (used by the hardware model and tests)."""
+
+    ports: "tuple[tuple[str, int, str], ...]" = DTC_PORT_LIST
+
+    @property
+    def n_ports(self) -> int:
+        """Number of named ports (paper Table I reports 12)."""
+        return len(self.ports)
+
+    @property
+    def n_signal_bits(self) -> int:
+        """Total signal bits excluding supplies."""
+        return sum(width for _, width, kind in self.ports if kind != "supply")
+
+
+@dataclass(frozen=True)
+class DTCStepOutput:
+    """Outputs of the DTC for one clock cycle.
+
+    ``set_vth`` is the threshold level *in effect during* the cycle (the
+    register value before any end-of-frame update), matching what the DAC
+    applies to the comparator for that clock period.
+    """
+
+    set_vth: int
+    d_out: int
+    end_of_frame: bool
+    n_one: int
+    avr: "int | None" = None  # weighted average, only at end of frame
+
+
+class DTCRtl:
+    """The cycle-accurate Dynamic Threshold Controller.
+
+    Parameters
+    ----------
+    frame_selector:
+        2-bit selection of the frame length among :data:`FRAME_SIZES`.
+    weights:
+        Quantised predictor weights; defaults to the paper's
+        (0.35, 0.65, 1.0) in Q8.
+    initial_level:
+        Reset value of the ``Set_Vth`` register.  The paper does not
+        specify it; mid-scale (8) converges fastest from either direction.
+    min_level:
+        The Predictor's floor — Listing 1 never selects a level below 1,
+        so the DAC threshold never collapses to 0 V (which would saturate
+        the firing rate on noise alone).
+    """
+
+    COUNTER_WIDTH = 10  # paper: "10 bit signals are considered for wiring
+    # all counters, shift registers and multiplexers"
+    LEVEL_WIDTH = 4
+    HISTORY_DEPTH = 3
+
+    def __init__(
+        self,
+        frame_selector: int = 0,
+        weights: "FixedWeights | None" = None,
+        initial_level: int = 8,
+        min_level: int = 1,
+        lut: "IntervalLUT | None" = None,
+    ):
+        self.lut = lut if lut is not None else IntervalLUT()
+        if not 0 <= frame_selector < len(self.lut.frame_sizes):
+            raise ValueError(
+                f"frame_selector {frame_selector} out of range "
+                f"[0, {len(self.lut.frame_sizes)})"
+            )
+        if not 0 <= min_level < N_INTERVALS:
+            raise ValueError(f"min_level {min_level} out of range [0, {N_INTERVALS})")
+        if not min_level <= initial_level < N_INTERVALS:
+            raise ValueError(
+                f"initial_level {initial_level} out of range [{min_level}, {N_INTERVALS})"
+            )
+        self.frame_selector = frame_selector
+        self.weights = weights if weights is not None else FixedWeights.from_floats()
+        self.min_level = min_level
+        self.initial_level = initial_level
+
+        self.frame_size = self.lut.frame_size(frame_selector)
+        self._intervals = self.lut.entry(frame_selector)
+
+        # Sequential elements (Fig. 4).
+        self.in_reg = Register(1, name="In_reg")
+        self.frame_counter = Counter(self.COUNTER_WIDTH, name="frame_counter")
+        self.ones_counter = Counter(self.COUNTER_WIDTH, name="ones_counter")
+        self.history = ShiftRegister(
+            self.COUNTER_WIDTH, self.HISTORY_DEPTH, name="N_one"
+        )
+        self.set_vth_reg = Register(
+            self.LEVEL_WIDTH, reset_value=initial_level, name="Set_Vth"
+        )
+        self._cycles = 0
+
+    # ------------------------------------------------------------------
+    # Combinational predictor
+    # ------------------------------------------------------------------
+    def _predict_level(self, avr: int) -> int:
+        """Listing 1: priority comparison of AVR against the interval LUT.
+
+        ``if AVR >= interval_level_15: 15; elif ... >= interval_level_2: 2;
+        else: min_level`` — levels 0 and 1 share the floor because the
+        listing's final ``else`` clause assigns 1.
+        """
+        for level in range(N_INTERVALS - 1, self.min_level, -1):
+            if avr >= self._intervals[level]:
+                return level
+        return self.min_level
+
+    # ------------------------------------------------------------------
+    # Clocked behaviour
+    # ------------------------------------------------------------------
+    def step(self, d_in: int, enable: bool = True) -> DTCStepOutput:
+        """Advance one system-clock cycle.
+
+        ``d_in`` is the raw asynchronous comparator bit; it is first
+        captured by ``In_reg`` and the registered value drives the
+        counters, exactly as in the block diagram.
+        """
+        if not enable:
+            return DTCStepOutput(
+                set_vth=self.set_vth_reg.q,
+                d_out=self.in_reg.q,
+                end_of_frame=False,
+                n_one=self.ones_counter.q,
+            )
+
+        self.in_reg.load(1 if d_in else 0)
+        d = self.in_reg.q
+
+        level_in_effect = self.set_vth_reg.q
+
+        self.ones_counter.tick(enable=bool(d))
+        self.frame_counter.tick()
+
+        end_of_frame = self.frame_counter.q >= self.frame_size
+        avr = None
+        if end_of_frame:
+            self.history.shift_in(self.ones_counter.q)
+            n_one1, n_one2, n_one3 = self.history.taps()
+            avr = self.weights.average(n_one1, n_one2, n_one3)
+            self.set_vth_reg.load(self._predict_level(avr))
+            self.ones_counter.clear()
+            self.frame_counter.clear()
+
+        self._cycles += 1
+        return DTCStepOutput(
+            set_vth=level_in_effect,
+            d_out=d,
+            end_of_frame=end_of_frame,
+            n_one=self.ones_counter.q,
+            avr=avr,
+        )
+
+    def run(self, d_in: np.ndarray) -> "dict[str, np.ndarray]":
+        """Run the controller over a whole ``d_in`` stream.
+
+        Returns per-cycle traces: ``set_vth`` (level in effect each
+        cycle), ``d_out``, ``end_of_frame`` and per-frame summaries
+        ``frame_levels`` (level selected at each frame boundary) and
+        ``frame_ones`` (ones count of each completed frame).
+        """
+        d_in = np.asarray(d_in).astype(np.uint8)
+        n = d_in.size
+        set_vth = np.empty(n, dtype=np.int64)
+        d_out = np.empty(n, dtype=np.uint8)
+        eof = np.zeros(n, dtype=bool)
+        frame_levels = []
+        frame_ones = []
+        for i in range(n):
+            out = self.step(int(d_in[i]))
+            set_vth[i] = out.set_vth
+            d_out[i] = out.d_out
+            eof[i] = out.end_of_frame
+            if out.end_of_frame:
+                # After the end-of-frame shift the newest history tap holds
+                # exactly the ones count of the frame that just closed.
+                frame_ones.append(self.history[self.HISTORY_DEPTH - 1])
+                frame_levels.append(self.set_vth_reg.q)
+        return {
+            "set_vth": set_vth,
+            "d_out": d_out,
+            "end_of_frame": eof,
+            "frame_levels": np.asarray(frame_levels, dtype=np.int64),
+            "frame_ones": np.asarray(frame_ones, dtype=np.int64),
+        }
+
+    def reset(self) -> None:
+        """Asynchronous reset (RST pin)."""
+        self.in_reg.reset()
+        self.frame_counter.clear()
+        self.ones_counter.clear()
+        self.history.reset()
+        self.set_vth_reg.reset()
+        self._cycles = 0
+
+    @property
+    def cycles_elapsed(self) -> int:
+        """Clock cycles executed since reset."""
+        return self._cycles
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Total sequential bits (used by the hardware cost model)."""
+        return (
+            self.in_reg.n_flip_flops
+            + self.frame_counter.n_flip_flops
+            + self.ones_counter.n_flip_flops
+            + self.history.n_flip_flops
+            + self.set_vth_reg.n_flip_flops
+        )

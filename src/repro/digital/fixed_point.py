@@ -1,0 +1,132 @@
+"""Fixed-point arithmetic helpers for the hardware DTC model.
+
+The D-ATC predictor weights (1, 0.65, 0.35) are real numbers; in the
+synthesized DTC they become binary fractions.  This module provides the
+Q-format conversion used by the cycle-accurate model and documents a happy
+numerical accident the implementation exploits: in Q8,
+
+``round(1.00 * 256) + round(0.65 * 256) + round(0.35 * 256)
+  = 256 + 166 + 90 = 512 = 2 * 256``
+
+so the paper's ``/ 2`` denominator (the weights sum to 2) is exactly a
+9-bit right shift — the weighted average needs no divider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "to_fixed",
+    "from_fixed",
+    "quantize_weights",
+    "FixedWeights",
+    "DEFAULT_WEIGHT_FRAC_BITS",
+]
+
+DEFAULT_WEIGHT_FRAC_BITS = 8
+
+
+def to_fixed(value: float, frac_bits: int) -> int:
+    """Round a real value to an unsigned fixed-point integer.
+
+    ``value`` must be non-negative (the DTC datapath is unsigned
+    throughout: counts of ones and positive weights).
+    """
+    if frac_bits < 0:
+        raise ValueError(f"frac_bits must be non-negative, got {frac_bits}")
+    if value < 0:
+        raise ValueError(f"unsigned fixed point requires value >= 0, got {value}")
+    return int(round(value * (1 << frac_bits)))
+
+
+def from_fixed(raw: int, frac_bits: int) -> float:
+    """Convert a fixed-point integer back to a float."""
+    if frac_bits < 0:
+        raise ValueError(f"frac_bits must be non-negative, got {frac_bits}")
+    return raw / float(1 << frac_bits)
+
+
+def quantize_weights(
+    weights: "tuple[float, ...]", frac_bits: int = DEFAULT_WEIGHT_FRAC_BITS
+) -> "tuple[int, ...]":
+    """Quantise predictor weights to integers in Q(frac_bits)."""
+    return tuple(to_fixed(w, frac_bits) for w in weights)
+
+
+@dataclass(frozen=True)
+class FixedWeights:
+    """The quantised predictor weights plus the shift implementing ``/2``.
+
+    Attributes
+    ----------
+    w1, w2, w3:
+        Integer weights for the oldest, middle, and newest frame counts
+        (paper order: ``W_F1 = 0.35``, ``W_F2 = 0.65``, ``W_F3 = 1``).
+    frac_bits:
+        Q-format fractional bits used for the weights.
+    shift:
+        Right shift applied to the weighted sum; equals
+        ``frac_bits + 1`` because the paper divides the sum by 2.
+    """
+
+    w1: int
+    w2: int
+    w3: int
+    frac_bits: int = DEFAULT_WEIGHT_FRAC_BITS
+
+    def __post_init__(self) -> None:
+        for name, w in (("w1", self.w1), ("w2", self.w2), ("w3", self.w3)):
+            if w < 0:
+                raise ValueError(f"{name} must be non-negative, got {w}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be non-negative, got {self.frac_bits}")
+
+    @property
+    def shift(self) -> int:
+        """Right shift implementing the ``/ 2`` of paper Listing 1."""
+        return self.frac_bits + 1
+
+    @classmethod
+    def from_floats(
+        cls,
+        weights: "tuple[float, float, float]" = (0.35, 0.65, 1.0),
+        frac_bits: int = DEFAULT_WEIGHT_FRAC_BITS,
+    ) -> "FixedWeights":
+        """Quantise the paper's float weights (oldest first)."""
+        w1, w2, w3 = quantize_weights(weights, frac_bits)
+        return cls(w1=w1, w2=w2, w3=w3, frac_bits=frac_bits)
+
+    def average(self, n_one1: int, n_one2: int, n_one3: int) -> int:
+        """Integer weighted average: ``(w3*n3 + w2*n2 + w1*n1) >> shift``.
+
+        This is the exact arithmetic of the synthesized block; the
+        behavioural encoder reproduces it bit-for-bit in ``quantized``
+        mode.
+        """
+        acc = self.w3 * n_one3 + self.w2 * n_one2 + self.w1 * n_one1
+        return acc >> self.shift
+
+    def average_float(self, n_one1: float, n_one2: float, n_one3: float) -> float:
+        """The same average without truncation, for error analysis."""
+        acc = self.w3 * n_one3 + self.w2 * n_one2 + self.w1 * n_one1
+        return acc / float(1 << self.shift)
+
+    def max_error_vs(self, weights: "tuple[float, float, float]", frame_size: int) -> float:
+        """Worst-case |quantised - ideal| average over a frame.
+
+        Bounds the deviation introduced by Q-format rounding plus the final
+        truncating shift, for counts in ``[0, frame_size]``.  Used by tests
+        to show 8 fractional bits are sufficient for every legal frame
+        size.
+        """
+        scale = float(1 << self.frac_bits)
+        coeff_err = (
+            abs(self.w1 / scale - weights[0])
+            + abs(self.w2 / scale - weights[1])
+            + abs(self.w3 / scale - weights[2])
+        )
+        # /2 from the weight-sum denominator, +1 for the floor of the shift.
+        return coeff_err * frame_size / 2.0 + 1.0

@@ -1,0 +1,115 @@
+"""The precomputed Intervals look-up table of the DTC.
+
+Paper Eqn. (2) defines 16 interval levels as fixed fractions of the frame
+size::
+
+    interval_level_15 = 0.48 * frame_size
+    interval_level_14 = 0.45 * frame_size
+    ...
+    interval_level_1  = 0.06 * frame_size
+    interval_level_0  = 0.03 * frame_size
+
+i.e. ``interval_level_i = 0.03 * (i + 1) * frame_size``.  The paper's
+implementation note: "instead of multiplying constant numbers ... we
+considered a look-up table which stores the precalculated results of the
+products of Eqn. (2) with all possible frame_size to save area and
+computation time."  For the four legal frame sizes (100, 200, 400, 800)
+every product is an exact integer (multiples of 3, 6, 12, 24), so the LUT
+is exact — no rounding is involved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FRAME_SIZES",
+    "N_INTERVALS",
+    "INTERVAL_FRACTION_STEP",
+    "interval_fractions",
+    "interval_levels",
+    "IntervalLUT",
+]
+
+FRAME_SIZES = (100, 200, 400, 800)
+N_INTERVALS = 16
+INTERVAL_FRACTION_STEP = 0.03
+
+
+def interval_fractions(n_intervals: int = N_INTERVALS, step: float = INTERVAL_FRACTION_STEP) -> np.ndarray:
+    """The fractions 0.03, 0.06, ..., 0.48 of Eqn. (2)."""
+    if n_intervals < 2:
+        raise ValueError(f"n_intervals must be >= 2, got {n_intervals}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    return step * (np.arange(n_intervals) + 1)
+
+
+def interval_levels(frame_size: int, n_intervals: int = N_INTERVALS, step: float = INTERVAL_FRACTION_STEP) -> np.ndarray:
+    """Float interval levels for a given frame size (Eqn. 2)."""
+    if frame_size < 1:
+        raise ValueError(f"frame_size must be >= 1, got {frame_size}")
+    return interval_fractions(n_intervals, step) * frame_size
+
+
+class IntervalLUT:
+    """The hardware LUT: integer interval levels per frame selector.
+
+    ``entry(frame_selector)`` returns the 16 integer thresholds the
+    Predictor compares ``AVR`` against.  Entries are precomputed at
+    construction, exactly as the ROM in the synthesized block.
+    """
+
+    def __init__(
+        self,
+        frame_sizes: "tuple[int, ...]" = FRAME_SIZES,
+        n_intervals: int = N_INTERVALS,
+        step: float = INTERVAL_FRACTION_STEP,
+    ):
+        if not frame_sizes:
+            raise ValueError("frame_sizes must not be empty")
+        self.frame_sizes = tuple(int(f) for f in frame_sizes)
+        self.n_intervals = n_intervals
+        self.step = step
+        self._table = {
+            sel: tuple(
+                int(round(v)) for v in interval_levels(size, n_intervals, step)
+            )
+            for sel, size in enumerate(self.frame_sizes)
+        }
+
+    def entry(self, frame_selector: int) -> "tuple[int, ...]":
+        """All 16 integer interval levels for ``frame_selector``."""
+        if frame_selector not in self._table:
+            raise ValueError(
+                f"frame_selector {frame_selector} out of range "
+                f"[0, {len(self.frame_sizes)})"
+            )
+        return self._table[frame_selector]
+
+    def level(self, frame_selector: int, index: int) -> int:
+        """``interval_level_index`` for the selected frame size."""
+        levels = self.entry(frame_selector)
+        if not 0 <= index < self.n_intervals:
+            raise ValueError(f"index {index} out of range [0, {self.n_intervals})")
+        return levels[index]
+
+    def frame_size(self, frame_selector: int) -> int:
+        """The frame size selected by ``frame_selector``."""
+        if not 0 <= frame_selector < len(self.frame_sizes):
+            raise ValueError(
+                f"frame_selector {frame_selector} out of range "
+                f"[0, {len(self.frame_sizes)})"
+            )
+        return self.frame_sizes[frame_selector]
+
+    @property
+    def n_words(self) -> int:
+        """ROM size in words (for the hardware cost model)."""
+        return len(self.frame_sizes) * self.n_intervals
+
+    @property
+    def word_width_bits(self) -> int:
+        """Bits needed to store the largest entry."""
+        max_entry = max(max(levels) for levels in self._table.values())
+        return max(1, int(max_entry).bit_length())

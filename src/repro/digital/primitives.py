@@ -1,0 +1,173 @@
+"""Cycle-accurate register-transfer primitives.
+
+These small classes model the sequential elements of Fig. 4 of the paper
+(counters, shift registers, registers, multiplexers) with explicit widths
+and wrap/saturate semantics, so that:
+
+* :mod:`repro.digital.dtc_rtl` can be written as a direct transcription of
+  the block diagram, and
+* :mod:`repro.hardware.netlist` can elaborate the same objects into a
+  gate-level cost estimate (every primitive knows its flip-flop and
+  combinational footprint).
+
+Update discipline: combinational reads happen freely; state changes only
+through the ``tick``/``load``/``shift_in`` methods, which model a single
+rising clock edge.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Register", "Counter", "ShiftRegister", "Mux", "mask_for_width"]
+
+
+def mask_for_width(width: int) -> int:
+    """Bit mask for an unsigned field of ``width`` bits."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return (1 << width) - 1
+
+
+class Register:
+    """A ``width``-bit register with synchronous load and async reset."""
+
+    def __init__(self, width: int, reset_value: int = 0, name: str = "reg"):
+        self.width = width
+        self._mask = mask_for_width(width)
+        if not 0 <= reset_value <= self._mask:
+            raise ValueError(
+                f"reset_value {reset_value} does not fit in {width} bits"
+            )
+        self.reset_value = reset_value
+        self.name = name
+        self._q = reset_value
+
+    @property
+    def q(self) -> int:
+        """Current register output."""
+        return self._q
+
+    def load(self, d: int) -> None:
+        """Clock in a new value (truncated to the register width)."""
+        self._q = int(d) & self._mask
+
+    def reset(self) -> None:
+        """Asynchronous reset to the reset value."""
+        self._q = self.reset_value
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Sequential cost: one flip-flop per bit."""
+        return self.width
+
+    def __repr__(self) -> str:
+        return f"Register({self.name}, width={self.width}, q={self._q})"
+
+
+class Counter:
+    """A ``width``-bit up-counter with synchronous enable and clear.
+
+    ``saturate=True`` holds at full scale instead of wrapping; the DTC's
+    ``N_one`` counter can never overflow by construction (it is cleared
+    every frame and ``frame_size <= 800 < 2**10``) but the model checks
+    that invariant rather than assuming it.
+    """
+
+    def __init__(self, width: int, saturate: bool = False, name: str = "counter"):
+        self.width = width
+        self._mask = mask_for_width(width)
+        self.saturate = saturate
+        self.name = name
+        self._q = 0
+
+    @property
+    def q(self) -> int:
+        """Current count."""
+        return self._q
+
+    def tick(self, enable: bool = True) -> int:
+        """Advance one clock; increments when ``enable``.  Returns count."""
+        if enable:
+            if self._q == self._mask:
+                self._q = self._mask if self.saturate else 0
+            else:
+                self._q += 1
+        return self._q
+
+    def clear(self) -> None:
+        """Synchronous clear."""
+        self._q = 0
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Sequential cost: one flip-flop per bit."""
+        return self.width
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}, width={self.width}, q={self._q})"
+
+
+class ShiftRegister:
+    """A bank of ``depth`` registers of ``width`` bits shifting as a queue.
+
+    ``shift_in(v)`` models the DTC history update ``N_one1 <- N_one2;
+    N_one2 <- N_one3; N_one3 <- v`` (index 0 is the oldest entry).
+    """
+
+    def __init__(self, width: int, depth: int, name: str = "shreg"):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.name = name
+        self._regs = [Register(width, name=f"{name}[{i}]") for i in range(depth)]
+
+    def shift_in(self, value: int) -> None:
+        """Shift every stage towards index 0 and load ``value`` at the end."""
+        for i in range(self.depth - 1):
+            self._regs[i].load(self._regs[i + 1].q)
+        self._regs[-1].load(value)
+
+    def taps(self) -> "tuple[int, ...]":
+        """All stage outputs, oldest first."""
+        return tuple(r.q for r in self._regs)
+
+    def __getitem__(self, i: int) -> int:
+        return self._regs[i].q
+
+    def reset(self) -> None:
+        """Reset every stage."""
+        for r in self._regs:
+            r.reset()
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Sequential cost of the whole bank."""
+        return self.width * self.depth
+
+    def __repr__(self) -> str:
+        return f"ShiftRegister({self.name}, width={self.width}, depth={self.depth})"
+
+
+class Mux:
+    """A combinational ``n``-way multiplexer over equal-width inputs."""
+
+    def __init__(self, n_inputs: int, width: int, name: str = "mux"):
+        if n_inputs < 2:
+            raise ValueError(f"n_inputs must be >= 2, got {n_inputs}")
+        self.n_inputs = n_inputs
+        self.width = width
+        self._mask = mask_for_width(width)
+        self.name = name
+
+    def select(self, inputs: "tuple[int, ...] | list[int]", sel: int) -> int:
+        """Return ``inputs[sel]`` (range-checked, width-truncated)."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"{self.name}: expected {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        if not 0 <= sel < self.n_inputs:
+            raise ValueError(f"{self.name}: select {sel} out of range")
+        return int(inputs[sel]) & self._mask
+
+    def __repr__(self) -> str:
+        return f"Mux({self.name}, n_inputs={self.n_inputs}, width={self.width})"

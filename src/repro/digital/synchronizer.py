@@ -1,0 +1,143 @@
+"""Clock-domain crossing model for the asynchronous comparator output.
+
+Paper Sec. III-C: "Since the input signal is not synchronous, and
+metastability can occur whether an asynchronous event is sampled by the
+DTC, an internal register ``In_reg`` is placed to make data-flow
+synchronous with clock."
+
+The model samples a continuous-time (dense-rate) bit stream at the DTC
+clock instants through a chain of flip-flops; optionally, samples falling
+inside a small aperture around an input transition resolve to a random
+value, which is how metastability manifests at the system level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Synchronizer", "sample_at_clock"]
+
+
+def sample_at_clock(
+    dense_bits: np.ndarray, dense_fs: float, clock_hz: float, n_clocks: "int | None" = None
+) -> np.ndarray:
+    """Sample a dense {0,1} stream at rising clock edges.
+
+    Clock edge ``k`` (k = 1..n) falls at time ``k / clock_hz`` and captures
+    the most recent dense sample (zero-order hold of the comparator
+    output).  Returns a uint8 array of length ``n_clocks`` (defaulting to
+    the number of whole clock periods covered by the input).
+    """
+    dense_bits = np.asarray(dense_bits)
+    if dense_fs <= 0 or clock_hz <= 0:
+        raise ValueError("dense_fs and clock_hz must be positive")
+    duration = dense_bits.size / dense_fs
+    max_clocks = int(np.floor(duration * clock_hz))
+    if n_clocks is None:
+        n_clocks = max_clocks
+    elif n_clocks > max_clocks:
+        raise ValueError(
+            f"n_clocks={n_clocks} exceeds the {max_clocks} whole clock periods available"
+        )
+    # Clock edge k falls at t_k = k / clock_hz; the flop captures the dense
+    # sample active just before the edge: ceil(t_k * fs - eps) - 1.  The
+    # epsilon keeps exact rate ratios (e.g. equal rates) transparent in
+    # the face of floating-point rounding.
+    edges = np.ceil(np.arange(1, n_clocks + 1) * (dense_fs / clock_hz) - 1e-9).astype(
+        np.int64
+    ) - 1
+    edges = np.clip(edges, 0, dense_bits.size - 1)
+    return dense_bits[edges].astype(np.uint8)
+
+
+@dataclass
+class Synchronizer:
+    """An ``n_stages`` flip-flop synchronizer with a metastability model.
+
+    Attributes
+    ----------
+    n_stages:
+        Flip-flops in the chain.  The paper uses a single ``In_reg``;
+         2 is the conventional double-flop.  Each stage adds one clock
+        cycle of latency.
+    metastability_window_s:
+        Aperture around an input transition within which the sampled value
+        is unresolved.  With the default 0 the synchronizer is ideal.
+    """
+
+    n_stages: int = 1
+    metastability_window_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {self.n_stages}")
+        if self.metastability_window_s < 0:
+            raise ValueError("metastability_window_s must be non-negative")
+
+    @property
+    def latency_clocks(self) -> int:
+        """Pipeline latency introduced by the chain."""
+        return self.n_stages
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Sequential cost (for the hardware model)."""
+        return self.n_stages
+
+    def synchronize(
+        self,
+        dense_bits: np.ndarray,
+        dense_fs: float,
+        clock_hz: float,
+        rng: "np.random.Generator | None" = None,
+        n_clocks: "int | None" = None,
+    ) -> np.ndarray:
+        """Sample ``dense_bits`` at ``clock_hz`` through the FF chain.
+
+        Returns the synchronized stream, same length as the raw sampled
+        stream: the first ``n_stages - 1`` outputs are the reset value 0
+        and the rest are the sampled values delayed by the chain.
+        """
+        raw = sample_at_clock(dense_bits, dense_fs, clock_hz, n_clocks=n_clocks)
+
+        if self.metastability_window_s > 0:
+            if rng is None:
+                raise ValueError("metastability_window_s > 0 requires an rng")
+            raw = self._apply_metastability(raw, dense_bits, dense_fs, clock_hz, rng)
+
+        if self.n_stages == 1:
+            return raw
+        delay = self.n_stages - 1
+        out = np.zeros_like(raw)
+        out[delay:] = raw[: raw.size - delay]
+        return out
+
+    def _apply_metastability(
+        self,
+        sampled: np.ndarray,
+        dense_bits: np.ndarray,
+        dense_fs: float,
+        clock_hz: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Randomise samples whose clock edge is within the aperture of a transition."""
+        dense_bits = np.asarray(dense_bits)
+        transitions = np.flatnonzero(np.diff(dense_bits.astype(np.int8)) != 0) + 1
+        if transitions.size == 0:
+            return sampled
+        transition_times = transitions / dense_fs
+        edge_times = np.arange(1, sampled.size + 1) / clock_hz
+        out = sampled.copy()
+        # For each clock edge find the nearest transition time.
+        idx = np.searchsorted(transition_times, edge_times)
+        for k, t in enumerate(edge_times):
+            best = np.inf
+            if idx[k] < transition_times.size:
+                best = min(best, abs(transition_times[idx[k]] - t))
+            if idx[k] > 0:
+                best = min(best, abs(transition_times[idx[k] - 1] - t))
+            if best <= self.metastability_window_s:
+                out[k] = rng.integers(0, 2)
+        return out

@@ -1,0 +1,34 @@
+"""Synthesis cost model: cell library, DTC netlist, area and power."""
+
+from .cells import CellLibrary, StdCell, hv180_library
+from .netlist import Netlist, build_dtc_netlist
+from .power import ActivityProfile, PowerReport, activity_from_rtl, estimate_power
+from .report import PAPER_TABLE1, TableOne, generate_table1
+from .synthesis import SynthesisReport, synthesize
+from .timing import TimingParameters, TimingReport, estimate_timing
+from .verilog import generate_dtc_verilog
+from .verilog_sim import ParsedDTC, parse_dtc_verilog, simulate_dtc_verilog
+
+__all__ = [
+    "CellLibrary",
+    "StdCell",
+    "hv180_library",
+    "Netlist",
+    "build_dtc_netlist",
+    "ActivityProfile",
+    "PowerReport",
+    "activity_from_rtl",
+    "estimate_power",
+    "PAPER_TABLE1",
+    "TableOne",
+    "generate_table1",
+    "SynthesisReport",
+    "synthesize",
+    "TimingParameters",
+    "TimingReport",
+    "estimate_timing",
+    "generate_dtc_verilog",
+    "ParsedDTC",
+    "parse_dtc_verilog",
+    "simulate_dtc_verilog",
+]

@@ -1,0 +1,162 @@
+"""Structural elaboration of the DTC into standard cells.
+
+The gate-count formulas below transcribe the Fig. 4 architecture block by
+block, as a synthesis tool would map it after constant propagation:
+
+* sequential: ``In_reg`` + frame counter + ones counter + the 3-deep
+  ``N_one`` history + ``Set_Vth`` + ``End_of_frame`` flag;
+* two ripple incrementers (half-adder chains with carry gating);
+* the end-of-frame equality comparator against the (muxed) frame size;
+* the Predictor's shift-and-add weighted average — the Q8 weights 166 and
+  90 each have popcount 4, so each constant multiply is 3 adders and the
+  final accumulation 2 more (the ``>> 9`` is wiring);
+* 15 constant-threshold magnitude comparators plus the priority encoder
+  of Listing 1 (constant comparison simplifies to ~width/2 gates each);
+* the Intervals "LUT", which constant-folds to a 2-bit barrel shift
+  (the four frame sizes scale the base constants by exact powers of two);
+* the debug/state output mux of the 8-bit ``Dbg_state`` port;
+* control/glue plus a post-synthesis buffer allowance.
+
+Every block's count scales with the architecture parameters (counter
+width, DAC bits, number of frame sizes), so the ablation benches get
+meaningful area/power trends, and the default configuration is anchored
+near Table I (512 cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import DATCConfig
+from ..digital.dtc_rtl import DTCPorts
+from ..digital.fixed_point import FixedWeights
+
+__all__ = ["Netlist", "build_dtc_netlist"]
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """A flat cell-count netlist plus port metadata.
+
+    Attributes
+    ----------
+    name:
+        Top-level module name.
+    instances:
+        Mapping cell-type -> instance count.
+    ports:
+        The top-level port list (name, width, direction).
+    blocks:
+        Per-block cell budgets, for reporting and ablation plots.
+    """
+
+    name: str
+    instances: "dict[str, int]"
+    ports: "tuple[tuple[str, int, str], ...]"
+    blocks: "dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        """Total placed cells."""
+        return sum(self.instances.values())
+
+    @property
+    def n_ports(self) -> int:
+        """Top-level ports (paper Table I: 12)."""
+        return len(self.ports)
+
+    @property
+    def n_sequential(self) -> int:
+        """Flip-flop count."""
+        return self.instances.get("DFFR", 0)
+
+    @property
+    def n_combinational(self) -> int:
+        """Combinational cell count."""
+        return self.n_cells - self.n_sequential
+
+
+def build_dtc_netlist(config: "DATCConfig | None" = None) -> Netlist:
+    """Elaborate the DTC for a given configuration.
+
+    The returned counts are the post-synthesis mapping estimate described
+    in the module docstring.
+    """
+    config = config if config is not None else DATCConfig()
+    width = max(int(max(config.frame_sizes)).bit_length(), 4)  # counters (paper: 10)
+    level_bits = config.dac_bits
+    n_levels = config.n_levels
+    n_frame_sizes = len(config.frame_sizes)
+    weights = FixedWeights.from_floats(config.weights, config.weight_frac_bits)
+    # Effective adder width after synthesis: the final ``>> (frac_bits+1)``
+    # lets the tool truncate low-order partial-sum bits, so the carry
+    # chains settle near the counter width rather than the full
+    # ``width + frac_bits`` accumulator.
+    sum_width = width + 2
+
+    instances: "dict[str, int]" = {}
+    blocks: "dict[str, int]" = {}
+
+    def add(block: str, cell: str, count: int) -> None:
+        if count <= 0:
+            return
+        instances[cell] = instances.get(cell, 0) + count
+        blocks[block] = blocks.get(block, 0) + count
+
+    # --- Sequential elements -------------------------------------------
+    n_ff = 1 + width + width + 3 * width + level_bits + 1  # Fig. 4 registers
+    add("registers", "DFFR", n_ff)
+
+    # --- Counters: ripple incrementers with enable gating ---------------
+    for _ in range(2):  # frame counter + ones counter
+        add("counters", "HA", width)
+        add("counters", "NAND2", width - 1)  # carry chain gating
+        add("counters", "AND3", 2)  # enable / clear strobes
+
+    # --- End-of-frame comparator (counter == muxed frame size) ----------
+    add("eof_compare", "XOR2", width)
+    add("eof_compare", "NOR2", (width + 2) // 3)
+    add("eof_compare", "AND3", 1)
+
+    # --- Frame-size select mux (n-to-1, counter width) ------------------
+    add("frame_mux", "MUX2", width * max(n_frame_sizes - 1, 0))
+
+    # --- Predictor: shift-and-add weighted average ----------------------
+    n_adders = max(_popcount(weights.w2) - 1, 0) + max(_popcount(weights.w1) - 1, 0) + 2
+    add("predictor_avg", "FA", n_adders * sum_width)
+
+    # --- Interval comparators + priority encoder (Listing 1) ------------
+    comparators = n_levels - 1
+    add("interval_compare", "NAND2", comparators * ((width + 1) // 2))
+    add("interval_compare", "INV", comparators)
+    add("priority_encoder", "AOI21", comparators)
+    add("priority_encoder", "NAND2", level_bits * 2)
+
+    # --- Intervals LUT: constant-folded barrel shift ---------------------
+    shift_stages = max(n_frame_sizes - 1, 0).bit_length()
+    add("interval_lut", "MUX2", width * shift_stages)
+
+    # --- Debug/state output mux (8-bit Dbg_state port) -------------------
+    add("debug_mux", "MUX2", 8 * 3)
+    add("debug_mux", "BUF", 8)
+
+    # --- Control / glue ---------------------------------------------------
+    add("control", "NAND2", 14)
+    add("control", "NOR2", 8)
+    add("control", "INV", 12)
+    add("control", "AND3", 6)
+
+    # --- Post-synthesis buffering / fanout fix (clock + high-fanout nets) -
+    comb_so_far = sum(instances.values()) - instances.get("DFFR", 0)
+    add("buffers", "BUF", round(0.10 * comb_so_far) + n_ff // 4)
+
+    return Netlist(
+        name="dtc_top",
+        instances=instances,
+        ports=DTCPorts().ports,
+        blocks=blocks,
+    )

@@ -1,0 +1,98 @@
+"""Table I generation: the paper's simulation-and-synthesis summary.
+
+Paper Table I (0.18 um HV CMOS, Synopsys):
+
+========================  =============
+Power supply              1.8 V
+System clock frequency    2 kHz
+Number of cells           512
+Number of ports           12
+Core area                 11700 um^2
+Dynamic power consumption ~70 nW
+========================  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import DATCConfig
+from .cells import CellLibrary, hv180_library
+from .netlist import build_dtc_netlist
+from .power import ActivityProfile, PowerReport, estimate_power
+from .synthesis import SynthesisReport, synthesize
+
+__all__ = ["TableOne", "PAPER_TABLE1", "generate_table1"]
+
+PAPER_TABLE1 = {
+    "power_supply_v": 1.8,
+    "clock_hz": 2000.0,
+    "n_cells": 512,
+    "n_ports": 12,
+    "core_area_um2": 11700.0,
+    "dynamic_power_nw": 70.0,
+}
+
+
+@dataclass(frozen=True)
+class TableOne:
+    """Our regenerated Table I plus the underlying reports."""
+
+    power_supply_v: float
+    clock_hz: float
+    n_cells: int
+    n_ports: int
+    core_area_um2: float
+    dynamic_power_nw: float
+    synthesis: SynthesisReport
+    power: PowerReport
+
+    def as_dict(self) -> "dict[str, float]":
+        """Rows keyed like :data:`PAPER_TABLE1` for direct comparison."""
+        return {
+            "power_supply_v": self.power_supply_v,
+            "clock_hz": self.clock_hz,
+            "n_cells": float(self.n_cells),
+            "n_ports": float(self.n_ports),
+            "core_area_um2": self.core_area_um2,
+            "dynamic_power_nw": self.dynamic_power_nw,
+        }
+
+    def format_table(self) -> str:
+        """Side-by-side paper-vs-model text table."""
+        rows = [
+            ("Power supply", f"{PAPER_TABLE1['power_supply_v']:.1f} V", f"{self.power_supply_v:.1f} V"),
+            ("System clock frequency", "2 kHz", f"{self.clock_hz / 1000:.0f} kHz"),
+            ("Number of cells", "512", f"{self.n_cells}"),
+            ("Number of ports", "12", f"{self.n_ports}"),
+            ("Core area", "11700 um^2", f"{self.core_area_um2:.0f} um^2"),
+            ("Dynamic power consumption", "~70 nW", f"{self.dynamic_power_nw:.1f} nW"),
+        ]
+        header = f"{'quantity':<28}{'paper':>14}{'model':>14}"
+        lines = [header, "-" * len(header)]
+        lines += [f"{q:<28}{p:>14}{m:>14}" for q, p, m in rows]
+        return "\n".join(lines)
+
+
+def generate_table1(
+    config: "DATCConfig | None" = None,
+    library: "CellLibrary | None" = None,
+    clock_hz: float = 2000.0,
+    activity: "ActivityProfile | None" = None,
+) -> TableOne:
+    """Regenerate Table I for a DTC configuration."""
+    config = config if config is not None else DATCConfig()
+    library = library if library is not None else hv180_library()
+    netlist = build_dtc_netlist(config)
+    syn = synthesize(netlist, library)
+    power = estimate_power(netlist, library, clock_hz=clock_hz, activity=activity)
+    return TableOne(
+        power_supply_v=library.vdd_v,
+        clock_hz=clock_hz,
+        n_cells=syn.n_cells,
+        n_ports=syn.n_ports,
+        core_area_um2=syn.core_area_um2,
+        dynamic_power_nw=power.dynamic_nw,
+        synthesis=syn,
+        power=power,
+    )

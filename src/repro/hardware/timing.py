@@ -1,0 +1,127 @@
+"""Static timing model for the DTC.
+
+The paper's flow runs post-synthesis timing analysis; this module provides
+the analytical equivalent: a per-stage delay budget of the DTC's critical
+path (the end-of-frame path: ones counter -> weighted sum -> interval
+comparison -> priority encoder -> ``Set_Vth`` setup) in a high-voltage
+0.18 um process, and the resulting maximum clock.
+
+The result makes the paper's operating point vivid: the block closes
+timing in tens of nanoseconds while the application clocks it at 2 kHz —
+six orders of magnitude of slack, which is why synthesis can minimise
+area (ripple carry everywhere) and why voltage scaling has so much room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import DATCConfig
+from ..digital.fixed_point import FixedWeights
+
+__all__ = ["TimingParameters", "TimingReport", "estimate_timing"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Per-cell delays of the HV 0.18 um library (worst-case corner, ns)."""
+
+    clk_to_q_ns: float = 0.65
+    setup_ns: float = 0.35
+    full_adder_ns: float = 0.48   # carry-in to carry-out
+    mux_ns: float = 0.30
+    gate_ns: float = 0.18         # basic NAND/NOR stage
+    comparator_bit_ns: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clk_to_q_ns",
+            "setup_ns",
+            "full_adder_ns",
+            "mux_ns",
+            "gate_ns",
+            "comparator_bit_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Critical-path breakdown and derived clock limits."""
+
+    stages: "dict[str, float]" = field(default_factory=dict)
+    clock_hz: float = 2000.0
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Total register-to-register delay of the worst path."""
+        return sum(self.stages.values())
+
+    @property
+    def f_max_hz(self) -> float:
+        """Maximum clock frequency the path supports."""
+        return 1e9 / self.critical_path_ns
+
+    @property
+    def slack_at_clock_s(self) -> float:
+        """Positive slack at the operating clock (paper: 2 kHz)."""
+        return 1.0 / self.clock_hz - self.critical_path_ns * 1e-9
+
+    @property
+    def slack_ratio(self) -> float:
+        """How many times faster than required the logic is."""
+        return self.f_max_hz / self.clock_hz
+
+    def format_table(self) -> str:
+        """Per-stage text breakdown."""
+        lines = [f"{'stage':<28}{'delay (ns)':>12}"]
+        lines.append("-" * 40)
+        for stage, delay in self.stages.items():
+            lines.append(f"{stage:<28}{delay:>12.2f}")
+        lines.append("-" * 40)
+        lines.append(f"{'critical path':<28}{self.critical_path_ns:>12.2f}")
+        lines.append(f"f_max = {self.f_max_hz / 1e6:.1f} MHz; at "
+                     f"{self.clock_hz / 1e3:.0f} kHz the slack ratio is "
+                     f"{self.slack_ratio:,.0f}x")
+        return "\n".join(lines)
+
+
+def estimate_timing(
+    config: "DATCConfig | None" = None,
+    params: "TimingParameters | None" = None,
+    clock_hz: float = 2000.0,
+) -> TimingReport:
+    """Walk the end-of-frame critical path of the DTC.
+
+    Path: ones-counter Q -> +1 ripple increment -> three-term weighted sum
+    (two shift-add partial products in series with the accumulation, all
+    ripple carry) -> widest interval comparison -> priority encoder ->
+    ``Set_Vth`` setup.
+    """
+    config = config if config is not None else DATCConfig()
+    params = params if params is not None else TimingParameters()
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+
+    weights = FixedWeights.from_floats(config.weights, config.weight_frac_bits)
+    cnt_w = max(int(max(config.frame_sizes)).bit_length(), 4)
+    acc_w = cnt_w + config.weight_frac_bits + 2
+
+    # Shift-add partial-product depth: popcount-1 adders per constant
+    # multiply, plus the final two accumulations, rippling acc_w bits.
+    def popcount(x: int) -> int:
+        return bin(x).count("1")
+
+    adder_levels = max(popcount(weights.w2) - 1, popcount(weights.w1) - 1, 0) + 2
+
+    stages = {
+        "ones counter clk-to-q": params.clk_to_q_ns,
+        "counter increment (ripple)": cnt_w * params.full_adder_ns * 0.5,
+        "weighted sum (shift-add)": adder_levels * acc_w * params.full_adder_ns * 0.25
+        + acc_w * params.full_adder_ns * 0.5,
+        "interval comparison": cnt_w * params.comparator_bit_ns,
+        "priority encoder": (config.n_levels - 1) * params.gate_ns * 0.5,
+        "level mux + setup": params.mux_ns + params.setup_ns,
+    }
+    return TimingReport(stages=stages, clock_hz=clock_hz)

@@ -1,0 +1,178 @@
+"""Executable semantics for the emitted DTC Verilog.
+
+We cannot ship Modelsim, but we can still *execute* the RTL we emit:
+this module parses the constants baked into the generated text — the
+frame-size mux, the Intervals LUT entries, the Q-format weights, the
+shift, the reset/floor levels — and runs the module's documented
+clocked semantics on a ``D_in`` stream.
+
+The point is closing the code-generation loop: if
+:func:`repro.hardware.verilog.generate_dtc_verilog` ever bakes a wrong
+constant or drops a priority-chain branch, simulation of the *text*
+diverges from :class:`repro.digital.dtc_rtl.DTCRtl` and the equivalence
+tests catch it.  The interpreter deliberately reads everything from the
+Verilog source, not from the config object.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParsedDTC", "parse_dtc_verilog", "simulate_dtc_verilog"]
+
+
+@dataclass(frozen=True)
+class ParsedDTC:
+    """Constants recovered from the generated Verilog text."""
+
+    frame_sizes: "tuple[int, ...]"
+    interval_tables: "tuple[tuple[int, ...], ...]"  # per frame selector
+    w1: int
+    w2: int
+    w3: int
+    shift: int
+    reset_level: int
+    floor_level: int
+    priority_levels: "tuple[int, ...]"  # descending order of the if-chain
+
+    @property
+    def n_levels(self) -> int:
+        """Levels per interval table."""
+        return len(self.interval_tables[0])
+
+
+def parse_dtc_verilog(text: str) -> ParsedDTC:
+    """Recover the DTC's constants from its generated Verilog."""
+    # Frame-size mux entries: "<sel_bits>'d<sel>: frame_size = <w>'d<size>;"
+    frame_entries = re.findall(r"'d(\d+): frame_size = \d+'d(\d+);", text)
+    if not frame_entries:
+        raise ValueError("no frame-size mux found; is this a generated DTC module?")
+    frame_sizes = tuple(
+        int(size) for _, size in sorted(frame_entries, key=lambda kv: int(kv[0]))
+    )
+
+    # Interval LUT: per selector block, "interval_level[i] = <w>'d<value>;".
+    # Case arms appear in selector order, then a default block (ignored by
+    # taking only the first len(frame_sizes) blocks).
+    blocks = re.split(r"'d\d+: begin", text)[1:]
+    tables = []
+    for block in blocks[: len(frame_sizes)]:
+        # Truncate at the arm's closing "end" so the trailing default
+        # block (which repeats selector 0's entries) is not absorbed
+        # into the last table.
+        block = block.split("\n            end")[0]
+        entries = re.findall(r"interval_level\[(\d+)\] = \d+'d(\d+);", block)
+        if entries:
+            table = [0] * (max(int(i) for i, _ in entries) + 1)
+            for i, value in entries:
+                table[int(i)] = int(value)
+            tables.append(tuple(table))
+    if len(tables) != len(frame_sizes):
+        raise ValueError(
+            f"found {len(tables)} interval tables for {len(frame_sizes)} frame sizes"
+        )
+
+    weights = re.search(
+        r"(\d+) \* count_now \+ (\d+) \* n_one3 \+\s*\n?\s*(\d+) \* n_one2;", text
+    )
+    if weights is None:
+        raise ValueError("weighted-sum expression not found")
+    w3, w2, w1 = (int(g) for g in weights.groups())
+
+    shift = re.search(r"weighted_sum >> (\d+);", text)
+    if shift is None:
+        raise ValueError("accumulator shift not found")
+
+    reset = re.search(r"Set_Vth       <= \d+'d(\d+);", text)
+    if reset is None:
+        raise ValueError("reset level not found")
+
+    chain = re.findall(r"\(avr >= interval_level\[(\d+)\]\)", text)
+    if not chain:
+        raise ValueError("priority chain not found")
+    floor = re.findall(r"next_level = \d+'d(\d+);", text)
+
+    return ParsedDTC(
+        frame_sizes=frame_sizes,
+        interval_tables=tuple(tables),
+        w1=w1,
+        w2=w2,
+        w3=w3,
+        shift=int(shift.group(1)),
+        reset_level=int(reset.group(1)),
+        floor_level=int(floor[-1]),  # the final else branch
+        priority_levels=tuple(int(c) for c in chain),
+    )
+
+
+def simulate_dtc_verilog(
+    text: str,
+    d_in: np.ndarray,
+    frame_selector: int = 0,
+) -> "dict[str, np.ndarray]":
+    """Execute the generated module's clocked semantics on ``d_in``.
+
+    Returns per-cycle ``set_vth``, ``d_out`` and ``end_of_frame`` exactly
+    as the RTL's output ports would show them (``D_out`` is the
+    ``In_reg`` output, i.e. the input delayed by one clock).
+    """
+    parsed = parse_dtc_verilog(text)
+    if not 0 <= frame_selector < len(parsed.frame_sizes):
+        raise ValueError(
+            f"frame_selector {frame_selector} out of range "
+            f"[0, {len(parsed.frame_sizes)})"
+        )
+    frame_size = parsed.frame_sizes[frame_selector]
+    intervals = parsed.interval_tables[frame_selector]
+
+    d_in = np.asarray(d_in).astype(np.uint8)
+    n = d_in.size
+    set_vth_out = np.empty(n, dtype=np.int64)
+    d_out = np.empty(n, dtype=np.uint8)
+    eof_out = np.empty(n, dtype=bool)
+
+    # Registers (reset state).
+    in_reg = 0
+    frame_counter = 0
+    ones_counter = 0
+    n_one1 = n_one2 = n_one3 = 0
+    set_vth = parsed.reset_level
+    end_of_frame = 0
+
+    for k in range(n):
+        # --- combinational, evaluated with current register values ---
+        frame_done = (frame_counter + 1) == frame_size
+        ones_inc = in_reg
+        count_now = ones_counter + ones_inc
+        weighted = (
+            parsed.w3 * count_now + parsed.w2 * n_one3 + parsed.w1 * n_one2
+        )
+        avr = weighted >> parsed.shift
+        next_level = parsed.floor_level
+        for level in parsed.priority_levels:
+            if avr >= intervals[level]:
+                next_level = level
+                break
+
+        # Output ports reflect the register values *during* this cycle.
+        set_vth_out[k] = set_vth
+        d_out[k] = in_reg
+        eof_out[k] = bool(end_of_frame)
+
+        # --- clock edge: register updates ---
+        end_of_frame = 1 if frame_done else 0
+        if frame_done:
+            n_one1, n_one2, n_one3 = n_one2, n_one3, count_now
+            frame_counter = 0
+            ones_counter = 0
+            set_vth = next_level
+        else:
+            frame_counter += 1
+            if ones_inc:
+                ones_counter += 1
+        in_reg = int(d_in[k])
+
+    return {"set_vth": set_vth_out, "d_out": d_out, "end_of_frame": eof_out}

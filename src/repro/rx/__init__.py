@@ -1,0 +1,40 @@
+"""Receiver-side DSP: event-rate windowing, envelope reconstruction,
+correlation metrics."""
+
+from .calibration import (
+    ForceCalibration,
+    calibrate_mvc,
+    rmse_mvc,
+    tracking_report,
+)
+from .correlation import (
+    aligned_correlation_percent,
+    correlation_percent,
+    pearson_r,
+    resample_to_length,
+)
+from .reconstruction import (
+    level_zoh,
+    reconstruct_hybrid,
+    reconstruct_levels,
+    reconstruct_rate,
+)
+from .windowing import binned_counts, event_rate, exponential_rate
+
+__all__ = [
+    "ForceCalibration",
+    "calibrate_mvc",
+    "rmse_mvc",
+    "tracking_report",
+    "aligned_correlation_percent",
+    "correlation_percent",
+    "pearson_r",
+    "resample_to_length",
+    "level_zoh",
+    "reconstruct_hybrid",
+    "reconstruct_levels",
+    "reconstruct_rate",
+    "binned_counts",
+    "event_rate",
+    "exponential_rate",
+]

@@ -1,0 +1,123 @@
+"""Force calibration: envelope units -> fraction of MVC.
+
+The paper's protocol calibrates per subject with a Maximum Voluntary
+Contraction: "One second is the duration of MVC sustained with maximum
+contraction of which the mean value is taken."  This module reproduces
+that step on the receiver side — the reconstructed envelope (volts for
+D-ATC, events/s for ATC) is scaled by the mean value observed during the
+MVC window, after which estimates read directly in %MVC and *absolute*
+error metrics (not just correlation) become meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ForceCalibration", "calibrate_mvc", "rmse_mvc", "tracking_report"]
+
+
+@dataclass(frozen=True)
+class ForceCalibration:
+    """A per-subject linear calibration ``force = envelope / mvc_value``.
+
+    Attributes
+    ----------
+    mvc_value:
+        Mean envelope observed during the MVC calibration window, in the
+        envelope's own units.
+    window:
+        (start_s, stop_s) of the calibration window used.
+    """
+
+    mvc_value: float
+    window: "tuple[float, float]"
+
+    def __post_init__(self) -> None:
+        if self.mvc_value <= 0:
+            raise ValueError(
+                f"mvc_value must be positive, got {self.mvc_value} "
+                "(did the MVC window contain any signal?)"
+            )
+
+    def apply(self, envelope: np.ndarray) -> np.ndarray:
+        """Convert an envelope to fraction-of-MVC, clipped to [0, 1.5].
+
+        The ceiling allows modest overshoot above the calibration value
+        (real subjects exceed their calibration MVC occasionally) while
+        still bounding outliers.
+        """
+        force = np.asarray(envelope, dtype=float) / self.mvc_value
+        return np.clip(force, 0.0, 1.5)
+
+
+def calibrate_mvc(
+    envelope: np.ndarray,
+    fs: float,
+    window: "tuple[float, float] | None" = None,
+    mvc_duration_s: float = 1.0,
+) -> ForceCalibration:
+    """Derive a calibration from an envelope containing an MVC effort.
+
+    With an explicit ``window`` the mean over that span is used (the
+    paper's protocol).  Without one, the best ``mvc_duration_s``-long
+    window (highest mean) is found automatically — convenient when the
+    contraction timing is not annotated.
+    """
+    envelope = np.asarray(envelope, dtype=float)
+    if envelope.size == 0:
+        raise ValueError("cannot calibrate on an empty envelope")
+    if fs <= 0:
+        raise ValueError(f"fs must be positive, got {fs}")
+
+    if window is not None:
+        start, stop = window
+        i0, i1 = int(round(start * fs)), int(round(stop * fs))
+        if not 0 <= i0 < i1 <= envelope.size:
+            raise ValueError(f"window {window} outside the envelope span")
+        return ForceCalibration(
+            mvc_value=float(envelope[i0:i1].mean()), window=(start, stop)
+        )
+
+    span = max(1, int(round(mvc_duration_s * fs)))
+    if span >= envelope.size:
+        return ForceCalibration(
+            mvc_value=float(envelope.mean()), window=(0.0, envelope.size / fs)
+        )
+    csum = np.concatenate([[0.0], np.cumsum(envelope)])
+    window_means = (csum[span:] - csum[:-span]) / span
+    best = int(np.argmax(window_means))
+    return ForceCalibration(
+        mvc_value=float(window_means[best]),
+        window=(best / fs, (best + span) / fs),
+    )
+
+
+def rmse_mvc(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error between two %MVC traces of equal length."""
+    estimate = np.asarray(estimate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if estimate.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {estimate.shape} vs {reference.shape}")
+    if estimate.size == 0:
+        raise ValueError("cannot compute RMSE on empty traces")
+    return float(np.sqrt(np.mean((estimate - reference) ** 2)))
+
+
+def tracking_report(estimate: np.ndarray, reference: np.ndarray) -> "dict[str, float]":
+    """Absolute tracking metrics between calibrated %MVC traces.
+
+    Returns RMSE, mean absolute error, and peak error — the quantities a
+    prosthetics/exoskeleton integrator actually budgets for.
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if estimate.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {estimate.shape} vs {reference.shape}")
+    error = estimate - reference
+    return {
+        "rmse_mvc": float(np.sqrt(np.mean(error ** 2))),
+        "mae_mvc": float(np.mean(np.abs(error))),
+        "peak_error_mvc": float(np.max(np.abs(error))),
+    }

@@ -1,0 +1,72 @@
+"""Correlation metrics — the paper's figure of merit.
+
+The evaluation reports "% correlation w.r.t. raw muscle force": the Pearson
+correlation coefficient (x100) between the receiver-side reconstruction and
+the ARV envelope of the original sEMG.  Correlation is scale- and
+offset-invariant, which is what makes event-rate (ATC, arbitrary units) and
+threshold-level (D-ATC, volts) reconstructions directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pearson_r",
+    "correlation_percent",
+    "resample_to_length",
+    "aligned_correlation_percent",
+]
+
+
+def pearson_r(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient, defined as 0 for constant inputs.
+
+    A constant reconstruction carries no force information, so treating
+    its correlation as 0 (rather than NaN) gives degenerate encoders the
+    score they deserve in sweeps.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two samples to correlate")
+    da = a - a.mean()
+    db = b - b.mean()
+    denom = np.sqrt(np.sum(da * da) * np.sum(db * db))
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(np.sum(da * db) / denom, -1.0, 1.0))
+
+
+def correlation_percent(a: np.ndarray, b: np.ndarray) -> float:
+    """The paper's metric: ``100 * pearson_r``."""
+    return 100.0 * pearson_r(a, b)
+
+
+def resample_to_length(x: np.ndarray, n_out: int) -> np.ndarray:
+    """Linear-interpolation resample of ``x`` onto ``n_out`` points.
+
+    Used to bring a reconstruction (on the event-clock grid) and the
+    ground-truth envelope (on the dataset grid) onto a common time base;
+    both cover the same duration, so index space maps linearly.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot resample an empty array")
+    if n_out < 1:
+        raise ValueError(f"n_out must be >= 1, got {n_out}")
+    if x.size == n_out:
+        return x.copy()
+    src = np.linspace(0.0, 1.0, x.size)
+    dst = np.linspace(0.0, 1.0, n_out)
+    return np.interp(dst, src, x)
+
+
+def aligned_correlation_percent(
+    reconstruction: np.ndarray, reference: np.ndarray
+) -> float:
+    """Correlation % after resampling the reconstruction onto the reference grid."""
+    recon = resample_to_length(reconstruction, np.asarray(reference).size)
+    return correlation_percent(recon, reference)

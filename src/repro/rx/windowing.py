@@ -1,0 +1,59 @@
+"""Moving-window event-rate estimators (the receiver's "low-complexity
+windowing" used to recover force information from ATC pulse trains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.events import EventStream
+from ..signals.envelope import moving_average
+
+__all__ = ["binned_counts", "event_rate", "exponential_rate"]
+
+
+def binned_counts(stream: EventStream, fs_out: float) -> np.ndarray:
+    """Event counts in uniform bins of ``1 / fs_out`` seconds.
+
+    Returns an integer array of length ``floor(duration * fs_out)`` (the
+    uniform grid every reconstructor works on).
+    """
+    if fs_out <= 0:
+        raise ValueError(f"fs_out must be positive, got {fs_out}")
+    n = int(np.floor(stream.duration_s * fs_out))
+    if n == 0:
+        raise ValueError("duration too short for the requested output rate")
+    edges = np.arange(n + 1) / fs_out
+    counts, _ = np.histogram(stream.times, bins=edges)
+    return counts
+
+
+def event_rate(stream: EventStream, fs_out: float, window_s: float = 0.25) -> np.ndarray:
+    """Smoothed instantaneous event rate (Hz) on a uniform grid.
+
+    Bin the events at ``fs_out`` and average over a centred window of
+    ``window_s`` seconds — the classic ATC force decoder.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    counts = binned_counts(stream, fs_out)
+    window = max(1, int(round(window_s * fs_out)))
+    return moving_average(counts.astype(float), window) * fs_out
+
+
+def exponential_rate(stream: EventStream, fs_out: float, tau_s: float = 0.25) -> np.ndarray:
+    """Causal exponentially-smoothed event rate (Hz).
+
+    A first-order (leaky integrator) alternative to the moving window —
+    the cheapest hardware-friendly decoder.
+    """
+    if tau_s <= 0:
+        raise ValueError(f"tau_s must be positive, got {tau_s}")
+    counts = binned_counts(stream, fs_out).astype(float)
+    alpha = 1.0 - np.exp(-1.0 / (tau_s * fs_out))
+    out = np.empty_like(counts)
+    acc = 0.0
+    for i, c in enumerate(counts):
+        acc += alpha * (c - acc)
+        out[i] = acc
+    return out * fs_out

@@ -1,0 +1,89 @@
+"""sEMG signal substrate: force profiles, synthetic EMG, dataset, envelopes.
+
+This subpackage replaces the paper's 190 recorded sEMG patterns (not
+public) with a deterministic synthetic equivalent; see DESIGN.md for the
+substitution rationale.
+"""
+
+from .artifacts import add_motion_artifacts, add_powerline, add_spike_artifacts
+from .dataset import (
+    PAPER_DURATION_S,
+    PAPER_N_PATTERNS,
+    PAPER_N_SAMPLES,
+    PAPER_N_SUBJECTS,
+    PAPER_SAMPLE_RATE_HZ,
+    DatasetSpec,
+    Pattern,
+    default_dataset,
+)
+from .emg import EMGModel, shaped_noise, shwedyk_psd, synthesize_emg
+from .envelope import (
+    arv,
+    arv_envelope,
+    lowpass_envelope,
+    moving_average,
+    rectify,
+    rms_envelope,
+)
+from .io import (
+    export_events_csv,
+    load_event_stream,
+    load_pattern,
+    save_event_stream,
+    save_pattern,
+)
+from .force import (
+    concatenate_profiles,
+    constant_profile,
+    mvc_grip_protocol,
+    ramp_profile,
+    random_grip_protocol,
+    rest_profile,
+    sinusoidal_profile,
+    smooth_profile,
+    staircase_profile,
+    trapezoid_profile,
+)
+from .subjects import DEFAULT_N_SUBJECTS, Subject, sample_subjects
+
+__all__ = [
+    "export_events_csv",
+    "load_event_stream",
+    "load_pattern",
+    "save_event_stream",
+    "save_pattern",
+    "add_motion_artifacts",
+    "add_powerline",
+    "add_spike_artifacts",
+    "PAPER_DURATION_S",
+    "PAPER_N_PATTERNS",
+    "PAPER_N_SAMPLES",
+    "PAPER_N_SUBJECTS",
+    "PAPER_SAMPLE_RATE_HZ",
+    "DatasetSpec",
+    "Pattern",
+    "default_dataset",
+    "EMGModel",
+    "shaped_noise",
+    "shwedyk_psd",
+    "synthesize_emg",
+    "arv",
+    "arv_envelope",
+    "lowpass_envelope",
+    "moving_average",
+    "rectify",
+    "rms_envelope",
+    "concatenate_profiles",
+    "constant_profile",
+    "mvc_grip_protocol",
+    "ramp_profile",
+    "random_grip_protocol",
+    "rest_profile",
+    "sinusoidal_profile",
+    "smooth_profile",
+    "staircase_profile",
+    "trapezoid_profile",
+    "DEFAULT_N_SUBJECTS",
+    "Subject",
+    "sample_subjects",
+]

@@ -1,0 +1,131 @@
+"""Persistence for patterns and event streams.
+
+Recordings and encoded event streams can be saved to ``.npz`` archives so
+experiments can run on frozen data (or on *real* sEMG recordings dropped
+into the same format), and event streams can be exported to CSV for
+inspection in external tools.
+
+The archive format is versioned and self-describing: every array the
+object needs plus a small metadata header.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from ..core.events import EventStream
+from .dataset import Pattern
+from .emg import EMGModel
+from .subjects import Subject
+
+__all__ = [
+    "save_pattern",
+    "load_pattern",
+    "save_event_stream",
+    "load_event_stream",
+    "export_events_csv",
+    "FORMAT_VERSION",
+]
+
+FORMAT_VERSION = 1
+
+
+def save_pattern(path: str, pattern: Pattern) -> None:
+    """Save a pattern (signal + ground truth + subject model) to ``.npz``."""
+    model = pattern.subject.model
+    np.savez_compressed(
+        path,
+        format_version=FORMAT_VERSION,
+        kind="pattern",
+        pattern_id=pattern.pattern_id,
+        subject_id=pattern.subject.subject_id,
+        fs=pattern.fs,
+        emg=pattern.emg,
+        force=pattern.force,
+        model_gain_v=model.gain_v,
+        model_alpha=model.alpha,
+        model_noise_floor_v=model.noise_floor_v,
+        model_f_low=model.f_low,
+        model_f_high=model.f_high,
+    )
+
+
+def load_pattern(path: str) -> Pattern:
+    """Load a pattern saved by :func:`save_pattern`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_archive(data, "pattern")
+        model = EMGModel(
+            gain_v=float(data["model_gain_v"]),
+            alpha=float(data["model_alpha"]),
+            noise_floor_v=float(data["model_noise_floor_v"]),
+            f_low=float(data["model_f_low"]),
+            f_high=float(data["model_f_high"]),
+        )
+        subject = Subject(subject_id=int(data["subject_id"]), model=model)
+        return Pattern(
+            pattern_id=int(data["pattern_id"]),
+            subject=subject,
+            fs=float(data["fs"]),
+            emg=np.asarray(data["emg"], dtype=float),
+            force=np.asarray(data["force"], dtype=float),
+        )
+
+
+def save_event_stream(path: str, stream: EventStream) -> None:
+    """Save an event stream to ``.npz``."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "event_stream",
+        "times": stream.times,
+        "duration_s": stream.duration_s,
+        "clock_hz": stream.clock_hz,
+        "symbols_per_event": stream.symbols_per_event,
+        "has_levels": stream.levels is not None,
+    }
+    if stream.levels is not None:
+        payload["levels"] = stream.levels
+    np.savez_compressed(path, **payload)
+
+
+def load_event_stream(path: str) -> EventStream:
+    """Load an event stream saved by :func:`save_event_stream`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_archive(data, "event_stream")
+        levels = data["levels"] if bool(data["has_levels"]) else None
+        return EventStream(
+            times=np.asarray(data["times"], dtype=float),
+            duration_s=float(data["duration_s"]),
+            levels=None if levels is None else np.asarray(levels, dtype=np.int64),
+            clock_hz=float(data["clock_hz"]),
+            symbols_per_event=int(data["symbols_per_event"]),
+        )
+
+
+def export_events_csv(path: str, stream: EventStream) -> None:
+    """Export an event stream to CSV (``time_s[,level,vth_v]`` per row)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        if stream.levels is not None:
+            writer.writerow(["time_s", "level", "vth_v"])
+            volts = stream.level_voltages()
+            for t, lv, v in zip(stream.times, stream.levels, volts):
+                writer.writerow([f"{t:.6f}", int(lv), f"{v:.6f}"])
+        else:
+            writer.writerow(["time_s"])
+            for t in stream.times:
+                writer.writerow([f"{t:.6f}"])
+
+
+def _check_archive(data, expected_kind: str) -> None:
+    if "format_version" not in data or "kind" not in data:
+        raise ValueError("not a repro archive (missing header fields)")
+    version = int(data["format_version"])
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"archive format v{version} is newer than supported v{FORMAT_VERSION}"
+        )
+    kind = str(data["kind"])
+    if kind != expected_kind:
+        raise ValueError(f"expected a {expected_kind} archive, got {kind!r}")

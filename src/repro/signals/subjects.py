@@ -1,0 +1,91 @@
+"""Subject population model for the synthetic 190-pattern dataset.
+
+The paper records eight healthy male subjects (30±2 years old).  What
+matters to the D-ATC evaluation is the *spread of amplified sEMG amplitude*
+across subjects: skin thickness, subcutaneous fat, electrode placement and
+gender all scale the voltage seen by the comparator, which is precisely why
+a fixed threshold needs per-subject trimming while D-ATC adapts.
+
+This module draws per-subject :class:`~repro.signals.emg.EMGModel`
+parameters from distributions wide enough that a 0.3 V fixed threshold is
+grossly mismatched for the weakest subjects (their envelope rarely exceeds
+it → correlations collapsing towards ~50%, the paper's Fig. 5 low end) yet
+too low for the strongest (excess events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .emg import EMGModel
+
+__all__ = ["Subject", "sample_subjects", "DEFAULT_N_SUBJECTS"]
+
+DEFAULT_N_SUBJECTS = 8
+
+# Log-uniform bounds on the full-MVC amplified envelope amplitude (volts).
+# The low end sits well below the paper's fixed 0.3 V threshold, the high
+# end near the 1 V DAC reference, mirroring the inter-subject variability
+# the paper describes.
+_GAIN_V_BOUNDS = (0.145, 0.95)
+_ALPHA_BOUNDS = (1.0, 1.25)
+_NOISE_FLOOR_BOUNDS = (0.004, 0.02)
+_F_LOW_BOUNDS = (60.0, 100.0)
+_F_HIGH_BOUNDS = (160.0, 240.0)
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One synthetic subject: identity plus sEMG model parameters."""
+
+    subject_id: int
+    model: EMGModel
+    age_years: float = 30.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.subject_id < 0:
+            raise ValueError(f"subject_id must be non-negative, got {self.subject_id}")
+
+
+def sample_subjects(
+    n_subjects: int = DEFAULT_N_SUBJECTS,
+    seed: int = 2015,
+) -> "list[Subject]":
+    """Draw a reproducible subject population.
+
+    The population always spans the amplitude range: the first and last
+    subjects are pinned near the bounds of ``_GAIN_V_BOUNDS`` (the dataset
+    must contain both "weak" and "strong" signals for the fixed-vs-dynamic
+    comparison to be meaningful); intermediate subjects are drawn
+    log-uniformly in between.
+    """
+    if n_subjects < 1:
+        raise ValueError(f"n_subjects must be >= 1, got {n_subjects}")
+    rng = np.random.default_rng(seed)
+    lo, hi = _GAIN_V_BOUNDS
+
+    gains = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_subjects))
+    if n_subjects >= 2:
+        gains[0] = lo * 1.1
+        gains[-1] = hi * 0.95
+    subjects = []
+    for i in range(n_subjects):
+        model = EMGModel(
+            gain_v=float(gains[i]),
+            alpha=float(rng.uniform(*_ALPHA_BOUNDS)),
+            noise_floor_v=float(rng.uniform(*_NOISE_FLOOR_BOUNDS)),
+            f_low=float(rng.uniform(*_F_LOW_BOUNDS)),
+            f_high=float(rng.uniform(*_F_HIGH_BOUNDS)),
+        )
+        subjects.append(
+            Subject(
+                subject_id=i,
+                model=model,
+                age_years=float(rng.normal(30.0, 2.0)),
+                description=f"synthetic subject {i} (gain {model.gain_v:.3f} V @ MVC)",
+            )
+        )
+    return subjects

@@ -1,0 +1,60 @@
+"""IR-UWB link substrate: pulses, modulation, AER, packets, channel, RX."""
+
+from .aer import AERConfig, aer_decode, aer_encode
+from .channel import UWBChannel, friis_path_loss_db, received_energy_j
+from .link import LinkConfig, LinkResult, packet_baseline_accounting, simulate_link
+from .modulation import (
+    PulseTrain,
+    ook_demodulate,
+    ook_modulate,
+    ppm_demodulate,
+    ppm_modulate,
+)
+from .packets import (
+    PacketFormat,
+    crc8,
+    depacketize,
+    packetize,
+    payload_symbol_count,
+)
+from .pulse import (
+    PulseShape,
+    check_fcc_compliance,
+    fcc_indoor_mask_dbm_per_mhz,
+    gaussian_derivative,
+    pulse_spectrum_dbm_per_mhz,
+    pulse_waveform,
+)
+from .receiver import EnergyDetector, detection_probability, noise_psd_w_per_hz
+
+__all__ = [
+    "AERConfig",
+    "aer_decode",
+    "aer_encode",
+    "UWBChannel",
+    "friis_path_loss_db",
+    "received_energy_j",
+    "LinkConfig",
+    "LinkResult",
+    "packet_baseline_accounting",
+    "simulate_link",
+    "PulseTrain",
+    "ook_demodulate",
+    "ook_modulate",
+    "ppm_demodulate",
+    "ppm_modulate",
+    "PacketFormat",
+    "crc8",
+    "depacketize",
+    "packetize",
+    "payload_symbol_count",
+    "PulseShape",
+    "check_fcc_compliance",
+    "fcc_indoor_mask_dbm_per_mhz",
+    "gaussian_derivative",
+    "pulse_spectrum_dbm_per_mhz",
+    "pulse_waveform",
+    "EnergyDetector",
+    "detection_probability",
+    "noise_psd_w_per_hz",
+]

@@ -1,0 +1,137 @@
+"""Address-Event Representation (AER) for multi-channel transmission.
+
+The paper's system context (refs. [9], [12]) is multi-channel: several
+sEMG electrodes share one IR-UWB link, and each event is tagged with its
+source address.  An AER word here is ``(address, level)``: the channel
+address bits are prepended to the (optional) threshold-level payload, so a
+D-ATC event on an ``n_channels``-system costs
+``1 + ceil(log2(n_channels)) + dac_bits`` symbol slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.events import EventStream
+
+__all__ = ["AERConfig", "aer_encode", "aer_decode"]
+
+
+@dataclass(frozen=True)
+class AERConfig:
+    """Multi-channel AER framing parameters.
+
+    Attributes
+    ----------
+    n_channels:
+        Number of sensing channels sharing the link.
+    level_bits:
+        Payload bits per event (the DAC resolution for D-ATC, 0 for ATC).
+    """
+
+    n_channels: int = 4
+    level_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {self.n_channels}")
+        if self.level_bits < 0:
+            raise ValueError(f"level_bits must be non-negative, got {self.level_bits}")
+
+    @property
+    def address_bits(self) -> int:
+        """Bits needed to address every channel."""
+        return max(1, int(np.ceil(np.log2(self.n_channels)))) if self.n_channels > 1 else 0
+
+    @property
+    def symbols_per_event(self) -> int:
+        """Marker + address + payload slots per event."""
+        return 1 + self.address_bits + self.level_bits
+
+
+def aer_encode(
+    streams: "list[EventStream]", config: AERConfig, min_spacing_s: float = 0.0
+) -> EventStream:
+    """Merge per-channel streams into one addressed stream.
+
+    The returned stream's ``levels`` pack ``(address << level_bits) |
+    level`` so the existing modulators transport AER words unchanged.
+    Simultaneous events on different channels are arbitrated by channel
+    order (lowest address first), matching a fixed-priority AER arbiter.
+
+    ``min_spacing_s`` models the arbiter's serialisation: colliding (or
+    too-close) events are queued and re-timestamped at least that far
+    apart — required when the downstream modulator needs whole symbol
+    bursts per event.  Events the queue cannot fit before the end of the
+    observation window are dropped (arbiter overflow).
+    """
+    if min_spacing_s < 0:
+        raise ValueError(f"min_spacing_s must be non-negative, got {min_spacing_s}")
+    if len(streams) != config.n_channels:
+        raise ValueError(
+            f"expected {config.n_channels} streams, got {len(streams)}"
+        )
+    duration = streams[0].duration_s
+    times = []
+    words = []
+    for address, stream in enumerate(streams):
+        if stream.duration_s != duration:
+            raise ValueError("all channels must share duration_s")
+        if config.level_bits:
+            if stream.levels is None:
+                raise ValueError(f"channel {address} has no levels but level_bits > 0")
+            levels = stream.levels
+            if np.any(levels < 0) or np.any(levels >= (1 << config.level_bits)):
+                raise ValueError(f"channel {address} levels exceed level_bits")
+        else:
+            levels = np.zeros(stream.n_events, dtype=np.int64)
+        times.append(stream.times)
+        words.append((address << config.level_bits) | levels)
+    all_times = np.concatenate(times)
+    all_words = np.concatenate(words)
+    # Stable sort keeps the lowest-address channel first on exact ties.
+    addresses = all_words >> config.level_bits
+    order = np.lexsort((addresses, all_times))
+    merged_times = all_times[order]
+    merged_words = all_words[order]
+
+    if min_spacing_s > 0 and merged_times.size:
+        serialized = np.empty_like(merged_times)
+        last = -np.inf
+        for i, t in enumerate(merged_times):
+            last = max(t, last + min_spacing_s)
+            serialized[i] = last
+        keep = serialized <= duration
+        merged_times = serialized[keep]
+        merged_words = merged_words[keep]
+
+    return EventStream(
+        times=merged_times,
+        duration_s=duration,
+        levels=merged_words,
+        clock_hz=streams[0].clock_hz,
+        symbols_per_event=config.symbols_per_event,
+    )
+
+
+def aer_decode(stream: EventStream, config: AERConfig) -> "list[EventStream]":
+    """Split an addressed stream back into per-channel streams."""
+    if stream.levels is None:
+        raise ValueError("an AER stream must carry address words")
+    addresses = stream.levels >> config.level_bits
+    levels = stream.levels & ((1 << config.level_bits) - 1)
+    out = []
+    for address in range(config.n_channels):
+        mask = addresses == address
+        out.append(
+            EventStream(
+                times=stream.times[mask],
+                duration_s=stream.duration_s,
+                levels=levels[mask] if config.level_bits else None,
+                clock_hz=stream.clock_hz,
+                symbols_per_event=1 + config.level_bits,
+            )
+        )
+    return out

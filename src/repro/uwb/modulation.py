@@ -1,0 +1,231 @@
+"""Event-to-symbol modulation for the IR-UWB link.
+
+Paper Fig. 2(E): every D-ATC event is radiated as a short burst — a start
+marker followed by the 4-bit ``Set_Vth`` level — using OOK (On-Off
+Keying), i.e. a UWB pulse in a symbol slot encodes '1' and silence encodes
+'0'.  Plain ATC radiates the single marker pulse only.
+
+The symbol accounting of Sec. III-B counts *symbol slots* (5 per D-ATC
+event, 1 per ATC event); the *pulse* count — which is what the transmit
+energy scales with — is lower for OOK since '0' bits are free.  PPM
+(pulse-position modulation) is provided as an alternative where every bit
+costs one pulse but framing is self-clocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.events import EventStream
+
+__all__ = ["PulseTrain", "ook_modulate", "ook_demodulate", "ppm_modulate", "ppm_demodulate"]
+
+
+@dataclass(frozen=True)
+class PulseTrain:
+    """Radiated pulses: times (s) plus the slot bookkeeping.
+
+    Attributes
+    ----------
+    pulse_times:
+        Time of every *radiated* pulse (sorted).
+    n_symbols:
+        Number of symbol slots the train occupies (radiated or silent).
+    symbol_period_s:
+        Slot duration.
+    duration_s:
+        Observation window.
+    scheme:
+        "ook" or "ppm".
+    bits_per_event:
+        Payload bits following each marker (0 for plain ATC).
+    """
+
+    pulse_times: np.ndarray
+    n_symbols: int
+    symbol_period_s: float
+    duration_s: float
+    scheme: str
+    bits_per_event: int
+
+    @property
+    def n_pulses(self) -> int:
+        """Radiated pulses (the TX energy driver)."""
+        return int(self.pulse_times.size)
+
+
+def _event_bits(levels: "np.ndarray | None", n_events: int, bits_per_event: int) -> np.ndarray:
+    """Per-event payload bit matrix (MSB first), shape (n_events, bits)."""
+    if bits_per_event == 0:
+        return np.zeros((n_events, 0), dtype=np.uint8)
+    if levels is None:
+        raise ValueError("payload bits requested but the stream has no levels")
+    if np.any(levels < 0) or np.any(levels >= (1 << bits_per_event)):
+        raise ValueError(f"levels exceed {bits_per_event} bits")
+    shifts = np.arange(bits_per_event - 1, -1, -1)
+    return ((levels[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+
+
+def ook_modulate(
+    stream: EventStream,
+    symbol_period_s: float = 1e-5,
+    bits_per_event: "int | None" = None,
+) -> PulseTrain:
+    """OOK-modulate an event stream.
+
+    Each event occupies ``1 + bits_per_event`` slots starting at the event
+    time: the marker pulse, then one slot per payload bit ('1' = pulse,
+    '0' = silence).  ``bits_per_event`` defaults to
+    ``stream.symbols_per_event - 1``.
+    """
+    if symbol_period_s <= 0:
+        raise ValueError(f"symbol_period_s must be positive, got {symbol_period_s}")
+    if bits_per_event is None:
+        bits_per_event = stream.symbols_per_event - 1
+    burst_span = (1 + bits_per_event) * symbol_period_s
+    if stream.n_events > 1:
+        gaps = np.diff(stream.times)
+        # Strictly back-to-back bursts are legal; the tolerance absorbs
+        # floating-point noise in exactly-spaced (AER-serialised) streams.
+        if np.any(gaps < burst_span * (1.0 - 1e-9)):
+            raise ValueError(
+                f"symbol_period_s={symbol_period_s} too long: event bursts of "
+                f"{burst_span:.2e}s overlap (min gap {gaps.min():.2e}s)"
+            )
+    bits = _event_bits(stream.levels, stream.n_events, bits_per_event)
+    times = [stream.times]  # marker pulses
+    for b in range(bits_per_event):
+        mask = bits[:, b] == 1
+        times.append(stream.times[mask] + (b + 1) * symbol_period_s)
+    pulse_times = np.sort(np.concatenate(times)) if times else np.zeros(0)
+    return PulseTrain(
+        pulse_times=pulse_times,
+        n_symbols=stream.n_events * (1 + bits_per_event),
+        symbol_period_s=symbol_period_s,
+        duration_s=stream.duration_s,
+        scheme="ook",
+        bits_per_event=bits_per_event,
+    )
+
+
+def ook_demodulate(
+    pulse_times: np.ndarray,
+    duration_s: float,
+    symbol_period_s: float,
+    bits_per_event: int,
+    clock_hz: float = 0.0,
+) -> EventStream:
+    """Greedy OOK demodulation back to an event stream.
+
+    The first pulse opens a burst: it is the marker, and the following
+    ``bits_per_event`` slots are read as bits by checking whether a pulse
+    falls within +-half a slot of each slot centre.  Pulses inside a burst
+    window are consumed; the next pulse after the window opens a new
+    burst.  Robust to erased payload pulses (read as '0', the OOK
+    failure mode) and to spurious pulses (they open short fake bursts).
+    """
+    pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
+    half = symbol_period_s / 2.0
+    events = []
+    levels = []
+    i = 0
+    n = pulse_times.size
+    while i < n:
+        marker = pulse_times[i]
+        level = 0
+        j = i + 1
+        for b in range(bits_per_event):
+            slot_centre = marker + (b + 1) * symbol_period_s
+            hit = False
+            while j < n and pulse_times[j] <= slot_centre + half:
+                if abs(pulse_times[j] - slot_centre) <= half:
+                    hit = True
+                j += 1
+            level = (level << 1) | (1 if hit else 0)
+        events.append(marker)
+        levels.append(level)
+        i = j
+    return EventStream(
+        times=np.asarray(events),
+        duration_s=duration_s,
+        levels=np.asarray(levels, dtype=np.int64) if bits_per_event else None,
+        clock_hz=clock_hz,
+        symbols_per_event=1 + bits_per_event,
+    )
+
+
+def ppm_modulate(
+    stream: EventStream,
+    symbol_period_s: float = 1e-5,
+    bits_per_event: "int | None" = None,
+) -> PulseTrain:
+    """PPM-modulate an event stream.
+
+    Every slot carries a pulse: '0' at the slot start, '1' delayed by half
+    a slot.  Costs one pulse per symbol (more energy than OOK) but every
+    bit is positively detected.
+    """
+    if symbol_period_s <= 0:
+        raise ValueError(f"symbol_period_s must be positive, got {symbol_period_s}")
+    if bits_per_event is None:
+        bits_per_event = stream.symbols_per_event - 1
+    burst_span = (1 + bits_per_event) * symbol_period_s
+    if stream.n_events > 1 and np.any(
+        np.diff(stream.times) < burst_span * (1.0 - 1e-9)
+    ):
+        raise ValueError("event bursts overlap; reduce symbol_period_s")
+    bits = _event_bits(stream.levels, stream.n_events, bits_per_event)
+    times = [stream.times]
+    for b in range(bits_per_event):
+        offset = (b + 1) * symbol_period_s + bits[:, b] * (symbol_period_s / 2.0)
+        times.append(stream.times + offset)
+    pulse_times = np.sort(np.concatenate(times))
+    return PulseTrain(
+        pulse_times=pulse_times,
+        n_symbols=stream.n_events * (1 + bits_per_event),
+        symbol_period_s=symbol_period_s,
+        duration_s=stream.duration_s,
+        scheme="ppm",
+        bits_per_event=bits_per_event,
+    )
+
+
+def ppm_demodulate(
+    pulse_times: np.ndarray,
+    duration_s: float,
+    symbol_period_s: float,
+    bits_per_event: int,
+    clock_hz: float = 0.0,
+) -> EventStream:
+    """Greedy PPM demodulation (marker + positioned payload pulses)."""
+    pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
+    quarter = symbol_period_s / 4.0
+    events = []
+    levels = []
+    i = 0
+    n = pulse_times.size
+    while i < n:
+        marker = pulse_times[i]
+        level = 0
+        j = i + 1
+        for b in range(bits_per_event):
+            slot_start = marker + (b + 1) * symbol_period_s
+            bit = 0
+            while j < n and pulse_times[j] < slot_start + symbol_period_s:
+                dt = pulse_times[j] - slot_start
+                if abs(dt - symbol_period_s / 2.0) <= quarter:
+                    bit = 1
+                j += 1
+            level = (level << 1) | bit
+        events.append(marker)
+        levels.append(level)
+        i = j
+    return EventStream(
+        times=np.asarray(events),
+        duration_s=duration_s,
+        levels=np.asarray(levels, dtype=np.int64) if bits_per_event else None,
+        clock_hz=clock_hz,
+        symbols_per_event=1 + bits_per_event,
+    )

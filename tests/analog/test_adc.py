@@ -1,0 +1,47 @@
+"""Tests for the baseline ADC model."""
+
+import numpy as np
+import pytest
+
+from repro.analog.adc import ADC
+
+
+class TestADC:
+    def test_code_range(self, rng):
+        adc = ADC(n_bits=12, vref=1.0)
+        codes = adc.sample(rng.uniform(-0.5, 1.5, 1000))
+        assert codes.min() >= 0
+        assert codes.max() <= 4095
+
+    def test_quantisation_error_bounded(self, rng):
+        adc = ADC(n_bits=12, vref=1.0)
+        x = rng.uniform(0, 1.0 - 1e-9, 1000)
+        recon = adc.reconstruct(adc.sample(x))
+        assert np.max(np.abs(recon - x)) <= adc.lsb_v / 2 + 1e-12
+
+    def test_clipping(self):
+        adc = ADC(n_bits=8, vref=1.0)
+        assert adc.sample(np.array([2.0]))[0] == 255
+        assert adc.sample(np.array([-1.0]))[0] == 0
+
+    def test_monotone(self):
+        adc = ADC(n_bits=8)
+        x = np.linspace(0, 1, 1000)
+        codes = adc.sample(x)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_reconstruct_rejects_bad_codes(self):
+        adc = ADC(n_bits=8)
+        with pytest.raises(ValueError):
+            adc.reconstruct(np.array([256]))
+        with pytest.raises(ValueError):
+            adc.reconstruct(np.array([-1]))
+
+    def test_twelve_bit_default_matches_paper_baseline(self):
+        assert ADC().n_bits == 12
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ADC(n_bits=0)
+        with pytest.raises(ValueError):
+            ADC(vref=-1.0)

@@ -1,0 +1,43 @@
+"""Tests for the pre-amplifier model."""
+
+import numpy as np
+import pytest
+
+from repro.analog.amplifier import Amplifier
+
+
+class TestAmplifier:
+    def test_gain_applied(self):
+        amp = Amplifier(gain=10.0, saturation_v=100.0)
+        out = amp.apply(np.array([0.1, -0.2]))
+        assert np.allclose(out, [1.0, -2.0])
+
+    def test_offset_applied(self):
+        amp = Amplifier(offset_v=0.5, saturation_v=10.0)
+        assert amp.apply(np.zeros(3)).tolist() == [0.5, 0.5, 0.5]
+
+    def test_saturation_clips(self):
+        amp = Amplifier(gain=100.0, saturation_v=1.8)
+        out = amp.apply(np.array([1.0, -1.0]))
+        assert out.tolist() == [1.8, -1.8]
+
+    def test_noise_requires_rng(self):
+        amp = Amplifier(noise_rms_v=0.01)
+        with pytest.raises(ValueError):
+            amp.apply(np.zeros(4))
+
+    def test_noise_magnitude(self, rng):
+        amp = Amplifier(noise_rms_v=0.05, saturation_v=10.0)
+        out = amp.apply(np.zeros(50_000), rng=rng)
+        assert out.std() == pytest.approx(0.05, rel=0.05)
+
+    def test_identity_default(self):
+        x = np.linspace(-1, 1, 11)
+        assert np.allclose(Amplifier().apply(x), x)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"gain": 0.0}, {"saturation_v": 0.0}, {"noise_rms_v": -1.0}]
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Amplifier(**kwargs)

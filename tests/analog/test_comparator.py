@@ -1,0 +1,85 @@
+"""Tests for the comparator model."""
+
+import numpy as np
+import pytest
+
+from repro.analog.comparator import Comparator, ideal_compare
+
+
+class TestIdealCompare:
+    def test_scalar_threshold(self):
+        x = np.array([0.1, 0.5, 0.3])
+        assert ideal_compare(x, 0.3).tolist() == [0, 1, 0]
+
+    def test_strict_inequality(self):
+        assert ideal_compare(np.array([0.3]), 0.3)[0] == 0
+
+    def test_array_threshold(self):
+        x = np.array([0.5, 0.5, 0.5])
+        th = np.array([0.4, 0.5, 0.6])
+        assert ideal_compare(x, th).tolist() == [1, 0, 0]
+
+    def test_dtype_uint8(self):
+        assert ideal_compare(np.array([1.0]), 0.0).dtype == np.uint8
+
+
+class TestComparatorIdeal:
+    def test_matches_ideal_without_hysteresis(self, rng):
+        x = rng.uniform(0, 1, 1000)
+        c = Comparator()
+        assert np.array_equal(c.compare(x, 0.5), ideal_compare(x, 0.5))
+
+
+class TestComparatorHysteresis:
+    def test_suppresses_chatter(self):
+        """Noise within the hysteresis window must not toggle the output."""
+        t = np.arange(2000)
+        x = 0.5 + 0.01 * np.sin(2 * np.pi * t / 20)  # tiny wiggle around 0.5
+        ideal = ideal_compare(x, 0.5)
+        hyst = Comparator(hysteresis_v=0.05).compare(x, 0.5)
+        assert np.count_nonzero(np.diff(ideal)) > 0
+        assert np.count_nonzero(np.diff(hyst)) == 0
+
+    def test_large_swings_still_detected(self):
+        x = np.concatenate([np.zeros(10), np.ones(10), np.zeros(10)])
+        out = Comparator(hysteresis_v=0.1).compare(x, 0.5)
+        assert out[:10].sum() == 0
+        assert out[10:20].sum() == 10
+        assert out[20:].sum() == 0
+
+    def test_initial_state_respected(self):
+        x = np.full(5, 0.5)  # inside the window: state must hold
+        c = Comparator(hysteresis_v=0.2)
+        assert np.all(c.compare(x, 0.5, initial_state=1) == 1)
+        assert np.all(c.compare(x, 0.5, initial_state=0) == 0)
+
+    def test_rising_point_above_threshold(self):
+        c = Comparator(hysteresis_v=0.2)
+        # 0.55 is above vth=0.5 but below the 0.6 rising point.
+        assert c.compare(np.array([0.55]), 0.5)[0] == 0
+        assert c.compare(np.array([0.65]), 0.5)[0] == 1
+
+    def test_array_threshold_with_hysteresis(self):
+        x = np.array([0.3, 0.3, 0.3])
+        th = np.array([0.1, 0.3, 0.5])
+        out = Comparator(hysteresis_v=0.1).compare(x, th)
+        assert out.tolist() == [1, 1, 0]  # holds state inside the window
+
+
+class TestComparatorNoise:
+    def test_noise_requires_rng(self):
+        c = Comparator(noise_rms_v=0.01)
+        with pytest.raises(ValueError):
+            c.compare(np.zeros(5), 0.5)
+
+    def test_noise_flips_marginal_decisions(self, rng):
+        x = np.full(10_000, 0.5)  # exactly at threshold
+        out = Comparator(noise_rms_v=0.05).compare(x, 0.5, rng=rng)
+        frac = out.mean()
+        assert 0.4 < frac < 0.6  # ~50/50 with noise
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            Comparator(hysteresis_v=-0.1)
+        with pytest.raises(ValueError):
+            Comparator(noise_rms_v=-0.1)

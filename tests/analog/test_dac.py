@@ -1,0 +1,70 @@
+"""Tests for the threshold DAC (paper Eqn. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.dac import DAC
+
+
+class TestPaperEquation3:
+    def test_eqn3_values(self):
+        """Vth = Vref * Set_Vth / 2^Nb with Vref=1 V, Nb=4."""
+        dac = DAC(n_bits=4, vref=1.0)
+        for code in range(16):
+            assert dac.to_voltage(code) == pytest.approx(code / 16.0)
+
+    def test_sixteen_steps_up_to_fifteen_sixteenths(self):
+        dac = DAC()
+        assert dac.n_levels == 16
+        assert dac.lsb_v == pytest.approx(1.0 / 16.0)
+        assert dac.to_voltage(15) == pytest.approx(0.9375)
+
+
+class TestDAC:
+    def test_code_range_checked(self):
+        dac = DAC(n_bits=4)
+        with pytest.raises(ValueError):
+            dac.to_voltage(16)
+        with pytest.raises(ValueError):
+            dac.to_voltage(-1)
+
+    def test_array_codes(self):
+        dac = DAC(n_bits=2, vref=1.0)
+        out = dac.to_voltage(np.array([0, 1, 2, 3]))
+        assert np.allclose(out, [0.0, 0.25, 0.5, 0.75])
+
+    def test_transfer_curve_monotone(self):
+        curve = DAC(n_bits=4).transfer_curve()
+        assert np.all(np.diff(curve) > 0)
+
+    def test_nearest_code_roundtrip(self):
+        dac = DAC(n_bits=4)
+        for code in range(16):
+            assert dac.nearest_code(dac.to_voltage(code)) == code
+
+    def test_nearest_code_clips(self):
+        dac = DAC(n_bits=4)
+        assert dac.nearest_code(2.0) == 15
+        assert dac.nearest_code(-1.0) == 0
+
+    def test_inl_shifts_output(self):
+        inl = tuple([0.0] * 15 + [0.5])
+        dac = DAC(n_bits=4, inl_lsb=inl)
+        assert dac.to_voltage(15) == pytest.approx((15 + 0.5) / 16.0)
+        assert dac.to_voltage(0) == pytest.approx(0.0)
+
+    def test_inl_length_checked(self):
+        with pytest.raises(ValueError):
+            DAC(n_bits=4, inl_lsb=(0.1, 0.2))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DAC(n_bits=0)
+        with pytest.raises(ValueError):
+            DAC(vref=0.0)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 6, 8])
+    def test_resolution_scaling(self, bits):
+        dac = DAC(n_bits=bits, vref=1.0)
+        assert dac.n_levels == 2 ** bits
+        assert dac.to_voltage(dac.n_levels - 1) == pytest.approx(1.0 - dac.lsb_v)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["fig2"], ["fig3"], ["fig5"], ["fig6"], ["fig7"], ["symbols"],
+            ["table1"], ["timing"], ["verilog"], ["vcd"], ["report"], ["encode"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of cells" in out
+
+    def test_timing_prints(self, capsys):
+        assert main(["timing"]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_fig2_prints(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "D-ATC" in capsys.readouterr().out
+
+    def test_verilog_to_stdout(self, capsys):
+        assert main(["verilog", "-o", "-"]) == 0
+        assert "module dtc_top" in capsys.readouterr().out
+
+    def test_verilog_to_file(self, tmp_path, capsys):
+        out = str(tmp_path / "dtc.v")
+        assert main(["verilog", "-o", out]) == 0
+        assert "endmodule" in open(out).read()
+
+    def test_vcd_to_file(self, tmp_path, capsys):
+        out = str(tmp_path / "dtc.vcd")
+        assert main(["vcd", "-o", out, "--cycles", "300"]) == 0
+        assert "$enddefinitions" in open(out).read()
+
+    def test_encode_npz(self, tmp_path, capsys):
+        from repro.signals.io import load_event_stream
+
+        out = str(tmp_path / "events.npz")
+        assert main(["encode", "-o", out]) == 0
+        stream = load_event_stream(out)
+        assert stream.n_events > 0
+        assert stream.symbols_per_event == 5
+
+    def test_encode_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "events.csv")
+        assert main(["encode", "-o", out]) == 0
+        header = open(out).readline().strip()
+        assert header == "time_s,level,vth_v"
+
+    def test_fig5_reduced(self, capsys):
+        assert main(["fig5", "--patterns", "8"]) == 0
+        assert "correlation over 8 patterns" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""Tests for summary metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import Summary, summarize
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == s.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.zeros(0))
+
+    def test_format_row_contains_stats(self):
+        row = summarize([1.0, 2.0]).format_row("metric", "%")
+        assert "metric" in row and "mean=" in row and "%" in row

@@ -1,0 +1,49 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.analysis.report import generate_experiments_markdown, main
+from repro.signals.dataset import default_dataset
+
+
+@pytest.fixture(scope="module")
+def quick_markdown():
+    """One reduced-size generation shared by all checks (still runs every
+    experiment driver end to end)."""
+    return generate_experiments_markdown(
+        dataset=default_dataset(), n_patterns=8
+    )
+
+
+class TestGenerateMarkdown:
+    def test_all_sections_present(self, quick_markdown):
+        for heading in (
+            "# EXPERIMENTS",
+            "## Fig. 2",
+            "## Fig. 3",
+            "## Fig. 5",
+            "## Fig. 6",
+            "## Fig. 7",
+            "## Sec. III-B",
+            "## Table I",
+        ):
+            assert heading in quick_markdown, heading
+
+    def test_paper_reference_numbers_present(self, quick_markdown):
+        for number in ("3183", "3724", "5821", "600,000", "96.41", "11700"):
+            assert number in quick_markdown, number
+
+    def test_shape_checks_present(self, quick_markdown):
+        assert quick_markdown.count("**Shape check**") >= 6
+
+    def test_code_blocks_balanced(self, quick_markdown):
+        assert quick_markdown.count("```") % 2 == 0
+
+
+class TestMainCli:
+    def test_writes_file(self, tmp_path, capsys):
+        out = str(tmp_path / "EXP.md")
+        assert main(["--quick", "--output", out]) == 0
+        text = open(out).read()
+        assert "# EXPERIMENTS" in text
+        assert "## Table I" in text

@@ -1,0 +1,163 @@
+"""Tests for parameter sweeps (fast variants on the small dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    atc_threshold_sweep,
+    dac_resolution_sweep,
+    dataset_sweep,
+    frame_size_sweep,
+    pulse_loss_sweep,
+    weight_sweep,
+)
+from repro.core.config import ATCConfig
+
+
+class TestAtcThresholdSweep:
+    def test_events_decrease_with_threshold(self, mid_pattern):
+        points = atc_threshold_sweep(mid_pattern, [0.05, 0.2, 0.4, 0.6])
+        events = [p.n_events for p in points]
+        assert events == sorted(events, reverse=True)
+
+    def test_point_fields(self, mid_pattern):
+        pt = atc_threshold_sweep(mid_pattern, [0.3])[0]
+        assert pt.parameter == 0.3
+        assert pt.n_symbols == pt.n_events
+
+
+class TestDatasetSweep:
+    def test_covers_requested_patterns(self, small_dataset):
+        res = dataset_sweep(small_dataset, "datc", limit=4)
+        assert res.pattern_ids.tolist() == [0, 1, 2, 3]
+        assert res.correlations_pct.size == 4
+
+    def test_datc_tighter_than_atc(self, small_dataset):
+        """The Fig. 5 claim on the small dataset: D-ATC's correlation
+        range and event spread are tighter than fixed-threshold ATC's."""
+        atc = dataset_sweep(small_dataset, "atc", atc_config=ATCConfig(vth=0.3))
+        datc = dataset_sweep(small_dataset, "datc")
+        a_lo, a_hi = atc.correlation_range
+        d_lo, d_hi = datc.correlation_range
+        assert (d_hi - d_lo) < (a_hi - a_lo)
+        assert datc.event_spread < atc.event_spread
+        assert datc.correlation_mean > atc.correlation_mean
+
+    def test_invalid_scheme(self, small_dataset):
+        with pytest.raises(ValueError):
+            dataset_sweep(small_dataset, "adc")
+
+
+class TestFrameSizeSweep:
+    def test_four_points(self, mid_pattern):
+        points = frame_size_sweep(mid_pattern)
+        assert [p.parameter for p in points] == [100.0, 200.0, 400.0, 800.0]
+
+    def test_short_frames_correlate_on_short_pattern(self, mid_pattern):
+        """On a 4 s recording only the fast frames (100/200 clocks) have
+        enough update cycles to track; the slow ones merely stay sane.
+        (The benchmark harness exercises all four on full 20 s patterns.)"""
+        points = {int(p.parameter): p for p in frame_size_sweep(mid_pattern)}
+        assert points[100].correlation_pct > 85.0
+        assert points[200].correlation_pct > 80.0
+        for p in points.values():
+            assert p.n_events > 0
+            assert p.correlation_pct > 40.0
+
+
+class TestDacResolutionSweep:
+    def test_symbol_cost_grows_with_bits(self, mid_pattern):
+        points = dac_resolution_sweep(mid_pattern, (2, 4, 6))
+        per_event = [p.n_symbols / max(p.n_events, 1) for p in points]
+        assert per_event == sorted(per_event)
+        assert per_event[1] == pytest.approx(5.0)
+
+    def test_four_bits_sufficient(self, mid_pattern):
+        """The paper's design choice: beyond 4 bits the correlation gain
+        is marginal (<2%)."""
+        points = {int(p.parameter): p for p in dac_resolution_sweep(mid_pattern, (4, 6))}
+        assert points[6].correlation_pct - points[4].correlation_pct < 2.0
+
+    def test_two_bits_degrade(self, mid_pattern):
+        points = {int(p.parameter): p for p in dac_resolution_sweep(mid_pattern, (2, 4))}
+        assert points[2].correlation_pct <= points[4].correlation_pct + 1.0
+
+
+class TestPulseLossSweep:
+    def test_zero_loss_matches_baseline(self, mid_pattern):
+        points = pulse_loss_sweep(mid_pattern, (0.0,))
+        assert points[0].parameter == 0.0
+
+    def test_graceful_degradation(self, mid_pattern):
+        """Correlation must degrade gracefully: 20% loss costs only a few
+        points of correlation (the paper's artifact-robustness claim)."""
+        points = pulse_loss_sweep(mid_pattern, (0.0, 0.2, 0.5))
+        base, mid, high = (p.correlation_pct for p in points)
+        assert mid > base - 5.0
+        assert high > base - 15.0
+
+    def test_events_drop_with_loss(self, mid_pattern):
+        points = pulse_loss_sweep(mid_pattern, (0.0, 0.3))
+        assert points[1].n_events < points[0].n_events
+
+    def test_invalid_probability(self, mid_pattern):
+        with pytest.raises(ValueError):
+            pulse_loss_sweep(mid_pattern, (1.0,))
+
+
+class TestSnrSweep:
+    def test_clean_snr_matches_baseline(self, mid_pattern):
+        from repro.analysis.sweeps import snr_sweep
+        from repro.core.pipeline import run_datc
+
+        points = snr_sweep(mid_pattern, (40.0,))
+        base = run_datc(mid_pattern)
+        assert points[0].correlation_pct == pytest.approx(
+            base.correlation_pct, abs=2.0
+        )
+
+    def test_degrades_with_noise(self, mid_pattern):
+        from repro.analysis.sweeps import snr_sweep
+
+        points = snr_sweep(mid_pattern, (30.0, 0.0))
+        assert points[1].correlation_pct < points[0].correlation_pct
+
+    def test_moderate_noise_tolerated(self, mid_pattern):
+        """10 dB SNR — a poor but realistic electrode — must still carry
+        most of the force information."""
+        from repro.analysis.sweeps import snr_sweep
+
+        points = snr_sweep(mid_pattern, (10.0,))
+        assert points[0].correlation_pct > 80.0
+
+    def test_atc_scheme_supported(self, mid_pattern):
+        from repro.analysis.sweeps import snr_sweep
+
+        points = snr_sweep(mid_pattern, (20.0,), scheme="atc")
+        assert len(points) == 1
+
+    def test_invalid_scheme(self, mid_pattern):
+        from repro.analysis.sweeps import snr_sweep
+
+        with pytest.raises(ValueError):
+            snr_sweep(mid_pattern, (20.0,), scheme="x")
+
+
+class TestWeightSweep:
+    def test_runs_all_sets(self, mid_pattern):
+        results = weight_sweep(mid_pattern)
+        assert len(results) == 4
+        for weights, point in results:
+            assert point.correlation_pct > 70.0
+
+    def test_paper_weights_competitive(self, mid_pattern):
+        """The paper's (0.35, 0.65, 1.0) must be within a few % of the
+        best weight set tried."""
+        results = weight_sweep(mid_pattern)
+        best = max(p.correlation_pct for _, p in results)
+        paper = results[0][1].correlation_pct
+        assert paper > best - 3.0
+
+    def test_zero_sum_rejected(self, mid_pattern):
+        with pytest.raises(ValueError):
+            weight_sweep(mid_pattern, ((0.0, 0.0, 0.0),))

@@ -1,0 +1,43 @@
+"""Shared fixtures for the repro test suite.
+
+Most tests run on a *small* dataset (8 patterns of 4 s at the paper's
+2500 Hz) so the full suite stays fast; the benchmark harness is where the
+full 190 x 20 s dataset is exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals.dataset import DatasetSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> DatasetSpec:
+    """An 8-pattern, 4-second dataset sharing the paper's subjects."""
+    return DatasetSpec(n_patterns=8, duration_s=4.0, seed=2015)
+
+
+@pytest.fixture(scope="session")
+def mid_pattern(small_dataset: DatasetSpec):
+    """A mid-amplitude pattern (subject 2, gain ~0.63 V at MVC)."""
+    return small_dataset.pattern(2)
+
+
+@pytest.fixture(scope="session")
+def weak_pattern(small_dataset: DatasetSpec):
+    """A low-amplitude pattern (subject 0, the fixed-threshold failure case)."""
+    return small_dataset.pattern(0)
+
+
+@pytest.fixture(scope="session")
+def strong_pattern(small_dataset: DatasetSpec):
+    """A high-amplitude pattern (subject 3, gain ~0.9 V at MVC)."""
+    return small_dataset.pattern(3)

@@ -1,0 +1,96 @@
+"""Tests for the fixed-threshold ATC encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.atc import atc_encode, rising_edges
+from repro.core.config import ATCConfig
+
+
+class TestRisingEdges:
+    def test_simple_edge(self):
+        assert rising_edges(np.array([0, 0, 1, 1, 0, 1])).tolist() == [2, 5]
+
+    def test_initial_state_suppresses_first(self):
+        assert rising_edges(np.array([1, 1, 0, 1]), initial=1).tolist() == [3]
+        assert rising_edges(np.array([1, 1, 0, 1]), initial=0).tolist() == [0, 3]
+
+    def test_empty(self):
+        assert rising_edges(np.zeros(0)).size == 0
+
+    def test_all_ones_single_edge(self):
+        assert rising_edges(np.ones(10)).tolist() == [0]
+
+    def test_count_matches_block_count(self):
+        rng = np.random.default_rng(5)
+        bits = (rng.random(1000) < 0.5).astype(np.uint8)
+        # Number of rising edges == number of maximal 1-blocks (init 0).
+        padded = np.concatenate([[0], bits])
+        blocks = np.count_nonzero(np.diff(padded) == 1)
+        assert rising_edges(bits).size == blocks
+
+
+class TestAtcEncode:
+    def test_sine_above_threshold_counts_cycles(self):
+        """A rectified 50 Hz sine crossing Vth yields ~2 events per period
+        (two rectified lobes per cycle)."""
+        fs = 2500.0
+        t = np.arange(0, 2.0, 1 / fs)
+        x = 0.8 * np.sin(2 * np.pi * 50 * t)
+        stream, _ = atc_encode(x, fs, ATCConfig(vth=0.3))
+        expected = 2 * 50 * 2.0
+        assert abs(stream.n_events - expected) <= 0.1 * expected
+
+    def test_signal_below_threshold_yields_nothing(self, rng):
+        fs = 2500.0
+        x = 0.05 * rng.standard_normal(5000)
+        stream, trace = atc_encode(x, fs, ATCConfig(vth=0.5))
+        assert stream.n_events == 0
+        assert trace.duty_cycle == 0.0
+
+    def test_event_times_on_clock_grid(self, mid_pattern):
+        config = ATCConfig(vth=0.3)
+        stream, _ = atc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        ticks = stream.times * config.clock_hz
+        assert np.allclose(ticks, np.round(ticks))
+
+    def test_single_symbol_per_event(self, mid_pattern):
+        stream, _ = atc_encode(mid_pattern.emg, mid_pattern.fs)
+        assert stream.symbols_per_event == 1
+        assert stream.n_symbols == stream.n_events
+
+    def test_lower_threshold_gives_more_duty(self, mid_pattern):
+        _, lo = atc_encode(mid_pattern.emg, mid_pattern.fs, ATCConfig(vth=0.1))
+        _, hi = atc_encode(mid_pattern.emg, mid_pattern.fs, ATCConfig(vth=0.5))
+        assert lo.duty_cycle > hi.duty_cycle
+
+    def test_rectify_flag(self):
+        fs = 2000.0
+        x = -0.5 * np.ones(2000)  # negative DC
+        with_rect, _ = atc_encode(x, fs, ATCConfig(vth=0.3), rectify=True)
+        without, _ = atc_encode(x, fs, ATCConfig(vth=0.3), rectify=False)
+        assert with_rect.n_events == 1  # crosses once at t=0 and stays up
+        assert without.n_events == 0
+
+    def test_trace_n_clocks(self, mid_pattern):
+        config = ATCConfig()
+        _, trace = atc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        expected = int(mid_pattern.duration_s * config.clock_hz)
+        assert trace.n_clocks == expected
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            atc_encode(np.zeros(1), 2500.0)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            atc_encode(np.zeros((10, 2)), 2500.0)
+
+    def test_bad_fs_rejected(self):
+        with pytest.raises(ValueError):
+            atc_encode(np.zeros(100), 0.0)
+
+    def test_deterministic(self, mid_pattern):
+        a, _ = atc_encode(mid_pattern.emg, mid_pattern.fs)
+        b, _ = atc_encode(mid_pattern.emg, mid_pattern.fs)
+        assert np.array_equal(a.times, b.times)

@@ -1,0 +1,99 @@
+"""Tests for ATC / D-ATC configuration objects."""
+
+import pytest
+
+from repro.core.config import PAPER_CLOCK_HZ, ATCConfig, DATCConfig
+
+
+class TestATCConfig:
+    def test_paper_defaults(self):
+        c = ATCConfig()
+        assert c.vth == 0.3
+        assert c.clock_hz == 2000.0
+        assert c.symbols_per_event == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"vth": -0.1}, {"clock_hz": 0.0}, {"symbols_per_event": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ATCConfig(**kwargs)
+
+
+class TestDATCConfigDefaults:
+    def test_paper_operating_point(self):
+        c = DATCConfig()
+        assert c.clock_hz == PAPER_CLOCK_HZ == 2000.0
+        assert c.frame_sizes == (100, 200, 400, 800)
+        assert c.frame_size == 100
+        assert c.dac_bits == 4
+        assert c.vref == 1.0
+        assert c.weights == (0.35, 0.65, 1.0)
+        assert c.weight_divisor == 2.0
+        assert c.interval_step == 0.03
+        assert c.n_levels == 16
+        assert c.min_level == 1
+
+    def test_symbols_per_event_derived(self):
+        """D-ATC transmits event marker + 4-bit level = 5 symbols."""
+        assert DATCConfig().symbols_per_event == 5
+        assert DATCConfig(dac_bits=6, n_levels=64, initial_level=32).symbols_per_event == 7
+
+    def test_explicit_symbols_per_event_kept(self):
+        assert DATCConfig(symbols_per_event=3).symbols_per_event == 3
+
+    def test_frame_duration(self):
+        assert DATCConfig(frame_selector=0).frame_duration_s == pytest.approx(0.05)
+        assert DATCConfig(frame_selector=3).frame_duration_s == pytest.approx(0.4)
+
+    def test_lsb(self):
+        assert DATCConfig().lsb_v == pytest.approx(1.0 / 16.0)
+
+
+class TestDATCConfigEquation3:
+    def test_level_to_voltage(self):
+        c = DATCConfig()
+        assert c.level_to_voltage(0) == 0.0
+        assert c.level_to_voltage(8) == pytest.approx(0.5)
+        assert c.level_to_voltage(15) == pytest.approx(0.9375)
+
+    def test_custom_vref(self):
+        c = DATCConfig(vref=2.0)
+        assert c.level_to_voltage(8) == pytest.approx(1.0)
+
+
+class TestDATCConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frame_selector": 4},
+            {"frame_selector": -1},
+            {"frame_sizes": ()},
+            {"frame_sizes": (0, 100)},
+            {"clock_hz": 0.0},
+            {"dac_bits": 0},
+            {"vref": 0.0},
+            {"weights": (1.0, 1.0)},
+            {"weights": (-0.1, 0.65, 1.0)},
+            {"weight_divisor": 0.0},
+            {"interval_step": 0.0},
+            {"n_levels": 8},  # mismatch with dac_bits=4
+            {"min_level": 16},
+            {"initial_level": 16},
+            {"initial_level": 0},  # below min_level=1
+            {"symbols_per_event": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DATCConfig(**kwargs)
+
+    def test_frozen(self):
+        c = DATCConfig()
+        with pytest.raises(AttributeError):
+            c.dac_bits = 8
+
+    def test_fixed_weights_accessor(self):
+        w = DATCConfig().fixed_weights()
+        assert (w.w1, w.w2, w.w3) == (90, 166, 256)

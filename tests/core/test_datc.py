@@ -1,0 +1,164 @@
+"""Tests for the D-ATC behavioural encoder, including RTL equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.analog.comparator import Comparator
+from repro.analog.dac import DAC
+from repro.core.config import DATCConfig
+from repro.core.datc import datc_encode
+from repro.digital.dtc_rtl import DTCRtl
+
+
+class TestDatcEncodeBasics:
+    def test_stream_carries_levels(self, mid_pattern):
+        stream, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        assert stream.has_levels
+        assert stream.levels.size == stream.n_events
+        assert stream.symbols_per_event == 5
+
+    def test_levels_in_dac_range(self, mid_pattern):
+        stream, trace = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        if stream.n_events:
+            assert stream.levels.min() >= 1
+            assert stream.levels.max() <= 15
+        assert trace.levels.min() >= 1
+        assert trace.levels.max() <= 15
+
+    def test_trace_dimensions(self, mid_pattern):
+        config = DATCConfig()
+        _, trace = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        n_clocks = int(mid_pattern.duration_s * config.clock_hz)
+        assert trace.n_clocks == n_clocks
+        assert trace.n_frames == n_clocks // config.frame_size
+        assert trace.frame_ones.size == trace.n_frames
+        assert trace.frame_avr.size == trace.n_frames
+
+    def test_vth_from_levels_eqn3(self, mid_pattern):
+        _, trace = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        assert np.allclose(trace.vth, trace.levels / 16.0)
+
+    def test_level_constant_within_frames(self, mid_pattern):
+        config = DATCConfig()
+        _, trace = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        fs_frame = config.frame_size
+        for f in range(trace.n_frames):
+            seg = trace.levels[f * fs_frame : (f + 1) * fs_frame]
+            assert np.all(seg == seg[0])
+
+    def test_frame_ones_consistent_with_d_in(self, mid_pattern):
+        config = DATCConfig()
+        _, trace = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        for f in range(trace.n_frames):
+            seg = trace.d_in[f * config.frame_size : (f + 1) * config.frame_size]
+            assert seg.sum() == trace.frame_ones[f]
+
+    def test_threshold_tracks_amplitude(self, small_dataset):
+        """The mean selected level must be higher for a strong subject
+        than for a weak one — the core adaptation claim."""
+        weak = small_dataset.pattern(0)
+        strong = small_dataset.pattern(3)
+        _, t_weak = datc_encode(weak.emg, weak.fs)
+        _, t_strong = datc_encode(strong.emg, strong.fs)
+        assert t_strong.levels.mean() > t_weak.levels.mean() + 1.0
+
+    def test_deterministic(self, mid_pattern):
+        a, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        b, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.levels, b.levels)
+
+    def test_event_times_on_clock_grid(self, mid_pattern):
+        config = DATCConfig()
+        stream, _ = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        ticks = stream.times * config.clock_hz
+        assert np.allclose(ticks, np.round(ticks))
+
+    def test_vth_at_times_matches_event_levels(self, mid_pattern):
+        config = DATCConfig()
+        stream, trace = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        vths = trace.vth_at_times(stream.times - 0.5 / config.clock_hz)
+        assert np.allclose(vths, stream.levels / 16.0)
+
+    def test_duty_cycle_regulated(self, small_dataset):
+        """Whatever the subject amplitude, D-ATC keeps the sampled duty
+        cycle within the interval ladder's working band."""
+        for pid in range(len(small_dataset)):
+            p = small_dataset.pattern(pid)
+            _, trace = datc_encode(p.emg, p.fs)
+            active = trace.frame_ones[trace.frame_ones > 2]  # skip rests
+            if active.size:
+                assert active.mean() < 0.6 * 100
+
+
+class TestDatcEncodeOptions:
+    def test_frame_selector_changes_update_rate(self, mid_pattern):
+        _, t100 = datc_encode(mid_pattern.emg, mid_pattern.fs, DATCConfig(frame_selector=0))
+        _, t800 = datc_encode(mid_pattern.emg, mid_pattern.fs, DATCConfig(frame_selector=3))
+        assert t100.n_frames == 8 * t800.n_frames
+
+    def test_nonideal_dac_applies_inl_per_level(self, mid_pattern):
+        """An INL-skewed DAC shifts every applied threshold by the INL of
+        its code (the DTC feedback then re-adapts the *levels*, so the
+        mean effective threshold stays matched to the signal — which is
+        itself the adaptation working as intended)."""
+        inl = tuple(0.4 for _ in range(16))
+        dac = DAC(n_bits=4, inl_lsb=inl)
+        _, skewed = datc_encode(mid_pattern.emg, mid_pattern.fs, dac=dac)
+        assert np.allclose(skewed.vth, (skewed.levels + 0.4) / 16.0)
+
+    def test_dac_bits_mismatch_rejected(self, mid_pattern):
+        with pytest.raises(ValueError):
+            datc_encode(mid_pattern.emg, mid_pattern.fs, dac=DAC(n_bits=6))
+
+    def test_noisy_comparator_requires_rng(self, mid_pattern):
+        comp = Comparator(noise_rms_v=0.01)
+        with pytest.raises(ValueError):
+            datc_encode(mid_pattern.emg, mid_pattern.fs, comparator=comp)
+
+    def test_comparator_hysteresis_reduces_events(self, mid_pattern):
+        base, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        hyst, _ = datc_encode(
+            mid_pattern.emg, mid_pattern.fs, comparator=Comparator(hysteresis_v=0.08)
+        )
+        assert hyst.n_events < base.n_events
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            datc_encode(np.zeros(1), 2500.0)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            datc_encode(np.zeros((5, 5)), 2500.0)
+
+
+class TestRtlEquivalence:
+    """The paper's "Verilog results perfectly match the Matlab simulation
+    outputs" — here: the cycle-accurate DTC reproduces the behavioural
+    encoder bit-for-bit when both use the quantised arithmetic."""
+
+    @pytest.mark.parametrize("frame_selector", [0, 1])
+    def test_levels_match_on_real_pattern(self, mid_pattern, frame_selector):
+        config = DATCConfig(frame_selector=frame_selector, quantized=True)
+        _, trace = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+
+        dtc = DTCRtl(frame_selector=frame_selector, initial_level=config.initial_level)
+        out = dtc.run(trace.d_in)
+
+        assert np.array_equal(out["set_vth"], trace.levels)
+        assert np.array_equal(out["frame_levels"], trace.frame_levels)
+        assert np.array_equal(out["frame_ones"], trace.frame_ones)
+
+    def test_levels_match_on_weak_pattern(self, weak_pattern):
+        config = DATCConfig(quantized=True)
+        _, trace = datc_encode(weak_pattern.emg, weak_pattern.fs, config)
+        dtc = DTCRtl(initial_level=config.initial_level)
+        out = dtc.run(trace.d_in)
+        assert np.array_equal(out["set_vth"], trace.levels)
+
+    def test_quantized_and_float_levels_close(self, mid_pattern):
+        """The Q8 datapath may differ from the float reference by at most
+        one DAC step, and only at interval boundaries."""
+        _, tf = datc_encode(mid_pattern.emg, mid_pattern.fs, DATCConfig(quantized=False))
+        _, tq = datc_encode(mid_pattern.emg, mid_pattern.fs, DATCConfig(quantized=True))
+        assert np.max(np.abs(tf.levels - tq.levels)) <= 1

@@ -1,0 +1,157 @@
+"""Tests for the EventStream container."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream, merge_streams
+
+
+def make_stream(times, duration=10.0, levels=None, spe=1):
+    return EventStream(
+        times=np.asarray(times, dtype=float),
+        duration_s=duration,
+        levels=None if levels is None else np.asarray(levels),
+        symbols_per_event=spe,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        s = make_stream([1.0, 2.0, 3.0])
+        assert s.n_events == 3
+        assert s.mean_rate_hz == pytest.approx(0.3)
+        assert not s.has_levels
+
+    def test_symbol_accounting_atc(self):
+        s = make_stream([1.0] * 1, spe=1)
+        assert s.n_symbols == 1
+
+    def test_symbol_accounting_datc(self):
+        """Paper Sec. III-B: 3724 events x 5 symbols = 18620."""
+        times = np.linspace(0.1, 9.9, 3724)
+        s = make_stream(times, levels=np.ones(3724, dtype=int), spe=5)
+        assert s.n_symbols == 18_620
+
+    def test_empty_stream(self):
+        s = make_stream([])
+        assert s.n_events == 0
+        assert s.n_symbols == 0
+
+    def test_times_outside_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream([11.0], duration=10.0)
+        with pytest.raises(ValueError):
+            make_stream([-1.0])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream([2.0, 1.0])
+
+    def test_levels_shape_checked(self):
+        with pytest.raises(ValueError):
+            make_stream([1.0, 2.0], levels=[1])
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream([1.0], duration=0.0)
+
+    def test_bad_spe_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream([1.0], spe=0)
+
+
+class TestWindows:
+    def test_counts_sum_to_n_events(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 10, 137))
+        s = make_stream(times)
+        assert s.counts_in_windows(0.7).sum() == 137
+
+    def test_uniform_rate_counts(self):
+        times = np.arange(0.25, 10.0, 0.5)
+        s = make_stream(times)
+        counts = s.counts_in_windows(1.0)
+        assert np.all(counts == 2)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream([1.0]).counts_in_windows(0.0)
+
+
+class TestSliceAndDrop:
+    def test_slice_rereferences_times(self):
+        s = make_stream([1.0, 2.0, 3.0, 4.0], levels=[1, 2, 3, 4])
+        sub = s.slice(1.5, 3.5)
+        assert np.allclose(sub.times, [0.5, 1.5])
+        assert sub.levels.tolist() == [2, 3]
+        assert sub.duration_s == pytest.approx(2.0)
+
+    def test_slice_bounds_checked(self):
+        s = make_stream([1.0])
+        with pytest.raises(ValueError):
+            s.slice(5.0, 4.0)
+        with pytest.raises(ValueError):
+            s.slice(0.0, 11.0)
+
+    def test_drop_events_keeps_metadata(self):
+        s = make_stream([1.0, 2.0, 3.0], levels=[5, 6, 7], spe=5)
+        kept = s.drop_events(np.array([True, False, True]))
+        assert kept.n_events == 2
+        assert kept.levels.tolist() == [5, 7]
+        assert kept.symbols_per_event == 5
+        assert kept.duration_s == s.duration_s
+
+    def test_drop_mask_shape_checked(self):
+        s = make_stream([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.drop_events(np.array([True]))
+
+
+class TestLevels:
+    def test_level_voltages_eqn3(self):
+        s = make_stream([1.0, 2.0], levels=[8, 15])
+        v = s.level_voltages(vref=1.0, dac_bits=4)
+        assert np.allclose(v, [0.5, 0.9375])
+
+    def test_level_voltages_requires_levels(self):
+        with pytest.raises(ValueError):
+            make_stream([1.0]).level_voltages()
+
+    def test_inter_event_intervals(self):
+        s = make_stream([1.0, 3.0, 6.0])
+        assert np.allclose(s.inter_event_intervals(), [2.0, 3.0])
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        a = make_stream([1.0, 4.0])
+        b = make_stream([2.0, 3.0])
+        m = merge_streams([a, b])
+        assert np.allclose(m.times, [1.0, 2.0, 3.0, 4.0])
+
+    def test_merge_preserves_levels_when_all_have_them(self):
+        a = make_stream([1.0], levels=[3], spe=5)
+        b = make_stream([0.5], levels=[7], spe=5)
+        m = merge_streams([a, b])
+        assert m.levels.tolist() == [7, 3]
+
+    def test_merge_drops_levels_when_mixed(self):
+        a = make_stream([1.0], levels=[3])
+        b = make_stream([0.5])
+        assert merge_streams([a, b]).levels is None
+
+    def test_merge_requires_matching_duration(self):
+        a = make_stream([1.0], duration=10.0)
+        b = make_stream([1.0], duration=5.0)
+        with pytest.raises(ValueError):
+            merge_streams([a, b])
+
+    def test_merge_requires_matching_spe(self):
+        a = make_stream([1.0], spe=1)
+        b = make_stream([1.0], spe=5)
+        with pytest.raises(ValueError):
+            merge_streams([a, b])
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_streams([])

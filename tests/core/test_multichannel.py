@@ -1,0 +1,86 @@
+"""Tests for the multi-channel D-ATC system."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.core.multichannel import MultiChannelDATC
+from repro.rx.correlation import aligned_correlation_percent
+from repro.signals.emg import EMGModel, synthesize_emg
+from repro.signals.envelope import arv_envelope
+from repro.signals.force import mvc_grip_protocol, sinusoidal_profile
+
+
+@pytest.fixture(scope="module")
+def channel_signals():
+    fs = 2500.0
+    duration = 6.0
+    rng = np.random.default_rng(3)
+    profiles = [
+        mvc_grip_protocol(duration, fs),
+        sinusoidal_profile(duration, fs, mean=0.4, amplitude=0.2, frequency_hz=0.5),
+        mvc_grip_protocol(duration, fs, max_level=0.5, n_contractions=3),
+    ]
+    gains = (0.5, 0.25, 0.7)
+    signals = [
+        synthesize_emg(p, fs, EMGModel(gain_v=g), rng)
+        for p, g in zip(profiles, gains)
+    ]
+    return fs, signals
+
+
+class TestMultiChannelDATC:
+    def test_symbols_per_event(self):
+        system = MultiChannelDATC(n_channels=4)
+        # 1 marker + 2 address + 4 level = 7.
+        assert system.symbols_per_event == 7
+
+    def test_encode_merges_all_channels(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3)
+        result = system.encode(signals, fs)
+        assert len(result.channel_streams) == 3
+        assert result.n_events == sum(s.n_events for s in result.channel_streams)
+        assert result.n_symbols == result.n_events * system.symbols_per_event
+
+    def test_decode_recovers_channels(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3)
+        result = system.encode(signals, fs)
+        decoded = system.decode(result.merged)
+        for original, recovered in zip(result.channel_streams, decoded):
+            assert np.allclose(recovered.times, original.times)
+            assert np.array_equal(recovered.levels, original.levels)
+
+    def test_reconstruct_tracks_each_channel(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3)
+        result = system.encode(signals, fs)
+        reconstructions = system.reconstruct(result.merged)
+        for signal, recon in zip(signals, reconstructions):
+            reference = arv_envelope(signal, fs)
+            assert aligned_correlation_percent(recon, reference) > 80.0
+
+    def test_arbiter_spacing_respected(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3, min_spacing_s=1e-4)
+        result = system.encode(signals, fs)
+        if result.merged.n_events > 1:
+            assert np.all(np.diff(result.merged.times) >= 1e-4 - 1e-12)
+
+    def test_wrong_signal_count_rejected(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=2)
+        with pytest.raises(ValueError):
+            system.encode(signals, fs)
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            MultiChannelDATC(n_channels=0)
+
+    def test_custom_config_propagates(self, channel_signals):
+        fs, signals = channel_signals
+        config = DATCConfig(frame_selector=1)
+        system = MultiChannelDATC(n_channels=3, config=config)
+        result = system.encode(signals, fs)
+        assert all(t.frame_size == 200 for t in result.traces)

@@ -1,0 +1,51 @@
+"""Tests for the end-to-end encode/reconstruct pipeline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.pipeline import run_atc, run_datc
+
+
+class TestRunAtc:
+    def test_result_fields(self, mid_pattern):
+        r = run_atc(mid_pattern)
+        assert r.scheme == "atc"
+        assert r.n_events == r.stream.n_events
+        assert r.n_symbols == r.n_events  # 1 symbol per ATC event
+        assert r.reconstruction.size == int(mid_pattern.duration_s * r.fs_out)
+        assert -100.0 <= r.correlation_pct <= 100.0
+
+    def test_good_threshold_correlates(self, mid_pattern):
+        r = run_atc(mid_pattern, ATCConfig(vth=0.15))
+        assert r.correlation_pct > 85.0
+
+    def test_excessive_threshold_fails(self, weak_pattern):
+        """A fixed 0.5 V threshold on a weak subject misses everything."""
+        r = run_atc(weak_pattern, ATCConfig(vth=0.5))
+        assert r.n_events <= 2
+        assert r.correlation_pct < 50.0
+
+
+class TestRunDatc:
+    def test_result_fields(self, mid_pattern):
+        r = run_datc(mid_pattern)
+        assert r.scheme == "datc"
+        assert r.n_symbols == 5 * r.n_events
+        assert r.stream.has_levels
+
+    def test_correlates_on_all_subject_strengths(self, small_dataset):
+        """The adaptation claim: D-ATC works without per-subject trimming."""
+        for pid in range(len(small_dataset)):
+            r = run_datc(small_dataset.pattern(pid))
+            assert r.correlation_pct > 80.0, f"pattern {pid}"
+
+    def test_beats_fixed_threshold_on_weak_subject(self, weak_pattern):
+        atc = run_atc(weak_pattern, ATCConfig(vth=0.3))
+        datc = run_datc(weak_pattern)
+        assert datc.correlation_pct > atc.correlation_pct + 10.0
+
+    def test_custom_config_respected(self, mid_pattern):
+        r = run_datc(mid_pattern, DATCConfig(frame_selector=2))
+        assert isinstance(r.trace.frame_size, int)
+        assert r.trace.frame_size == 400

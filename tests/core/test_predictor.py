@@ -1,0 +1,153 @@
+"""Tests for the threshold predictor (Listing 1 / Eqn. 1)."""
+
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.core.intervals import interval_levels_float, select_level
+from repro.core.predictor import ThresholdPredictor
+
+
+class TestSelectLevel:
+    def test_listing1_floor_is_one(self):
+        levels = interval_levels_float(100)
+        assert select_level(0.0, levels) == 1
+        assert select_level(5.0, levels) == 1  # below interval_level_2 = 9
+
+    def test_top_level(self):
+        levels = interval_levels_float(100)
+        assert select_level(48.0, levels) == 15
+        assert select_level(100.0, levels) == 15
+
+    def test_boundary_inclusive(self):
+        """Listing 1 uses >=, so hitting a level exactly selects it."""
+        levels = interval_levels_float(100)
+        assert select_level(9.0, levels) == 2
+        assert select_level(8.999, levels) == 1
+
+    def test_monotone_in_avr(self):
+        levels = interval_levels_float(100)
+        selections = [select_level(a, levels) for a in range(0, 60)]
+        assert selections == sorted(selections)
+
+    def test_custom_min_level(self):
+        levels = interval_levels_float(100)
+        assert select_level(0.0, levels, min_level=0) == 0
+
+    def test_invalid_min_level(self):
+        levels = interval_levels_float(100)
+        with pytest.raises(ValueError):
+            select_level(0.0, levels, min_level=16)
+
+
+class TestPredictorFloat:
+    def test_initial_state(self):
+        p = ThresholdPredictor(DATCConfig(initial_level=8))
+        assert p.level == 8
+        assert p.vth == pytest.approx(0.5)
+        assert p.history == (0, 0)
+
+    def test_average_weighted_formula(self):
+        """AVR = (1*N3 + 0.65*N2 + 0.35*N1) / 2 (paper Listing 1)."""
+        p = ThresholdPredictor(DATCConfig())
+        p.update(40)  # history becomes (0, 40)
+        p.update(60)  # history becomes (40, 60)
+        expected = (1.0 * 20 + 0.65 * 60 + 0.35 * 40) / 2.0
+        assert p.average(20) == pytest.approx(expected)
+
+    def test_update_shifts_history(self):
+        p = ThresholdPredictor(DATCConfig())
+        p.update(10)
+        assert p.history == (0, 10)
+        p.update(20)
+        assert p.history == (10, 20)
+        p.update(30)
+        assert p.history == (20, 30)
+
+    def test_update_returns_new_level(self):
+        p = ThresholdPredictor(DATCConfig())
+        # Three saturated frames: AVR = 100 >= 48 -> level 15.
+        for _ in range(3):
+            level = p.update(100)
+        assert level == 15
+        assert p.level == 15
+
+    def test_quiet_input_floors_at_min_level(self):
+        p = ThresholdPredictor(DATCConfig())
+        for _ in range(3):
+            p.update(0)
+        assert p.level == 1
+
+    def test_count_out_of_range_rejected(self):
+        p = ThresholdPredictor(DATCConfig())
+        with pytest.raises(ValueError):
+            p.average(101)
+        with pytest.raises(ValueError):
+            p.average(-1)
+
+    def test_reset(self):
+        p = ThresholdPredictor(DATCConfig(initial_level=8))
+        p.update(50)
+        p.reset()
+        assert p.level == 8
+        assert p.history == (0, 0)
+
+
+class TestPredictorQuantized:
+    def test_matches_float_on_equal_counts(self):
+        """Equal counts: both arithmetics give the count exactly."""
+        pf = ThresholdPredictor(DATCConfig(quantized=False))
+        pq = ThresholdPredictor(DATCConfig(quantized=True))
+        for _ in range(3):
+            lf = pf.update(37)
+            lq = pq.update(37)
+        assert lf == lq
+
+    def test_quantized_average_is_integer(self):
+        p = ThresholdPredictor(DATCConfig(quantized=True))
+        p.update(13)
+        avr = p.average(29)
+        assert avr == int(avr)
+
+    def test_levels_close_to_float_everywhere(self):
+        """Q8 rounding can shift the level by at most one step, and only
+        right at an interval boundary."""
+        pf = ThresholdPredictor(DATCConfig(quantized=False))
+        pq = ThresholdPredictor(DATCConfig(quantized=True))
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        diffs = []
+        for _ in range(200):
+            n = int(rng.integers(0, 101))
+            diffs.append(abs(pf.update(n) - pq.update(n)))
+        assert max(diffs) <= 1
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize(
+        "duty,expected",
+        [
+            (0.0, 1),
+            (0.05, 1),   # below interval_level_2 = 0.09
+            (0.09, 2),
+            (0.25, 7),   # 25 >= 24 (level 7)
+            (0.48, 15),
+            (1.0, 15),
+        ],
+    )
+    def test_fixed_point_of_duty(self, duty, expected):
+        p = ThresholdPredictor(DATCConfig())
+        assert p.steady_state_level(duty) == expected
+
+    def test_steady_state_matches_repeated_updates(self):
+        p = ThresholdPredictor(DATCConfig())
+        duty = 0.3
+        count = int(duty * p.config.frame_size)
+        for _ in range(5):
+            p.update(count)
+        assert p.level == p.steady_state_level(duty)
+
+    def test_invalid_duty(self):
+        p = ThresholdPredictor(DATCConfig())
+        with pytest.raises(ValueError):
+            p.steady_state_level(1.5)

@@ -1,0 +1,156 @@
+"""Tests for the cycle-accurate Dynamic Threshold Controller."""
+
+import numpy as np
+import pytest
+
+from repro.digital.dtc_rtl import DTC_PORT_LIST, DTCPorts, DTCRtl
+from repro.digital.lut import FRAME_SIZES
+
+
+class TestPorts:
+    def test_twelve_ports_as_in_table1(self):
+        assert DTCPorts().n_ports == 12
+
+    def test_port_names_include_paper_signals(self):
+        names = {p[0] for p in DTC_PORT_LIST}
+        for required in ("CLK", "RST", "EN", "D_in", "Set_Vth", "VDD", "GND"):
+            assert required in names
+
+    def test_set_vth_is_four_bits(self):
+        widths = {name: width for name, width, _ in DTC_PORT_LIST}
+        assert widths["Set_Vth"] == 4
+
+
+class TestDTCRtlBasics:
+    def test_initial_level(self):
+        dtc = DTCRtl(initial_level=8)
+        assert dtc.set_vth_reg.q == 8
+
+    def test_level_constant_within_frame(self):
+        dtc = DTCRtl(frame_selector=0, initial_level=8)
+        levels = [dtc.step(1).set_vth for _ in range(100)]
+        assert all(lv == 8 for lv in levels)
+
+    def test_end_of_frame_every_frame_size_cycles(self):
+        dtc = DTCRtl(frame_selector=0)
+        flags = [dtc.step(0).end_of_frame for _ in range(250)]
+        assert [i for i, f in enumerate(flags) if f] == [99, 199]
+
+    @pytest.mark.parametrize("sel,size", list(enumerate(FRAME_SIZES)))
+    def test_all_frame_sizes(self, sel, size):
+        dtc = DTCRtl(frame_selector=sel)
+        flags = [dtc.step(1).end_of_frame for _ in range(size)]
+        assert flags[-1] and not any(flags[:-1])
+
+    def test_all_ones_saturates_to_top_level(self):
+        """A 100% duty input exceeds interval_level_15 = 0.48*frame."""
+        dtc = DTCRtl(frame_selector=0)
+        out = dtc.run(np.ones(300, dtype=np.uint8))
+        assert out["frame_levels"][-1] == 15
+
+    def test_all_zeros_falls_to_min_level(self):
+        dtc = DTCRtl(frame_selector=0, initial_level=8)
+        out = dtc.run(np.zeros(300, dtype=np.uint8))
+        assert out["frame_levels"][-1] == 1  # Listing 1's else-branch floor
+
+    def test_level_never_reaches_zero(self):
+        rng = np.random.default_rng(0)
+        dtc = DTCRtl(frame_selector=0)
+        out = dtc.run((rng.random(2000) < 0.02).astype(np.uint8))
+        assert out["set_vth"].min() >= 1
+
+    def test_frame_ones_counts_input(self):
+        dtc = DTCRtl(frame_selector=0)
+        d_in = np.zeros(100, dtype=np.uint8)
+        d_in[:37] = 1
+        out = dtc.run(d_in)
+        assert out["frame_ones"][0] == 37
+
+    def test_enable_low_freezes_state(self):
+        dtc = DTCRtl(frame_selector=0)
+        for _ in range(50):
+            dtc.step(1)
+        count = dtc.ones_counter.q
+        out = dtc.step(1, enable=False)
+        assert dtc.ones_counter.q == count
+        assert not out.end_of_frame
+
+    def test_reset_restores_initial_state(self):
+        dtc = DTCRtl(frame_selector=0, initial_level=8)
+        dtc.run(np.ones(250, dtype=np.uint8))
+        dtc.reset()
+        assert dtc.set_vth_reg.q == 8
+        assert dtc.ones_counter.q == 0
+        assert dtc.frame_counter.q == 0
+        assert dtc.history.taps() == (0, 0, 0)
+        assert dtc.cycles_elapsed == 0
+
+    def test_flip_flop_budget(self):
+        """1 + 10 + 10 + 30 + 4 = 55 architectural flops (In_reg, two
+        counters, 3x10 history, Set_Vth)."""
+        assert DTCRtl().n_flip_flops == 55
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DTCRtl(frame_selector=4)
+        with pytest.raises(ValueError):
+            DTCRtl(initial_level=16)
+        with pytest.raises(ValueError):
+            DTCRtl(min_level=16)
+        with pytest.raises(ValueError):
+            DTCRtl(initial_level=0, min_level=1)
+
+
+class TestDTCRtlDynamics:
+    def test_duty_cycle_steers_level(self):
+        """Higher input duty must settle at a higher Set_Vth."""
+
+        def settle(duty: float) -> int:
+            rng = np.random.default_rng(42)
+            dtc = DTCRtl(frame_selector=0)
+            d_in = (rng.random(2000) < duty).astype(np.uint8)
+            return int(dtc.run(d_in)["frame_levels"][-1])
+
+        levels = [settle(d) for d in (0.05, 0.2, 0.4, 0.6)]
+        assert levels == sorted(levels)
+        assert levels[0] <= 2
+        assert levels[-1] == 15
+
+    def test_constant_duty_matches_interval_ladder(self):
+        """For a deterministic duty d the settled level is the Eqn. (2)
+        lookup of d*frame_size (the weighted mean of equal counts is the
+        count itself)."""
+        frame = 100
+        duty_ones = 25  # 25% duty -> between 0.24 (level 7) and 0.27 (8)
+        d_in = np.tile(
+            np.concatenate([np.ones(duty_ones), np.zeros(frame - duty_ones)]),
+            6,
+        ).astype(np.uint8)
+        dtc = DTCRtl(frame_selector=0)
+        out = dtc.run(d_in)
+        assert out["frame_levels"][-1] == 7  # 25 >= 24 (level 7), < 27 (8)
+
+    def test_step_response_converges_within_three_frames(self):
+        """After an input duty step the level settles once the 3-frame
+        history has flushed."""
+        frame = 100
+        quiet = np.zeros(5 * frame, dtype=np.uint8)
+        rng = np.random.default_rng(3)
+        loud = (rng.random(6 * frame) < 0.45).astype(np.uint8)
+        dtc = DTCRtl(frame_selector=0)
+        out = dtc.run(np.concatenate([quiet, loud]))
+        settled = out["frame_levels"][-2:]
+        assert np.all(settled >= 13)
+
+    def test_avr_reported_at_end_of_frame(self):
+        dtc = DTCRtl(frame_selector=0)
+        avr = None
+        for i in range(100):
+            avr = dtc.step(1).avr
+        assert avr is not None and avr > 0
+
+    def test_d_out_follows_d_in(self):
+        dtc = DTCRtl()
+        pattern = [1, 0, 1, 1, 0]
+        outs = [dtc.step(b).d_out for b in pattern]
+        assert outs == pattern

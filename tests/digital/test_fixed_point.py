@@ -1,0 +1,92 @@
+"""Tests for fixed-point helpers and the quantised predictor weights."""
+
+import pytest
+
+from repro.digital.fixed_point import (
+    DEFAULT_WEIGHT_FRAC_BITS,
+    FixedWeights,
+    from_fixed,
+    quantize_weights,
+    to_fixed,
+)
+
+
+class TestToFromFixed:
+    def test_roundtrip_exact_values(self):
+        assert to_fixed(0.5, 8) == 128
+        assert from_fixed(128, 8) == 0.5
+
+    def test_rounding(self):
+        assert to_fixed(0.65, 8) == 166  # 166.4 rounds down
+        assert to_fixed(0.35, 8) == 90   # 89.6 rounds up
+
+    def test_zero_frac_bits(self):
+        assert to_fixed(3.0, 0) == 3
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            to_fixed(-0.1, 8)
+
+    def test_negative_frac_bits_rejected(self):
+        with pytest.raises(ValueError):
+            to_fixed(0.5, -1)
+        with pytest.raises(ValueError):
+            from_fixed(1, -1)
+
+
+class TestQuantizeWeights:
+    def test_paper_weights_in_q8(self):
+        assert quantize_weights((0.35, 0.65, 1.0), 8) == (90, 166, 256)
+
+    def test_weights_sum_to_power_of_two(self):
+        """The lucky identity 90 + 166 + 256 = 512 = 2 * 256 makes the
+        paper's /2 denominator an exact 9-bit shift."""
+        w = quantize_weights((0.35, 0.65, 1.0), 8)
+        assert sum(w) == 512
+
+
+class TestFixedWeights:
+    def test_from_floats_defaults(self):
+        w = FixedWeights.from_floats()
+        assert (w.w1, w.w2, w.w3) == (90, 166, 256)
+        assert w.frac_bits == DEFAULT_WEIGHT_FRAC_BITS
+        assert w.shift == 9
+
+    def test_average_equal_counts_is_identity(self):
+        """With all three counts equal the weighted mean equals the count
+        (weights sum to exactly 2^(shift))."""
+        w = FixedWeights.from_floats()
+        for n in (0, 1, 17, 100, 800):
+            assert w.average(n, n, n) == n
+
+    def test_average_weights_newest_most(self):
+        w = FixedWeights.from_floats()
+        newer_heavy = w.average(0, 0, 100)
+        older_heavy = w.average(100, 0, 0)
+        assert newer_heavy > older_heavy
+
+    def test_average_matches_float_within_bound(self):
+        w = FixedWeights.from_floats()
+        bound = w.max_error_vs((0.35, 0.65, 1.0), frame_size=800)
+        for n1, n2, n3 in [(800, 0, 0), (0, 800, 0), (123, 456, 789), (1, 2, 3)]:
+            ideal = (1.0 * n3 + 0.65 * n2 + 0.35 * n1) / 2.0
+            assert abs(w.average(n1, n2, n3) - ideal) <= bound
+
+    def test_error_bound_small_for_q8(self):
+        """8 fractional bits keep the worst-case error below ~2 counts for
+        the largest frame — far below the 24-count interval step."""
+        w = FixedWeights.from_floats()
+        assert w.max_error_vs((0.35, 0.65, 1.0), 800) < 2.5
+
+    def test_average_float_no_truncation(self):
+        w = FixedWeights.from_floats()
+        assert w.average_float(1, 1, 1) == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FixedWeights(w1=-1, w2=0, w3=0)
+
+    def test_custom_frac_bits(self):
+        w = FixedWeights.from_floats((0.35, 0.65, 1.0), frac_bits=4)
+        assert w.shift == 5
+        assert (w.w1, w.w2, w.w3) == (6, 10, 16)

@@ -1,0 +1,101 @@
+"""Tests for the Intervals LUT (paper Eqn. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.digital.lut import (
+    FRAME_SIZES,
+    N_INTERVALS,
+    IntervalLUT,
+    interval_fractions,
+    interval_levels,
+)
+
+
+class TestIntervalFractions:
+    def test_paper_ladder(self):
+        """0.03, 0.06, ..., 0.45, 0.48 — Eqn. (2)."""
+        f = interval_fractions()
+        assert f[0] == pytest.approx(0.03)
+        assert f[1] == pytest.approx(0.06)
+        assert f[14] == pytest.approx(0.45)
+        assert f[15] == pytest.approx(0.48)
+
+    def test_uniform_spacing(self):
+        f = interval_fractions()
+        assert np.allclose(np.diff(f), 0.03)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            interval_fractions(1)
+        with pytest.raises(ValueError):
+            interval_fractions(16, step=0.0)
+
+
+class TestIntervalLevels:
+    def test_scales_with_frame_size(self):
+        lv100 = interval_levels(100)
+        lv800 = interval_levels(800)
+        assert np.allclose(lv800, 8 * lv100)
+
+    def test_paper_example_values(self):
+        lv = interval_levels(100)
+        assert lv[15] == pytest.approx(48.0)  # 0.48 * 100
+        assert lv[0] == pytest.approx(3.0)    # 0.03 * 100
+
+    def test_invalid_frame_size(self):
+        with pytest.raises(ValueError):
+            interval_levels(0)
+
+
+class TestIntervalLUT:
+    def test_paper_frame_sizes(self):
+        assert FRAME_SIZES == (100, 200, 400, 800)
+        assert N_INTERVALS == 16
+
+    def test_entries_are_exact_integers(self):
+        """0.03*(i+1)*frame_size is an exact integer for all four legal
+        frame sizes — the LUT is lossless."""
+        lut = IntervalLUT()
+        for sel, size in enumerate(FRAME_SIZES):
+            ints = lut.entry(sel)
+            floats = interval_levels(size)
+            assert list(ints) == [int(round(v)) for v in floats]
+            assert np.allclose(ints, floats)
+
+    def test_entry_monotone(self):
+        lut = IntervalLUT()
+        for sel in range(4):
+            e = lut.entry(sel)
+            assert all(a < b for a, b in zip(e, e[1:]))
+
+    def test_level_accessor(self):
+        lut = IntervalLUT()
+        assert lut.level(0, 15) == 48
+        assert lut.level(3, 0) == 24
+
+    def test_frame_size_accessor(self):
+        lut = IntervalLUT()
+        assert lut.frame_size(2) == 400
+
+    def test_out_of_range_selector(self):
+        lut = IntervalLUT()
+        with pytest.raises(ValueError):
+            lut.entry(4)
+        with pytest.raises(ValueError):
+            lut.frame_size(-1)
+        with pytest.raises(ValueError):
+            lut.level(0, 16)
+
+    def test_rom_geometry(self):
+        lut = IntervalLUT()
+        assert lut.n_words == 64  # 4 frame sizes x 16 levels
+        assert lut.word_width_bits == 9  # max entry 384 = 0.48*800
+
+    def test_custom_frame_sizes(self):
+        lut = IntervalLUT(frame_sizes=(50,))
+        assert lut.entry(0)[0] == 2  # round(1.5)
+
+    def test_empty_frame_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalLUT(frame_sizes=())

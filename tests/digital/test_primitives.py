@@ -1,0 +1,142 @@
+"""Tests for the RTL primitives."""
+
+import pytest
+
+from repro.digital.primitives import Counter, Mux, Register, ShiftRegister, mask_for_width
+
+
+class TestMaskForWidth:
+    def test_values(self):
+        assert mask_for_width(1) == 1
+        assert mask_for_width(4) == 15
+        assert mask_for_width(10) == 1023
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mask_for_width(0)
+
+
+class TestRegister:
+    def test_reset_value(self):
+        r = Register(4, reset_value=8)
+        assert r.q == 8
+
+    def test_load_truncates_to_width(self):
+        r = Register(4)
+        r.load(0x1F)
+        assert r.q == 0xF
+
+    def test_reset_restores(self):
+        r = Register(4, reset_value=3)
+        r.load(9)
+        r.reset()
+        assert r.q == 3
+
+    def test_reset_value_must_fit(self):
+        with pytest.raises(ValueError):
+            Register(2, reset_value=4)
+
+    def test_flip_flop_count(self):
+        assert Register(10).n_flip_flops == 10
+
+
+class TestCounter:
+    def test_counts_when_enabled(self):
+        c = Counter(4)
+        for expected in range(1, 6):
+            assert c.tick() == expected
+
+    def test_holds_when_disabled(self):
+        c = Counter(4)
+        c.tick()
+        assert c.tick(enable=False) == 1
+
+    def test_wraps_by_default(self):
+        c = Counter(2)
+        for _ in range(4):
+            c.tick()
+        assert c.q == 0
+
+    def test_saturates_when_requested(self):
+        c = Counter(2, saturate=True)
+        for _ in range(10):
+            c.tick()
+        assert c.q == 3
+
+    def test_clear(self):
+        c = Counter(8)
+        c.tick()
+        c.clear()
+        assert c.q == 0
+
+    def test_ten_bit_counter_covers_max_frame(self):
+        """Paper: 10-bit wiring suffices for the 800-cycle frame."""
+        c = Counter(10)
+        for _ in range(800):
+            c.tick()
+        assert c.q == 800  # no wrap
+
+
+class TestShiftRegister:
+    def test_initially_zero(self):
+        s = ShiftRegister(10, 3)
+        assert s.taps() == (0, 0, 0)
+
+    def test_shift_order_oldest_first(self):
+        """shift_in models N_one1 <- N_one2 <- N_one3 <- new."""
+        s = ShiftRegister(10, 3)
+        s.shift_in(5)
+        assert s.taps() == (0, 0, 5)
+        s.shift_in(7)
+        assert s.taps() == (0, 5, 7)
+        s.shift_in(9)
+        assert s.taps() == (5, 7, 9)
+        s.shift_in(11)
+        assert s.taps() == (7, 9, 11)
+
+    def test_getitem(self):
+        s = ShiftRegister(8, 3)
+        s.shift_in(42)
+        assert s[2] == 42
+
+    def test_width_truncation(self):
+        s = ShiftRegister(4, 2)
+        s.shift_in(0x3F)
+        assert s[1] == 0xF
+
+    def test_reset(self):
+        s = ShiftRegister(4, 3)
+        s.shift_in(3)
+        s.reset()
+        assert s.taps() == (0, 0, 0)
+
+    def test_flip_flop_count(self):
+        assert ShiftRegister(10, 3).n_flip_flops == 30
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(4, 0)
+
+
+class TestMux:
+    def test_selects(self):
+        m = Mux(4, 10)
+        assert m.select((100, 200, 400, 800), 2) == 400
+
+    def test_select_out_of_range(self):
+        m = Mux(2, 4)
+        with pytest.raises(ValueError):
+            m.select((1, 2), 2)
+
+    def test_wrong_input_count(self):
+        m = Mux(4, 4)
+        with pytest.raises(ValueError):
+            m.select((1, 2), 0)
+
+    def test_width_truncation(self):
+        m = Mux(2, 4)
+        assert m.select((0xFF, 0), 0) == 0xF
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Mux(1, 4)

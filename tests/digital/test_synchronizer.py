@@ -1,0 +1,86 @@
+"""Tests for the In_reg clock-domain-crossing model."""
+
+import numpy as np
+import pytest
+
+from repro.digital.synchronizer import Synchronizer, sample_at_clock
+
+
+class TestSampleAtClock:
+    def test_length(self):
+        dense = np.zeros(2500, dtype=np.uint8)  # 1 s at 2500 Hz
+        out = sample_at_clock(dense, 2500.0, 2000.0)
+        assert out.size == 2000
+
+    def test_samples_most_recent_value(self):
+        # Dense stream at 4 Hz: 0 0 1 1; clock at 2 Hz samples idx 1 and 3.
+        dense = np.array([0, 0, 1, 1], dtype=np.uint8)
+        out = sample_at_clock(dense, 4.0, 2.0)
+        assert out.tolist() == [0, 1]
+
+    def test_identity_when_rates_match(self):
+        dense = np.array([0, 1, 0, 1, 1], dtype=np.uint8)
+        out = sample_at_clock(dense, 1000.0, 1000.0)
+        assert np.array_equal(out, dense)
+
+    def test_explicit_n_clocks(self):
+        dense = np.ones(1000, dtype=np.uint8)
+        out = sample_at_clock(dense, 1000.0, 500.0, n_clocks=100)
+        assert out.size == 100
+
+    def test_too_many_clocks_rejected(self):
+        dense = np.ones(10, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            sample_at_clock(dense, 10.0, 10.0, n_clocks=11)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            sample_at_clock(np.zeros(4), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            sample_at_clock(np.zeros(4), 1.0, -1.0)
+
+
+class TestSynchronizer:
+    def test_single_stage_is_transparent(self):
+        dense = np.tile([0, 0, 1, 1], 100).astype(np.uint8)
+        sync = Synchronizer(n_stages=1)
+        out = sync.synchronize(dense, 400.0, 400.0)
+        assert np.array_equal(out, dense)
+
+    def test_double_flop_delays_one_clock(self):
+        dense = np.array([1, 1, 1, 1], dtype=np.uint8)
+        sync = Synchronizer(n_stages=2)
+        out = sync.synchronize(dense, 4.0, 4.0)
+        assert out.tolist() == [0, 1, 1, 1]
+
+    def test_latency_property(self):
+        assert Synchronizer(n_stages=3).latency_clocks == 3
+        assert Synchronizer(n_stages=3).n_flip_flops == 3
+
+    def test_metastability_requires_rng(self):
+        sync = Synchronizer(metastability_window_s=1e-4)
+        with pytest.raises(ValueError):
+            sync.synchronize(np.zeros(100, dtype=np.uint8), 1000.0, 1000.0)
+
+    def test_metastability_only_near_transitions(self, rng):
+        """A constant input has no transitions, so even a huge aperture
+        must not corrupt any sample."""
+        dense = np.ones(1000, dtype=np.uint8)
+        sync = Synchronizer(metastability_window_s=1.0)
+        out = sync.synchronize(dense, 1000.0, 1000.0, rng=rng)
+        assert np.all(out == 1)
+
+    def test_metastability_randomises_edge_samples(self):
+        """With an aperture spanning every sample and an alternating
+        input, some samples must flip relative to the ideal ones."""
+        dense = np.tile([0, 1], 2000).astype(np.uint8)
+        ideal = sample_at_clock(dense, 4000.0, 4000.0)
+        sync = Synchronizer(metastability_window_s=1.0)
+        out = sync.synchronize(dense, 4000.0, 4000.0, rng=np.random.default_rng(0))
+        assert not np.array_equal(out, ideal)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Synchronizer(n_stages=0)
+        with pytest.raises(ValueError):
+            Synchronizer(metastability_window_s=-1.0)

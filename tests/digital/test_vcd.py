@@ -1,0 +1,94 @@
+"""Tests for the VCD waveform dumper."""
+
+import numpy as np
+import pytest
+
+from repro.digital.dtc_rtl import DTCRtl
+from repro.digital.vcd import VCDSignal, dump_vcd, vcd_from_dtc_run
+
+
+def parse_vcd(path):
+    """Minimal VCD parser: returns (var declarations, change records)."""
+    variables = {}
+    changes = []
+    time = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <ident> <name> [...] $end
+                variables[parts[3]] = (parts[4], int(parts[2]))
+            elif line.startswith("#"):
+                time = int(line[1:])
+            elif line and time is not None and not line.startswith("$"):
+                changes.append((time, line))
+    return variables, changes
+
+
+class TestDumpVcd:
+    def test_header_and_vars(self, tmp_path):
+        path = str(tmp_path / "w.vcd")
+        dump_vcd(path, [VCDSignal("SIG", 4, np.array([1, 2, 3]))])
+        text = open(path).read()
+        assert "$timescale 1 ns $end" in text
+        assert "$enddefinitions $end" in text
+        variables, _ = parse_vcd(path)
+        names = {name for name, _ in variables.values()}
+        assert "CLK" in names and "SIG" in names
+
+    def test_only_changes_emitted(self, tmp_path):
+        path = str(tmp_path / "w.vcd")
+        dump_vcd(path, [VCDSignal("S", 1, np.array([1, 1, 1, 0]))])
+        text = open(path).read()
+        # The signal value appears once initially and once at the 1->0 edge.
+        variables, changes = parse_vcd(path)
+        sig_ident = next(i for i, (n, _) in variables.items() if n == "S")
+        sig_changes = [c for _, c in changes if c.endswith(sig_ident) and not c.startswith("b")]
+        assert len([c for c in sig_changes if c[0] in "01"]) >= 2
+
+    def test_clock_period_matches(self, tmp_path):
+        path = str(tmp_path / "w.vcd")
+        dump_vcd(path, [VCDSignal("S", 1, np.array([0, 1]))], clock_hz=2000.0)
+        text = open(path).read()
+        assert "#500000" in text  # 0.5 ms period at 2 kHz, in ns
+
+    def test_value_width_checked(self):
+        with pytest.raises(ValueError):
+            VCDSignal("S", 2, np.array([4]))
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_vcd(
+                str(tmp_path / "w.vcd"),
+                [
+                    VCDSignal("A", 1, np.array([0, 1])),
+                    VCDSignal("B", 1, np.array([0])),
+                ],
+            )
+
+    def test_empty_signals_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_vcd(str(tmp_path / "w.vcd"), [])
+
+
+class TestVcdFromDtcRun:
+    def test_traces_match_direct_run(self, tmp_path, rng):
+        d_in = (rng.random(500) < 0.3).astype(np.uint8)
+        traces = vcd_from_dtc_run(str(tmp_path / "dtc.vcd"), d_in)
+        reference = DTCRtl().run(d_in)
+        assert np.array_equal(traces["set_vth"], reference["set_vth"])
+        assert np.array_equal(traces["end_of_frame"], reference["end_of_frame"])
+
+    def test_file_contains_all_dtc_signals(self, tmp_path, rng):
+        path = str(tmp_path / "dtc.vcd")
+        d_in = (rng.random(200) < 0.5).astype(np.uint8)
+        vcd_from_dtc_run(path, d_in)
+        variables, _ = parse_vcd(path)
+        names = {name for name, _ in variables.values()}
+        for expected in ("D_in", "D_out", "End_of_frame", "Set_Vth", "N_one", "Frame_count"):
+            assert expected in names
+
+    def test_empty_input_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            vcd_from_dtc_run(str(tmp_path / "x.vcd"), np.zeros(0, dtype=np.uint8))

@@ -1,0 +1,75 @@
+"""Tests for the standard-cell library model."""
+
+import pytest
+
+from repro.hardware.cells import CellLibrary, StdCell, hv180_library
+
+
+class TestStdCell:
+    def test_valid_cell(self):
+        c = StdCell("X", area_um2=10.0, switch_energy_fj=50.0)
+        assert c.clock_energy_fj == 0.0
+
+    def test_invalid_area(self):
+        with pytest.raises(ValueError):
+            StdCell("X", area_um2=0.0, switch_energy_fj=1.0)
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            StdCell("X", area_um2=1.0, switch_energy_fj=-1.0)
+
+
+class TestHv180Library:
+    def test_process_metadata(self):
+        lib = hv180_library()
+        assert lib.vdd_v == 1.8
+        assert "0.18" in lib.process
+
+    def test_contains_required_cells(self):
+        lib = hv180_library()
+        for name in ("INV", "NAND2", "XOR2", "MUX2", "HA", "FA", "DFFR", "BUF"):
+            assert lib.cell(name).name == name
+
+    def test_unknown_cell_raises_with_names(self):
+        lib = hv180_library()
+        with pytest.raises(KeyError, match="NAND2"):
+            lib.cell("NAND99")
+
+    def test_only_sequential_cells_have_clock_energy(self):
+        lib = hv180_library()
+        for name, cell in lib.cells.items():
+            if name == "DFFR":
+                assert cell.clock_energy_fj > 0
+            else:
+                assert cell.clock_energy_fj == 0
+
+    def test_area_ordering_sensible(self):
+        """Flip-flops are the biggest cells; inverters the smallest."""
+        lib = hv180_library()
+        assert lib.cell("DFFR").area_um2 > lib.cell("FA").area_um2 > lib.cell("INV").area_um2
+
+
+class TestVoltageScaling:
+    def test_energy_scales_quadratically(self):
+        lib = hv180_library()
+        lv = lib.scaled(0.9)  # half the supply
+        for name in lib.cells:
+            assert lv.cell(name).switch_energy_fj == pytest.approx(
+                lib.cell(name).switch_energy_fj / 4.0
+            )
+
+    def test_leakage_scales_linearly(self):
+        lib = hv180_library()
+        lv = lib.scaled(0.9)
+        assert lv.cell("INV").leakage_pw == pytest.approx(
+            lib.cell("INV").leakage_pw / 2.0
+        )
+
+    def test_area_unchanged(self):
+        lib = hv180_library()
+        lv = lib.scaled(1.2)
+        assert lv.cell("DFFR").area_um2 == lib.cell("DFFR").area_um2
+
+    def test_invalid_vdd(self):
+        with pytest.raises(ValueError):
+            hv180_library().scaled(0.0)

@@ -1,0 +1,77 @@
+"""Tests for the structural DTC netlist."""
+
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.hardware.netlist import Netlist, build_dtc_netlist
+
+
+class TestDefaultNetlist:
+    def test_cell_count_near_table1(self):
+        """Paper Table I: 512 cells.  The structural estimate must land
+        within 10%."""
+        nl = build_dtc_netlist()
+        assert abs(nl.n_cells - 512) / 512 < 0.10
+
+    def test_twelve_ports(self):
+        assert build_dtc_netlist().n_ports == 12
+
+    def test_flip_flop_budget(self):
+        """55 architectural flops + the End_of_frame flag = 56 DFFR."""
+        nl = build_dtc_netlist()
+        assert nl.n_sequential == 56
+
+    def test_combinational_remainder(self):
+        nl = build_dtc_netlist()
+        assert nl.n_combinational == nl.n_cells - nl.n_sequential
+
+    def test_blocks_cover_all_instances(self):
+        nl = build_dtc_netlist()
+        assert sum(nl.blocks.values()) == nl.n_cells
+
+    def test_expected_blocks_present(self):
+        nl = build_dtc_netlist()
+        for block in (
+            "registers",
+            "counters",
+            "eof_compare",
+            "frame_mux",
+            "predictor_avg",
+            "interval_compare",
+            "priority_encoder",
+            "interval_lut",
+            "control",
+            "buffers",
+        ):
+            assert block in nl.blocks, block
+
+
+class TestNetlistScaling:
+    def test_more_dac_bits_more_cells(self):
+        small = build_dtc_netlist(
+            DATCConfig(dac_bits=3, n_levels=8, initial_level=4)
+        )
+        big = build_dtc_netlist(
+            DATCConfig(dac_bits=6, n_levels=64, initial_level=32)
+        )
+        assert big.n_cells > small.n_cells
+
+    def test_wider_frames_cost_flops(self):
+        """Larger maximum frame sizes widen every counter and register."""
+        narrow = build_dtc_netlist(DATCConfig(frame_sizes=(100,), frame_selector=0))
+        wide = build_dtc_netlist(
+            DATCConfig(frame_sizes=(100, 200, 400, 800, 1600, 3200))
+        )
+        assert wide.n_sequential > narrow.n_sequential
+
+    def test_single_frame_size_drops_mux(self):
+        nl = build_dtc_netlist(DATCConfig(frame_sizes=(100,)))
+        assert nl.blocks.get("frame_mux", 0) == 0
+
+
+class TestNetlistObject:
+    def test_empty_netlist(self):
+        nl = Netlist(name="empty", instances={}, ports=())
+        assert nl.n_cells == 0
+        assert nl.n_sequential == 0
+        assert nl.n_ports == 0

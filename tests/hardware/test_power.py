@@ -1,0 +1,93 @@
+"""Tests for the power model."""
+
+import numpy as np
+import pytest
+
+from repro.digital.dtc_rtl import DTCRtl
+from repro.hardware.cells import hv180_library
+from repro.hardware.netlist import build_dtc_netlist
+from repro.hardware.power import (
+    ActivityProfile,
+    activity_from_rtl,
+    estimate_power,
+)
+
+
+class TestEstimatePower:
+    def test_table1_magnitude(self):
+        """Paper Table I: ~70 nW dynamic at 2 kHz / 1.8 V."""
+        report = estimate_power(build_dtc_netlist(), hv180_library())
+        assert 50.0 <= report.dynamic_nw <= 90.0
+
+    def test_power_scales_linearly_with_clock(self):
+        nl, lib = build_dtc_netlist(), hv180_library()
+        p2k = estimate_power(nl, lib, clock_hz=2000.0)
+        p4k = estimate_power(nl, lib, clock_hz=4000.0)
+        assert p4k.dynamic_nw == pytest.approx(2 * p2k.dynamic_nw)
+
+    def test_leakage_independent_of_clock(self):
+        nl, lib = build_dtc_netlist(), hv180_library()
+        assert estimate_power(nl, lib, 2000.0).leakage_nw == pytest.approx(
+            estimate_power(nl, lib, 4000.0).leakage_nw
+        )
+
+    def test_voltage_scaling_quadratic(self):
+        nl, lib = build_dtc_netlist(), hv180_library()
+        base = estimate_power(nl, lib)
+        low = estimate_power(nl, lib.scaled(0.9))
+        assert low.dynamic_nw == pytest.approx(base.dynamic_nw / 4.0, rel=1e-6)
+
+    def test_zero_activity_leaves_clock_power(self):
+        nl, lib = build_dtc_netlist(), hv180_library()
+        quiet = estimate_power(
+            nl, lib, activity=ActivityProfile(ff_activity=0.0, comb_activity=0.0)
+        )
+        assert quiet.sequential_nw == 0.0
+        assert quiet.combinational_nw == 0.0
+        assert quiet.clock_nw > 0.0
+
+    def test_breakdown_sums(self):
+        report = estimate_power(build_dtc_netlist(), hv180_library())
+        assert report.dynamic_nw == pytest.approx(
+            report.clock_nw + report.sequential_nw + report.combinational_nw
+        )
+        assert report.total_nw == pytest.approx(report.dynamic_nw + report.leakage_nw)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            estimate_power(build_dtc_netlist(), hv180_library(), clock_hz=0.0)
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            ActivityProfile(ff_activity=-0.1)
+
+
+class TestActivityFromRtl:
+    def test_busy_input_more_active_than_quiet(self):
+        rng = np.random.default_rng(0)
+        busy_bits = (rng.random(2000) < 0.4).astype(np.uint8)
+        quiet_bits = np.zeros(2000, dtype=np.uint8)
+        busy = activity_from_rtl(DTCRtl(), busy_bits)
+        quiet = activity_from_rtl(DTCRtl(), quiet_bits)
+        assert busy.ff_activity > quiet.ff_activity
+
+    def test_source_tag(self):
+        act = activity_from_rtl(DTCRtl(), np.ones(200, dtype=np.uint8))
+        assert act.source == "rtl-simulation"
+
+    def test_comb_tracks_ff(self):
+        act = activity_from_rtl(DTCRtl(), np.ones(500, dtype=np.uint8))
+        assert act.comb_activity == pytest.approx(1.6 * act.ff_activity)
+
+    def test_power_from_measured_activity_reasonable(self):
+        """Power with simulated activity stays the same order of magnitude
+        as the default-assumption figure."""
+        rng = np.random.default_rng(1)
+        bits = (rng.random(4000) < 0.25).astype(np.uint8)
+        act = activity_from_rtl(DTCRtl(), bits)
+        report = estimate_power(build_dtc_netlist(), hv180_library(), activity=act)
+        assert 20.0 <= report.dynamic_nw <= 150.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            activity_from_rtl(DTCRtl(), np.zeros(0, dtype=np.uint8))

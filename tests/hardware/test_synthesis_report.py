@@ -1,0 +1,75 @@
+"""Tests for synthesis reporting and Table I generation."""
+
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.hardware.cells import hv180_library
+from repro.hardware.netlist import build_dtc_netlist
+from repro.hardware.report import PAPER_TABLE1, generate_table1
+from repro.hardware.synthesis import synthesize
+
+
+class TestSynthesize:
+    def test_area_near_table1(self):
+        """Paper Table I: 11700 um^2 core area; model within 15%."""
+        report = synthesize(build_dtc_netlist())
+        assert abs(report.core_area_um2 - 11_700) / 11_700 < 0.15
+
+    def test_utilization_inflates_core(self):
+        nl = build_dtc_netlist()
+        tight = synthesize(nl, utilization=1.0)
+        loose = synthesize(nl, utilization=0.7)
+        assert loose.core_area_um2 == pytest.approx(tight.cell_area_um2 / 0.7)
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            synthesize(build_dtc_netlist(), utilization=0.0)
+        with pytest.raises(ValueError):
+            synthesize(build_dtc_netlist(), utilization=1.5)
+
+    def test_area_by_block_sums_to_total(self):
+        report = synthesize(build_dtc_netlist())
+        assert sum(report.area_by_block().values()) == pytest.approx(
+            report.cell_area_um2, rel=1e-9
+        )
+
+    def test_cells_and_ports_passthrough(self):
+        nl = build_dtc_netlist()
+        report = synthesize(nl)
+        assert report.n_cells == nl.n_cells
+        assert report.n_ports == 12
+
+
+class TestTableOne:
+    def test_all_rows_present(self):
+        t1 = generate_table1()
+        d = t1.as_dict()
+        assert set(d) == set(PAPER_TABLE1)
+
+    def test_matches_paper_within_tolerance(self):
+        """The calibrated model reproduces every Table I row closely:
+        exact supply/clock/ports, cells and area within 15%, power within
+        30% of the ~70 nW figure."""
+        t1 = generate_table1()
+        assert t1.power_supply_v == PAPER_TABLE1["power_supply_v"]
+        assert t1.clock_hz == PAPER_TABLE1["clock_hz"]
+        assert t1.n_ports == PAPER_TABLE1["n_ports"]
+        assert abs(t1.n_cells - 512) / 512 < 0.15
+        assert abs(t1.core_area_um2 - 11_700) / 11_700 < 0.15
+        assert abs(t1.dynamic_power_nw - 70.0) / 70.0 < 0.30
+
+    def test_format_table_mentions_all_quantities(self):
+        text = generate_table1().format_table()
+        for needle in ("Power supply", "cells", "ports", "Core area", "Dynamic power"):
+            assert needle in text
+
+    def test_bigger_dac_costs_more(self):
+        base = generate_table1()
+        big = generate_table1(DATCConfig(dac_bits=6, n_levels=64, initial_level=32))
+        assert big.n_cells > base.n_cells
+        assert big.core_area_um2 > base.core_area_um2
+        assert big.dynamic_power_nw > base.dynamic_power_nw
+
+    def test_custom_library(self):
+        t1 = generate_table1(library=hv180_library().scaled(1.2))
+        assert t1.power_supply_v == pytest.approx(1.2)

@@ -1,0 +1,69 @@
+"""Tests for the static timing model."""
+
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.hardware.timing import TimingParameters, TimingReport, estimate_timing
+
+
+class TestEstimateTiming:
+    def test_default_report_structure(self):
+        report = estimate_timing()
+        assert report.critical_path_ns > 0
+        assert len(report.stages) >= 5
+
+    def test_two_khz_slack_is_enormous(self):
+        """The whole point of the operating point: timing closes with
+        orders of magnitude to spare at 2 kHz."""
+        report = estimate_timing()
+        assert report.slack_ratio > 1000.0
+        assert report.slack_at_clock_s > 0
+
+    def test_f_max_in_plausible_band(self):
+        """An HV 0.18 um ripple-carry datapath lands in the 10-100 MHz
+        decade, not GHz and not kHz."""
+        report = estimate_timing()
+        assert 5e6 < report.f_max_hz < 200e6
+
+    def test_critical_path_sums_stages(self):
+        report = estimate_timing()
+        assert report.critical_path_ns == pytest.approx(sum(report.stages.values()))
+
+    def test_wider_counters_are_slower(self):
+        fast = estimate_timing(DATCConfig(frame_sizes=(100,)))
+        slow = estimate_timing(DATCConfig(frame_sizes=(100, 200, 400, 800, 1600, 3200)))
+        assert slow.critical_path_ns > fast.critical_path_ns
+
+    def test_slower_cells_slower_path(self):
+        slow_params = TimingParameters(
+            clk_to_q_ns=1.3, setup_ns=0.7, full_adder_ns=0.96,
+            mux_ns=0.6, gate_ns=0.36, comparator_bit_ns=0.5,
+        )
+        assert (
+            estimate_timing(params=slow_params).critical_path_ns
+            > estimate_timing().critical_path_ns
+        )
+
+    def test_format_table(self):
+        text = estimate_timing().format_table()
+        assert "critical path" in text
+        assert "f_max" in text
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            estimate_timing(clock_hz=0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TimingParameters(clk_to_q_ns=0.0)
+
+    def test_report_clock_override(self):
+        report = estimate_timing(clock_hz=4000.0)
+        assert report.slack_ratio == pytest.approx(report.f_max_hz / 4000.0)
+
+
+class TestTimingReport:
+    def test_empty_report(self):
+        report = TimingReport(stages={"only": 10.0})
+        assert report.critical_path_ns == 10.0
+        assert report.f_max_hz == pytest.approx(1e8)

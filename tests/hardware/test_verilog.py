@@ -1,0 +1,93 @@
+"""Tests for the Verilog emitter (structural checks — no simulator here)."""
+
+import re
+
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.digital.lut import IntervalLUT
+from repro.hardware.verilog import generate_dtc_verilog
+
+
+@pytest.fixture(scope="module")
+def rtl():
+    return generate_dtc_verilog()
+
+
+class TestModuleStructure:
+    def test_module_declaration(self, rtl):
+        assert rtl.startswith("// ")
+        assert "module dtc_top (" in rtl
+        assert rtl.rstrip().endswith("endmodule")
+
+    def test_all_table1_signal_ports_present(self, rtl):
+        for port in ("CLK", "RST", "EN", "D_in", "Frame_selector", "Set_Vth",
+                     "D_out", "End_of_frame", "Dbg_state"):
+            assert re.search(rf"\b{port}\b", rtl), port
+
+    def test_balanced_begin_end(self, rtl):
+        # Count code tokens only (comments may legitimately say "end-of-frame").
+        code = "\n".join(line.split("//")[0] for line in rtl.splitlines())
+        begins = len(re.findall(r"\bbegin\b", code))
+        ends = len(re.findall(r"\bend\b", code))
+        assert begins == ends
+
+    def test_balanced_case(self, rtl):
+        assert rtl.count("case (") == rtl.count("endcase")
+
+    def test_custom_module_name(self):
+        text = generate_dtc_verilog(module_name="my_dtc")
+        assert "module my_dtc (" in text
+
+
+class TestGeneratedConstants:
+    def test_q8_weights_emitted(self, rtl):
+        """The weighted sum must use the exact Q8 constants 256/166/90."""
+        assert "256 * " in rtl
+        assert "166 * " in rtl
+        assert "90 * " in rtl
+        assert ">> 9" in rtl
+
+    def test_frame_sizes_in_mux(self, rtl):
+        for size in (100, 200, 400, 800):
+            assert f"10'd{size};" in rtl
+
+    def test_interval_lut_values_match_python(self, rtl):
+        """Every Intervals LUT entry baked into the RTL equals the Python
+        LUT's value."""
+        lut = IntervalLUT()
+        for sel in range(4):
+            for i, level in enumerate(lut.entry(sel)):
+                assert f"interval_level[{i}] = 9'd{level};" in rtl
+
+    def test_reset_level_emitted(self, rtl):
+        assert "Set_Vth       <= 4'd8;" in rtl  # mid-scale reset
+
+    def test_floor_level_in_priority_chain(self, rtl):
+        assert "next_level = 4'd1;" in rtl  # Listing 1's else branch
+
+    def test_priority_chain_covers_levels_2_to_15(self, rtl):
+        for level in range(2, 16):
+            assert f"(avr >= interval_level[{level}])" in rtl
+        assert "(avr >= interval_level[1])" not in rtl
+
+
+class TestConfigurability:
+    def test_three_bit_dac_variant(self):
+        config = DATCConfig(
+            dac_bits=3, n_levels=8, interval_step=0.48 / 8, initial_level=4
+        )
+        text = generate_dtc_verilog(config)
+        assert "output reg  [2:0]           Set_Vth," in text
+        assert "next_level = 3'd7;" in text  # top level of the 8-level ladder
+
+    def test_single_frame_size_variant(self):
+        """One legal frame size shrinks the counters to 7 bits and drops
+        the other sizes from the mux."""
+        config = DATCConfig(frame_sizes=(100,), frame_selector=0)
+        text = generate_dtc_verilog(config)
+        assert "7'd100;" in text
+        assert "'d800" not in text
+
+    def test_rtl_is_deterministic(self):
+        assert generate_dtc_verilog() == generate_dtc_verilog()

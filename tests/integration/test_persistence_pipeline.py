@@ -1,0 +1,51 @@
+"""Integration: persistence closes the loop around the full pipeline.
+
+A recording saved to disk, reloaded, encoded, with its event stream saved
+and reloaded again, must reconstruct identically — the workflow a user
+with *real* recordings would follow (see docs/DATASET.md §5).
+"""
+
+import numpy as np
+
+from repro.core.datc import datc_encode
+from repro.rx.correlation import aligned_correlation_percent
+from repro.rx.reconstruction import reconstruct_hybrid
+from repro.signals.io import (
+    load_event_stream,
+    load_pattern,
+    save_event_stream,
+    save_pattern,
+)
+
+
+class TestPersistencePipeline:
+    def test_offline_workflow_identical_to_inline(self, tmp_path, mid_pattern):
+        # Inline: encode and reconstruct directly.
+        stream_inline, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        recon_inline = reconstruct_hybrid(stream_inline)
+
+        # Offline: recording -> disk -> encoder -> disk -> decoder.
+        pattern_path = str(tmp_path / "recording.npz")
+        events_path = str(tmp_path / "events.npz")
+        save_pattern(pattern_path, mid_pattern)
+        reloaded = load_pattern(pattern_path)
+        stream_offline, _ = datc_encode(reloaded.emg, reloaded.fs)
+        save_event_stream(events_path, stream_offline)
+        recon_offline = reconstruct_hybrid(load_event_stream(events_path))
+
+        assert np.array_equal(recon_inline, recon_offline)
+
+    def test_reloaded_ground_truth_scores_identically(self, tmp_path, mid_pattern):
+        path = str(tmp_path / "recording.npz")
+        save_pattern(path, mid_pattern)
+        reloaded = load_pattern(path)
+
+        stream, _ = datc_encode(reloaded.emg, reloaded.fs)
+        recon = reconstruct_hybrid(stream)
+        corr_reloaded = aligned_correlation_percent(
+            recon, reloaded.ground_truth_envelope()
+        )
+        corr_original = aligned_correlation_percent(
+            recon, mid_pattern.ground_truth_envelope()
+        )
+        assert corr_reloaded == corr_original

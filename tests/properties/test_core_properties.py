@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the core encoders and predictor."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atc import rising_edges
+from repro.core.config import DATCConfig
+from repro.core.events import EventStream
+from repro.core.intervals import interval_levels_float, select_level
+from repro.core.predictor import ThresholdPredictor
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=400).map(
+    lambda v: np.asarray(v, dtype=np.uint8)
+)
+
+
+class TestRisingEdgesProperties:
+    @given(bits=bits_arrays, initial=st.integers(0, 1))
+    def test_edges_point_at_ones_preceded_by_zeros(self, bits, initial):
+        idx = rising_edges(bits, initial=initial)
+        prev = np.concatenate([[initial], bits[:-1]])
+        for i in idx:
+            assert bits[i] == 1 and prev[i] == 0
+
+    @given(bits=bits_arrays)
+    def test_edge_count_equals_block_count(self, bits):
+        padded = np.concatenate([[0], bits])
+        blocks = int(np.count_nonzero(np.diff(padded) == 1))
+        assert rising_edges(bits).size == blocks
+
+    @given(bits=bits_arrays, initial=st.integers(0, 1))
+    def test_edges_strictly_increasing(self, bits, initial):
+        idx = rising_edges(bits, initial=initial)
+        assert np.all(np.diff(idx) > 0)
+
+
+class TestSelectLevelProperties:
+    @given(avr=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+    def test_result_in_range(self, avr):
+        levels = interval_levels_float(100)
+        lv = select_level(avr, levels)
+        assert 1 <= lv <= 15
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=200.0),
+        b=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_monotone(self, a, b):
+        levels = interval_levels_float(100)
+        if a <= b:
+            assert select_level(a, levels) <= select_level(b, levels)
+
+    @given(avr=st.floats(min_value=0.0, max_value=1000.0), frame=st.sampled_from([100, 200, 400, 800]))
+    def test_scale_invariance(self, avr, frame):
+        """select_level(avr, levels(F)) == select_level(avr/F, levels(1)):
+        the ladder is a pure fraction of the frame size."""
+        big = select_level(avr, interval_levels_float(frame))
+        small = select_level(avr / frame, interval_levels_float(1))
+        assert big == small
+
+
+class TestPredictorProperties:
+    @given(counts=st.lists(st.integers(0, 100), min_size=1, max_size=30))
+    def test_level_always_legal(self, counts):
+        p = ThresholdPredictor(DATCConfig())
+        for c in counts:
+            lv = p.update(c)
+            assert 1 <= lv <= 15
+
+    @given(counts=st.lists(st.integers(0, 100), min_size=3, max_size=30))
+    def test_quantized_close_to_float(self, counts):
+        pf = ThresholdPredictor(DATCConfig(quantized=False))
+        pq = ThresholdPredictor(DATCConfig(quantized=True))
+        for c in counts:
+            assert abs(pf.update(c) - pq.update(c)) <= 1
+
+    @given(duty=st.floats(min_value=0.0, max_value=1.0))
+    def test_steady_state_monotone_in_duty(self, duty):
+        p = ThresholdPredictor(DATCConfig())
+        lower = p.steady_state_level(duty * 0.5)
+        assert p.steady_state_level(duty) >= lower
+
+
+class TestEventStreamProperties:
+    @settings(max_examples=50)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=9.99, allow_nan=False), max_size=60
+        ),
+        window=st.floats(min_value=0.05, max_value=5.0),
+    )
+    def test_window_counts_conserve_events(self, times, window):
+        arr = np.sort(np.asarray(times, dtype=float))
+        s = EventStream(times=arr, duration_s=10.0)
+        assert s.counts_in_windows(window).sum() == arr.size
+
+    @settings(max_examples=50)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=9.99, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        data=st.data(),
+    )
+    def test_drop_then_count(self, times, data):
+        arr = np.sort(np.asarray(times, dtype=float))
+        s = EventStream(times=arr, duration_s=10.0)
+        mask = np.asarray(
+            data.draw(st.lists(st.booleans(), min_size=arr.size, max_size=arr.size))
+        )
+        kept = s.drop_events(mask)
+        assert kept.n_events == int(mask.sum())
+        assert kept.n_symbols == kept.n_events * s.symbols_per_event

@@ -1,0 +1,104 @@
+"""Property-based tests for the digital substrate (RTL equivalence etc.)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digital.dtc_rtl import DTCRtl
+from repro.digital.fixed_point import FixedWeights
+from repro.digital.primitives import Counter, ShiftRegister
+from repro.digital.synchronizer import sample_at_clock
+
+
+class TestFixedWeightsProperties:
+    @given(
+        n1=st.integers(0, 800),
+        n2=st.integers(0, 800),
+        n3=st.integers(0, 800),
+    )
+    def test_quantized_within_bound_of_float(self, n1, n2, n3):
+        w = FixedWeights.from_floats()
+        ideal = (1.0 * n3 + 0.65 * n2 + 0.35 * n1) / 2.0
+        bound = w.max_error_vs((0.35, 0.65, 1.0), 800)
+        assert abs(w.average(n1, n2, n3) - ideal) <= bound
+
+    @given(n=st.integers(0, 1023))
+    def test_equal_counts_identity(self, n):
+        assert FixedWeights.from_floats().average(n, n, n) == n
+
+    @given(
+        n1=st.integers(0, 800),
+        n2=st.integers(0, 800),
+        n3=st.integers(0, 800),
+    )
+    def test_average_bounded_by_extremes(self, n1, n2, n3):
+        w = FixedWeights.from_floats()
+        avg = w.average(n1, n2, n3)
+        assert min(n1, n2, n3) - 1 <= avg <= max(n1, n2, n3)
+
+
+class TestPrimitivesProperties:
+    @given(values=st.lists(st.integers(0, 1023), min_size=1, max_size=20))
+    def test_shift_register_is_fifo(self, values):
+        s = ShiftRegister(10, 3)
+        for v in values:
+            s.shift_in(v)
+        expected = ([0, 0, 0] + values)[-3:]
+        assert list(s.taps()) == expected
+
+    @given(n=st.integers(1, 300))
+    def test_counter_counts_exactly(self, n):
+        c = Counter(10)
+        for _ in range(n):
+            c.tick()
+        assert c.q == n % 1024
+
+
+class TestSampleAtClockProperties:
+    @settings(max_examples=40)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=10, max_size=500),
+        ratio=st.sampled_from([1.0, 1.25, 2.0, 2.5, 5.0]),
+    )
+    def test_output_is_subset_of_input_alphabet(self, bits, ratio):
+        dense = np.asarray(bits, dtype=np.uint8)
+        fs = 1000.0 * ratio
+        out = sample_at_clock(dense, fs, 1000.0)
+        assert out.size == int(np.floor(dense.size / fs * 1000.0))
+        assert set(np.unique(out)).issubset({0, 1})
+
+    @settings(max_examples=40)
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_equal_rates_transparent(self, bits):
+        dense = np.asarray(bits, dtype=np.uint8)
+        assert np.array_equal(sample_at_clock(dense, 777.0, 777.0), dense)
+
+
+class TestRtlEquivalenceProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        frame_selector=st.sampled_from([0, 1]),
+    )
+    def test_rtl_matches_behavioural_quantized(self, seed, duty, frame_selector):
+        """For any random input stream, the cycle-accurate DTC and the
+        quantised behavioural predictor choose identical levels."""
+        from repro.core.config import DATCConfig
+        from repro.core.predictor import ThresholdPredictor
+
+        rng = np.random.default_rng(seed)
+        config = DATCConfig(frame_selector=frame_selector, quantized=True)
+        frame = config.frame_size
+        n_frames = 5
+        d_in = (rng.random(frame * n_frames) < duty).astype(np.uint8)
+
+        dtc = DTCRtl(frame_selector=frame_selector, initial_level=config.initial_level)
+        out = dtc.run(d_in)
+
+        predictor = ThresholdPredictor(config)
+        expected_levels = []
+        for f in range(n_frames):
+            count = int(d_in[f * frame : (f + 1) * frame].sum())
+            expected_levels.append(predictor.update(count))
+        assert out["frame_levels"].tolist() == expected_levels

@@ -1,0 +1,82 @@
+"""Property-based tests for the signal substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.envelope import moving_average, rectify
+from repro.signals.force import ramp_profile, smooth_profile, trapezoid_profile
+
+finite_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+).map(lambda v: np.asarray(v, dtype=float))
+
+
+class TestMovingAverageProperties:
+    @settings(max_examples=60)
+    @given(x=finite_arrays, window=st.integers(1, 50))
+    def test_bounded_by_extremes(self, x, window):
+        avg = moving_average(x, window)
+        assert np.all(avg >= x.min() - 1e-9)
+        assert np.all(avg <= x.max() + 1e-9)
+
+    @settings(max_examples=60)
+    @given(x=finite_arrays)
+    def test_window_one_identity(self, x):
+        assert np.allclose(moving_average(x, 1), x)
+
+    @settings(max_examples=60)
+    @given(x=finite_arrays, window=st.integers(1, 50), scale=st.floats(0.1, 10.0))
+    def test_linearity(self, x, window, scale):
+        a = moving_average(scale * x, window)
+        b = scale * moving_average(x, window)
+        assert np.allclose(a, b, rtol=1e-9, atol=1e-6)
+
+
+class TestRectifyProperties:
+    @given(x=finite_arrays)
+    def test_non_negative_and_even(self, x):
+        r = rectify(x)
+        assert np.all(r >= 0)
+        assert np.array_equal(r, rectify(-x))
+
+
+class TestForceProfileProperties:
+    @settings(max_examples=40)
+    @given(
+        start=st.floats(0.0, 1.0),
+        end=st.floats(0.0, 1.0),
+        duration=st.floats(0.01, 5.0),
+    )
+    def test_ramp_within_bounds(self, start, end, duration):
+        p = ramp_profile(duration, 500.0, start, end)
+        lo, hi = min(start, end), max(start, end)
+        assert np.all(p >= lo - 1e-12)
+        assert np.all(p <= hi + 1e-12)
+
+    @settings(max_examples=40)
+    @given(
+        rise=st.floats(0.01, 0.5),
+        hold=st.floats(0.01, 0.5),
+        fall=st.floats(0.01, 0.5),
+        level=st.floats(0.0, 1.0),
+    )
+    def test_trapezoid_peak_is_level(self, rise, hold, fall, level):
+        p = trapezoid_profile(rise, hold, fall, 500.0, level)
+        assert p.max() <= level + 1e-12
+        assert p.max() >= level - 1e-6 or level == 0.0
+
+    @settings(max_examples=40)
+    @given(
+        levels=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=10),
+        cutoff=st.floats(0.5, 10.0),
+    )
+    def test_smooth_stays_in_unit_interval(self, levels, cutoff):
+        from repro.signals.force import staircase_profile
+
+        p = staircase_profile(levels, 0.2, 500.0)
+        s = smooth_profile(p, 500.0, cutoff_hz=cutoff)
+        assert np.all(s >= 0.0)
+        assert np.all(s <= 1.0)

@@ -1,0 +1,95 @@
+"""Property-based tests for the UWB link layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventStream
+from repro.uwb.modulation import (
+    ook_demodulate,
+    ook_modulate,
+    ppm_demodulate,
+    ppm_modulate,
+)
+from repro.uwb.packets import PacketFormat, crc8, depacketize, packetize
+
+
+def _stream_from(draw_times, draw_levels, duration=10.0):
+    times = np.unique(np.asarray(draw_times, dtype=float))
+    # Enforce the burst-span separation required by the modulators.
+    keep = np.concatenate([[True], np.diff(times) > 6e-5 * 10])
+    times = times[keep]
+    levels = np.asarray(draw_levels[: times.size], dtype=np.int64)
+    if levels.size < times.size:
+        times = times[: levels.size]
+    return EventStream(
+        times=times, duration_s=duration, levels=levels, symbols_per_event=5
+    )
+
+
+event_streams = st.builds(
+    _stream_from,
+    st.lists(st.floats(min_value=0.01, max_value=9.9), min_size=1, max_size=80),
+    st.lists(st.integers(0, 15), min_size=80, max_size=80),
+)
+
+
+class TestModulationRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=event_streams)
+    def test_ook_roundtrip_ideal(self, stream):
+        train = ook_modulate(stream, symbol_period_s=1e-5)
+        rx = ook_demodulate(train.pulse_times, stream.duration_s, 1e-5, 4)
+        assert rx.n_events == stream.n_events
+        assert np.array_equal(rx.levels, stream.levels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=event_streams)
+    def test_ppm_roundtrip_ideal(self, stream):
+        train = ppm_modulate(stream, symbol_period_s=1e-5)
+        rx = ppm_demodulate(train.pulse_times, stream.duration_s, 1e-5, 4)
+        assert np.array_equal(rx.levels, stream.levels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=event_streams)
+    def test_ook_pulse_count_formula(self, stream):
+        """pulses = events + total popcount of levels."""
+        train = ook_modulate(stream, symbol_period_s=1e-5)
+        popcounts = sum(bin(int(l)).count("1") for l in stream.levels)
+        assert train.n_pulses == stream.n_events + popcounts
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=event_streams)
+    def test_symbol_count_invariant(self, stream):
+        ook = ook_modulate(stream, symbol_period_s=1e-5)
+        ppm = ppm_modulate(stream, symbol_period_s=1e-5)
+        assert ook.n_symbols == ppm.n_symbols == 5 * stream.n_events
+
+
+class TestPacketProperties:
+    @settings(max_examples=40)
+    @given(codes=st.lists(st.integers(0, 4095), min_size=1, max_size=64))
+    def test_packetize_roundtrip(self, codes):
+        fmt = PacketFormat()
+        arr = np.asarray(codes, dtype=np.int64)
+        decoded, errors = depacketize(packetize(arr, fmt), fmt)
+        assert errors == 0
+        assert np.array_equal(decoded[: arr.size], arr)
+
+    @settings(max_examples=40)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=8, max_size=64),
+        flip=st.data(),
+    )
+    def test_crc_detects_any_single_flip(self, bits, flip):
+        arr = np.asarray(bits, dtype=np.uint8)
+        i = flip.draw(st.integers(0, arr.size - 1))
+        flipped = arr.copy()
+        flipped[i] ^= 1
+        assert crc8(arr) != crc8(flipped)
+
+    @settings(max_examples=30)
+    @given(n=st.integers(0, 500))
+    def test_total_bits_at_least_payload(self, n):
+        fmt = PacketFormat()
+        assert fmt.total_bits(n) >= n * fmt.adc_bits

@@ -1,0 +1,89 @@
+"""Tests for MVC force calibration."""
+
+import numpy as np
+import pytest
+
+from repro.rx.calibration import (
+    ForceCalibration,
+    calibrate_mvc,
+    rmse_mvc,
+    tracking_report,
+)
+
+FS = 100.0
+
+
+class TestCalibrateMvc:
+    def test_explicit_window(self):
+        env = np.concatenate([np.full(100, 0.1), np.full(100, 0.8), np.full(100, 0.2)])
+        cal = calibrate_mvc(env, FS, window=(1.0, 2.0))
+        assert cal.mvc_value == pytest.approx(0.8)
+        assert cal.window == (1.0, 2.0)
+
+    def test_auto_window_finds_peak_second(self):
+        env = np.concatenate([np.full(150, 0.1), np.full(100, 0.9), np.full(150, 0.3)])
+        cal = calibrate_mvc(env, FS, mvc_duration_s=1.0)
+        assert cal.mvc_value == pytest.approx(0.9)
+        assert 1.5 <= cal.window[0] <= 1.51
+
+    def test_auto_window_shorter_than_duration(self):
+        env = np.full(50, 0.4)  # 0.5 s of envelope, 1 s window requested
+        cal = calibrate_mvc(env, FS)
+        assert cal.mvc_value == pytest.approx(0.4)
+
+    def test_apply_normalises(self):
+        cal = ForceCalibration(mvc_value=0.5, window=(0.0, 1.0))
+        out = cal.apply(np.array([0.0, 0.25, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0, 1.5])  # ceiling at 1.5
+
+    def test_zero_mvc_rejected(self):
+        with pytest.raises(ValueError):
+            ForceCalibration(mvc_value=0.0, window=(0.0, 1.0))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_mvc(np.ones(100), FS, window=(0.5, 2.0))
+
+    def test_empty_envelope_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_mvc(np.zeros(0), FS)
+
+    def test_end_to_end_on_pattern(self, mid_pattern):
+        """Calibrating on the reconstructed envelope yields %MVC estimates
+        with usable absolute error against the true force."""
+        from repro.core.datc import datc_encode
+        from repro.rx.correlation import resample_to_length
+        from repro.rx.reconstruction import reconstruct_hybrid
+
+        stream, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        env = reconstruct_hybrid(stream, fs_out=100.0)
+        # Ground-truth force, resampled to the envelope grid, scaled to the
+        # peak contraction of this recording.
+        truth = resample_to_length(mid_pattern.force, env.size)
+        cal = calibrate_mvc(env, 100.0)
+        estimate = cal.apply(env) * truth.max()
+        report = tracking_report(estimate, truth)
+        assert report["rmse_mvc"] < 0.15
+
+
+class TestMetrics:
+    def test_rmse_known_value(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.0, 0.0])
+        assert rmse_mvc(a, b) == pytest.approx(np.sqrt(0.5))
+
+    def test_perfect_tracking(self):
+        x = np.linspace(0, 1, 50)
+        report = tracking_report(x, x)
+        assert report["rmse_mvc"] == 0.0
+        assert report["peak_error_mvc"] == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse_mvc(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            tracking_report(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse_mvc(np.zeros(0), np.zeros(0))

@@ -1,0 +1,88 @@
+"""Edge cases of the receiver chain: empty, sparse, and degenerate streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.rx.reconstruction import (
+    reconstruct_hybrid,
+    reconstruct_levels,
+    reconstruct_rate,
+)
+from repro.rx.windowing import event_rate
+
+
+def empty_stream(with_levels=True):
+    return EventStream(
+        times=np.zeros(0),
+        duration_s=5.0,
+        levels=np.zeros(0, dtype=np.int64) if with_levels else None,
+        symbols_per_event=5 if with_levels else 1,
+    )
+
+
+def single_event_stream():
+    return EventStream(
+        times=np.array([2.5]),
+        duration_s=5.0,
+        levels=np.array([8]),
+        symbols_per_event=5,
+    )
+
+
+class TestEmptyStreams:
+    """A silent channel (subject at rest, or a dead link) must produce a
+    flat-zero reconstruction everywhere, never an exception."""
+
+    def test_rate_decoder(self):
+        assert np.all(reconstruct_rate(empty_stream(False)) == 0.0)
+
+    def test_level_decoder(self):
+        assert np.all(reconstruct_levels(empty_stream()) == 0.0)
+
+    def test_hybrid_decoder(self):
+        assert np.all(reconstruct_hybrid(empty_stream()) == 0.0)
+
+    def test_event_rate(self):
+        assert np.all(event_rate(empty_stream(False), 100.0) == 0.0)
+
+
+class TestSingleEvent:
+    def test_hybrid_is_finite_and_localised(self):
+        recon = reconstruct_hybrid(single_event_stream(), fs_out=100.0)
+        assert np.all(np.isfinite(recon))
+        assert recon.max() > 0
+        # The estimate is concentrated around the event, decaying after it.
+        peak_t = np.argmax(recon) / 100.0
+        assert 2.0 <= peak_t <= 3.6
+
+    def test_level_decoder_holds_then_decays(self):
+        recon = reconstruct_levels(
+            single_event_stream(), fs_out=100.0, silence_timeout_s=0.2
+        )
+        assert recon[260] > recon[480]  # decayed near the end
+
+
+class TestDegenerateLevels:
+    def test_all_zero_levels(self):
+        """Level 0 is never produced by the DTC (floor is 1) but the
+        decoders must not divide by it anyway."""
+        stream = EventStream(
+            times=np.array([1.0, 2.0]),
+            duration_s=5.0,
+            levels=np.array([0, 0]),
+            symbols_per_event=5,
+        )
+        recon = reconstruct_hybrid(stream)
+        assert np.all(recon == 0.0)
+
+    def test_constant_max_levels(self):
+        stream = EventStream(
+            times=np.linspace(0.1, 4.9, 50),
+            duration_s=5.0,
+            levels=np.full(50, 15),
+            symbols_per_event=5,
+        )
+        recon = reconstruct_levels(stream, fs_out=100.0)
+        interior = recon[50:-30]
+        assert np.all(interior > 0.8)  # ~15/16 V held throughout

@@ -1,0 +1,69 @@
+"""Tests for event-rate windowing."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.rx.windowing import binned_counts, event_rate, exponential_rate
+
+
+def make_stream(times, duration=10.0):
+    return EventStream(times=np.asarray(times, dtype=float), duration_s=duration)
+
+
+class TestBinnedCounts:
+    def test_total_preserved(self, rng):
+        times = np.sort(rng.uniform(0, 10, 333))
+        counts = binned_counts(make_stream(times), fs_out=50.0)
+        assert counts.sum() == 333
+
+    def test_length(self):
+        counts = binned_counts(make_stream([1.0]), fs_out=100.0)
+        assert counts.size == 1000
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            binned_counts(make_stream([1.0]), fs_out=0.0)
+
+    def test_too_short_duration(self):
+        s = EventStream(times=np.array([0.001]), duration_s=0.005)
+        with pytest.raises(ValueError):
+            binned_counts(s, fs_out=100.0)
+
+
+class TestEventRate:
+    def test_uniform_train_rate(self):
+        """A 50 Hz regular train must estimate ~50 Hz away from edges."""
+        times = np.arange(0.01, 10.0, 0.02)
+        rate = event_rate(make_stream(times), fs_out=100.0, window_s=0.5)
+        interior = rate[100:-100]
+        assert np.allclose(interior, 50.0, rtol=0.05)
+
+    def test_rate_steps_with_density(self):
+        times = np.concatenate([np.arange(0.01, 5.0, 0.1), np.arange(5.0, 10.0, 0.01)])
+        rate = event_rate(make_stream(times), fs_out=100.0, window_s=0.2)
+        assert rate[700:900].mean() > 5 * rate[100:300].mean()
+
+    def test_empty_stream_zero_rate(self):
+        rate = event_rate(make_stream([]), fs_out=100.0)
+        assert np.all(rate == 0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            event_rate(make_stream([1.0]), 100.0, window_s=0.0)
+
+
+class TestExponentialRate:
+    def test_converges_to_true_rate(self):
+        times = np.arange(0.01, 10.0, 0.02)  # 50 Hz
+        rate = exponential_rate(make_stream(times), fs_out=100.0, tau_s=0.2)
+        assert rate[-200:].mean() == pytest.approx(50.0, rel=0.1)
+
+    def test_causal_startup_from_zero(self):
+        times = np.arange(0.01, 10.0, 0.02)
+        rate = exponential_rate(make_stream(times), fs_out=100.0, tau_s=1.0)
+        assert rate[0] < rate[-1]
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            exponential_rate(make_stream([1.0]), 100.0, tau_s=0.0)

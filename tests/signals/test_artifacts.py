@@ -1,0 +1,77 @@
+"""Tests for artifact injection."""
+
+import numpy as np
+import pytest
+
+from repro.signals.artifacts import (
+    add_motion_artifacts,
+    add_powerline,
+    add_spike_artifacts,
+)
+
+FS = 2000.0
+
+
+class TestMotionArtifacts:
+    def test_returns_new_array(self, rng):
+        x = np.zeros(4000)
+        y = add_motion_artifacts(x, FS, rng)
+        assert y is not x
+        assert np.all(x == 0)  # input untouched
+
+    def test_adds_energy(self, rng):
+        x = np.zeros(4000)
+        y = add_motion_artifacts(x, FS, rng, n_bursts=3, amplitude_v=0.3)
+        assert np.abs(y).max() > 0.1
+
+    def test_low_frequency_content(self, rng):
+        x = np.zeros(8000)
+        y = add_motion_artifacts(x, FS, rng, n_bursts=5)
+        spectrum = np.abs(np.fft.rfft(y)) ** 2
+        freqs = np.fft.rfftfreq(y.size, 1 / FS)
+        low = spectrum[freqs <= 15].sum()
+        assert low / spectrum.sum() > 0.9
+
+    def test_zero_bursts_noop(self, rng):
+        x = np.ones(100)
+        assert np.array_equal(add_motion_artifacts(x, FS, rng, n_bursts=0), x)
+
+    def test_empty_signal(self, rng):
+        assert add_motion_artifacts(np.zeros(0), FS, rng).size == 0
+
+
+class TestSpikeArtifacts:
+    def test_spikes_are_positive(self, rng):
+        x = np.zeros(8000)
+        y = add_spike_artifacts(x, FS, rng, rate_hz=5.0, amplitude_v=0.5)
+        assert y.min() >= 0.0
+        assert y.max() > 0.3
+
+    def test_rate_controls_count(self):
+        x = np.zeros(40_000)
+        lo = add_spike_artifacts(x, FS, np.random.default_rng(1), rate_hz=0.5)
+        hi = add_spike_artifacts(x, FS, np.random.default_rng(1), rate_hz=20.0)
+        assert (hi > 0.25).sum() > (lo > 0.25).sum()
+
+    def test_zero_rate_noop(self, rng):
+        x = np.ones(100)
+        assert np.array_equal(add_spike_artifacts(x, FS, rng, rate_hz=0.0), x)
+
+
+class TestPowerline:
+    def test_adds_tone_at_frequency(self):
+        x = np.zeros(4000)
+        y = add_powerline(x, FS, amplitude_v=0.1, frequency_hz=50.0)
+        spectrum = np.abs(np.fft.rfft(y))
+        freqs = np.fft.rfftfreq(y.size, 1 / FS)
+        peak_freq = freqs[np.argmax(spectrum)]
+        assert peak_freq == pytest.approx(50.0, abs=1.0)
+
+    def test_amplitude(self):
+        y = add_powerline(np.zeros(4000), FS, amplitude_v=0.25)
+        assert y.max() == pytest.approx(0.25, abs=0.01)
+
+    def test_superposition(self):
+        x = np.ones(100)
+        y = add_powerline(x, FS, amplitude_v=0.0)
+        assert np.array_equal(y, x)

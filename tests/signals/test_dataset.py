@@ -1,0 +1,127 @@
+"""Tests for the 190-pattern dataset specification."""
+
+import numpy as np
+import pytest
+
+from repro.signals.dataset import (
+    PAPER_DURATION_S,
+    PAPER_N_PATTERNS,
+    PAPER_N_SAMPLES,
+    PAPER_N_SUBJECTS,
+    PAPER_SAMPLE_RATE_HZ,
+    DatasetSpec,
+    Pattern,
+    default_dataset,
+)
+from repro.signals.subjects import sample_subjects
+
+
+class TestPaperConstants:
+    def test_dimensions_match_paper(self):
+        """190 patterns, 8 subjects, 50000 samples / 20 s."""
+        assert PAPER_N_PATTERNS == 190
+        assert PAPER_N_SUBJECTS == 8
+        assert PAPER_N_SAMPLES == 50_000
+        assert PAPER_DURATION_S == 20.0
+        assert PAPER_SAMPLE_RATE_HZ == 2500.0
+
+
+class TestDatasetSpec:
+    def test_default_matches_paper(self):
+        ds = default_dataset()
+        assert len(ds) == 190
+        assert len(ds.subjects) == 8
+
+    def test_pattern_sample_count(self, small_dataset):
+        p = small_dataset.pattern(0)
+        assert p.n_samples == int(4.0 * 2500)
+
+    def test_full_size_pattern_sample_count(self):
+        p = default_dataset().pattern(0)
+        assert p.n_samples == PAPER_N_SAMPLES
+        assert p.duration_s == pytest.approx(20.0)
+
+    def test_patterns_deterministic(self, small_dataset):
+        a = small_dataset.pattern(3)
+        b = small_dataset.pattern(3)
+        assert np.array_equal(a.emg, b.emg)
+        assert np.array_equal(a.force, b.force)
+
+    def test_patterns_distinct(self, small_dataset):
+        a = small_dataset.pattern(0)
+        b = small_dataset.pattern(1)
+        assert not np.array_equal(a.emg, b.emg)
+
+    def test_same_subject_different_patterns_differ(self, small_dataset):
+        """Two recordings of the same subject use different realisations."""
+        n_sub = small_dataset.n_subjects
+        # patterns 0 and n_sub share subject 0 by round-robin assignment
+        ds = DatasetSpec(n_patterns=n_sub + 1, duration_s=2.0)
+        a, b = ds.pattern(0), ds.pattern(n_sub)
+        assert a.subject.subject_id == b.subject.subject_id
+        assert not np.array_equal(a.emg, b.emg)
+
+    def test_round_robin_subjects(self, small_dataset):
+        for i in range(len(small_dataset)):
+            assert small_dataset.pattern(i).subject.subject_id == i % small_dataset.n_subjects
+
+    def test_out_of_range_pattern_rejected(self, small_dataset):
+        with pytest.raises(IndexError):
+            small_dataset.pattern(len(small_dataset))
+        with pytest.raises(IndexError):
+            small_dataset.pattern(-1)
+
+    def test_patterns_iterator_order(self, small_dataset):
+        ids = [p.pattern_id for p in small_dataset.patterns()]
+        assert ids == list(range(len(small_dataset)))
+
+    def test_explicit_subjects_length_checked(self):
+        subs = tuple(sample_subjects(3))
+        with pytest.raises(ValueError):
+            DatasetSpec(n_patterns=5, n_subjects=4, subjects=subs)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(n_patterns=0)
+        with pytest.raises(ValueError):
+            DatasetSpec(n_subjects=0)
+
+    def test_model_for_matches_subject(self, small_dataset):
+        assert small_dataset.model_for(2) is small_dataset.subject_for(2).model
+
+
+class TestPattern:
+    def test_rectified_non_negative(self, mid_pattern):
+        assert np.all(mid_pattern.rectified() >= 0)
+
+    def test_ground_truth_envelope_tracks_force(self, mid_pattern):
+        """The ARV envelope must correlate strongly with the force profile
+        that modulated the signal (the premise of the whole paper)."""
+        env = mid_pattern.ground_truth_envelope()
+        force = mid_pattern.force
+        r = np.corrcoef(env, force)[0, 1]
+        assert r > 0.95
+
+    def test_misaligned_arrays_rejected(self, small_dataset):
+        p = small_dataset.pattern(0)
+        with pytest.raises(ValueError):
+            Pattern(
+                pattern_id=0,
+                subject=p.subject,
+                fs=p.fs,
+                emg=p.emg,
+                force=p.force[:-1],
+            )
+
+    def test_bad_fs_rejected(self, small_dataset):
+        p = small_dataset.pattern(0)
+        with pytest.raises(ValueError):
+            Pattern(pattern_id=0, subject=p.subject, fs=0.0, emg=p.emg, force=p.force)
+
+    def test_amplitude_scales_with_subject_gain(self, small_dataset):
+        weak = small_dataset.pattern(0)   # subject 0: pinned low gain
+        strong = small_dataset.pattern(3)  # subject 3: high gain
+        assert (
+            np.abs(strong.emg).mean()
+            > 2 * np.abs(weak.emg).mean()
+        )

@@ -1,0 +1,123 @@
+"""Tests for the synthetic sEMG generator."""
+
+import numpy as np
+import pytest
+
+from repro.signals.emg import EMGModel, shaped_noise, shwedyk_psd, synthesize_emg
+from repro.signals.force import constant_profile, mvc_grip_protocol
+
+FS = 2500.0
+
+
+class TestShwedykPsd:
+    def test_zero_at_dc(self):
+        assert shwedyk_psd(np.array([0.0]))[0] == 0.0
+
+    def test_peak_location_between_flow_fhigh(self):
+        f = np.linspace(0.0, 1000.0, 20001)
+        psd = shwedyk_psd(f, f_low=80.0, f_high=200.0)
+        peak = f[np.argmax(psd)]
+        assert 80.0 <= peak <= 200.0
+
+    def test_high_frequency_rolloff(self):
+        psd = shwedyk_psd(np.array([200.0, 400.0, 800.0]))
+        assert psd[0] > psd[1] > psd[2]
+
+    def test_non_negative(self):
+        f = np.linspace(0, 1250, 1000)
+        assert np.all(shwedyk_psd(f) >= 0)
+
+
+class TestShapedNoise:
+    def test_unit_variance(self, rng):
+        x = shaped_noise(50_000, FS, rng)
+        assert x.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_mean_no_dc(self, rng):
+        x = shaped_noise(50_000, FS, rng)
+        assert abs(x.mean()) < 0.05
+
+    def test_empty(self, rng):
+        assert shaped_noise(0, FS, rng).size == 0
+
+    def test_spectrum_is_bandlimited(self, rng):
+        """Most energy must sit in the 20-450 Hz sEMG band."""
+        x = shaped_noise(100_000, FS, rng)
+        spectrum = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1.0 / FS)
+        in_band = spectrum[(freqs >= 20) & (freqs <= 450)].sum()
+        assert in_band / spectrum.sum() > 0.85
+
+    def test_deterministic_given_seed(self):
+        a = shaped_noise(1000, FS, np.random.default_rng(5))
+        b = shaped_noise(1000, FS, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestEMGModel:
+    def test_defaults_valid(self):
+        EMGModel()  # must not raise
+
+    def test_amplitude_monotone_in_force(self):
+        m = EMGModel(gain_v=0.5, alpha=1.1)
+        forces = np.linspace(0, 1, 11)
+        amps = m.amplitude(forces)
+        assert np.all(np.diff(amps) > 0)
+
+    def test_amplitude_at_extremes(self):
+        m = EMGModel(gain_v=0.5)
+        assert m.amplitude(np.array([0.0]))[0] == 0.0
+        assert m.amplitude(np.array([1.0]))[0] == pytest.approx(0.5)
+
+    def test_amplitude_clips_force(self):
+        m = EMGModel(gain_v=0.5)
+        assert m.amplitude(np.array([2.0]))[0] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gain_v": 0.0},
+            {"gain_v": -1.0},
+            {"alpha": 0.0},
+            {"noise_floor_v": -0.1},
+            {"f_low": 0.0},
+            {"f_low": 300.0, "f_high": 200.0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EMGModel(**kwargs)
+
+
+class TestSynthesizeEmg:
+    def test_output_length_matches_force(self, rng):
+        force = mvc_grip_protocol(4.0, FS)
+        emg = synthesize_emg(force, FS, EMGModel(), rng)
+        assert emg.shape == force.shape
+
+    def test_amplitude_tracks_force(self, rng):
+        """Stronger force segments must have larger rectified amplitude."""
+        force = np.concatenate(
+            [constant_profile(2.0, FS, 0.1), constant_profile(2.0, FS, 0.8)]
+        )
+        emg = synthesize_emg(force, FS, EMGModel(gain_v=0.5, noise_floor_v=0.0), rng)
+        weak = np.abs(emg[: emg.size // 2]).mean()
+        strong = np.abs(emg[emg.size // 2 :]).mean()
+        assert strong > 4 * weak
+
+    def test_rest_leaves_only_noise_floor(self, rng):
+        force = constant_profile(2.0, FS, 0.0)
+        m = EMGModel(gain_v=0.5, noise_floor_v=0.01)
+        emg = synthesize_emg(force, FS, m, rng)
+        assert np.abs(emg).mean() < 3 * m.noise_floor_v
+
+    def test_deterministic_given_seed(self):
+        force = constant_profile(1.0, FS, 0.5)
+        a = synthesize_emg(force, FS, EMGModel(), np.random.default_rng(9))
+        b = synthesize_emg(force, FS, EMGModel(), np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_signed_output(self, rng):
+        force = constant_profile(2.0, FS, 0.7)
+        emg = synthesize_emg(force, FS, EMGModel(), rng)
+        assert (emg > 0).any() and (emg < 0).any()

@@ -1,0 +1,136 @@
+"""Tests for rectification and envelope estimation."""
+
+import numpy as np
+import pytest
+
+from repro.signals.envelope import (
+    arv,
+    arv_envelope,
+    lowpass_envelope,
+    moving_average,
+    rectify,
+    rms_envelope,
+)
+
+FS = 1000.0
+
+
+class TestRectify:
+    def test_absolute_value(self):
+        x = np.array([-1.0, 0.0, 2.0, -3.0])
+        assert np.array_equal(rectify(x), [1.0, 0.0, 2.0, 3.0])
+
+    def test_idempotent(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        assert np.array_equal(rectify(rectify(x)), rectify(x))
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.arange(10.0)
+        assert np.array_equal(moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        x = np.full(50, 3.3)
+        assert np.allclose(moving_average(x, 7), 3.3)
+
+    def test_mean_preserving_for_flat_interior(self):
+        x = np.concatenate([np.zeros(50), np.ones(100), np.zeros(50)])
+        avg = moving_average(x, 10)
+        assert np.allclose(avg[60:140], 1.0)
+
+    def test_no_edge_droop(self):
+        """Edge windows must normalise by their true (shorter) length."""
+        x = np.full(20, 2.0)
+        avg = moving_average(x, 15)
+        assert np.allclose(avg, 2.0)
+
+    def test_window_larger_than_signal(self):
+        """The window clips to the signal length; edges normalise by their
+        true (shorter) span."""
+        x = np.array([1.0, 2.0, 3.0])
+        avg = moving_average(x, 100)
+        assert np.allclose(avg, [1.5, 2.0, 2.5])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(5), 0)
+
+    def test_empty_signal(self):
+        assert moving_average(np.zeros(0), 3).size == 0
+
+    def test_matches_naive_implementation(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(97)
+        w = 9
+        fast = moving_average(x, w)
+        half_lo, half_hi = w // 2, w - w // 2
+        naive = np.array(
+            [x[max(0, i - half_lo) : min(x.size, i + half_hi)].mean() for i in range(x.size)]
+        )
+        assert np.allclose(fast, naive)
+
+
+class TestArvEnvelope:
+    def test_constant_sine_envelope(self):
+        t = np.arange(0, 2.0, 1 / FS)
+        x = np.sin(2 * np.pi * 50 * t)
+        env = arv_envelope(x, FS, window_s=0.2)
+        # ARV of a unit sine is 2/pi.
+        interior = env[200:-200]
+        assert np.allclose(interior, 2 / np.pi, atol=0.02)
+
+    def test_tracks_amplitude_steps(self):
+        t = np.arange(0, 1.0, 1 / FS)
+        x = np.concatenate(
+            [0.2 * np.sin(2 * np.pi * 80 * t), 1.0 * np.sin(2 * np.pi * 80 * t)]
+        )
+        env = arv_envelope(x, FS, window_s=0.1)
+        assert env[1500:].mean() > 4 * env[:500].mean()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            arv_envelope(np.zeros(10), FS, window_s=0.0)
+
+
+class TestRmsEnvelope:
+    def test_rms_of_unit_sine(self):
+        t = np.arange(0, 2.0, 1 / FS)
+        x = np.sin(2 * np.pi * 50 * t)
+        env = rms_envelope(x, FS, window_s=0.2)
+        interior = env[200:-200]
+        assert np.allclose(interior, 1 / np.sqrt(2), atol=0.02)
+
+    def test_rms_geq_arv(self):
+        """RMS >= ARV pointwise for the same window (Jensen)."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(2000)
+        assert np.all(rms_envelope(x, FS, 0.1) >= arv_envelope(x, FS, 0.1) - 1e-12)
+
+
+class TestLowpassEnvelope:
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(1000)
+        assert np.all(lowpass_envelope(x, FS) >= 0)
+
+    def test_tracks_mean_level(self):
+        x = np.full(2000, -0.5)
+        env = lowpass_envelope(x, FS, cutoff_hz=5.0)
+        assert np.allclose(env, 0.5, atol=1e-3)
+
+    def test_bad_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            lowpass_envelope(np.zeros(10), FS, cutoff_hz=-1.0)
+
+    def test_empty(self):
+        assert lowpass_envelope(np.zeros(0), FS).size == 0
+
+
+class TestArvScalar:
+    def test_known_value(self):
+        assert arv(np.array([1.0, -1.0, 2.0, -2.0])) == pytest.approx(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arv(np.zeros(0))

@@ -1,0 +1,110 @@
+"""Tests for pattern / event-stream persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.datc import datc_encode
+from repro.core.events import EventStream
+from repro.signals.io import (
+    export_events_csv,
+    load_event_stream,
+    load_pattern,
+    save_event_stream,
+    save_pattern,
+)
+
+
+class TestPatternRoundtrip:
+    def test_roundtrip_exact(self, tmp_path, mid_pattern):
+        path = str(tmp_path / "pattern.npz")
+        save_pattern(path, mid_pattern)
+        loaded = load_pattern(path)
+        assert loaded.pattern_id == mid_pattern.pattern_id
+        assert loaded.subject.subject_id == mid_pattern.subject.subject_id
+        assert loaded.fs == mid_pattern.fs
+        assert np.array_equal(loaded.emg, mid_pattern.emg)
+        assert np.array_equal(loaded.force, mid_pattern.force)
+
+    def test_model_parameters_preserved(self, tmp_path, mid_pattern):
+        path = str(tmp_path / "pattern.npz")
+        save_pattern(path, mid_pattern)
+        loaded = load_pattern(path)
+        original = mid_pattern.subject.model
+        assert loaded.subject.model.gain_v == pytest.approx(original.gain_v)
+        assert loaded.subject.model.f_high == pytest.approx(original.f_high)
+
+    def test_loaded_pattern_encodes_identically(self, tmp_path, mid_pattern):
+        path = str(tmp_path / "pattern.npz")
+        save_pattern(path, mid_pattern)
+        loaded = load_pattern(path)
+        a, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        b, _ = datc_encode(loaded.emg, loaded.fs)
+        assert np.array_equal(a.times, b.times)
+
+    def test_wrong_kind_rejected(self, tmp_path, mid_pattern):
+        path = str(tmp_path / "x.npz")
+        stream = EventStream(times=np.array([1.0]), duration_s=2.0)
+        save_event_stream(path, stream)
+        with pytest.raises(ValueError, match="pattern"):
+            load_pattern(path)
+
+    def test_not_an_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(ValueError, match="repro archive"):
+            load_pattern(path)
+
+
+class TestEventStreamRoundtrip:
+    def test_roundtrip_with_levels(self, tmp_path):
+        path = str(tmp_path / "events.npz")
+        stream = EventStream(
+            times=np.array([0.5, 1.5, 2.5]),
+            duration_s=5.0,
+            levels=np.array([3, 8, 15]),
+            clock_hz=2000.0,
+            symbols_per_event=5,
+        )
+        save_event_stream(path, stream)
+        loaded = load_event_stream(path)
+        assert np.array_equal(loaded.times, stream.times)
+        assert np.array_equal(loaded.levels, stream.levels)
+        assert loaded.clock_hz == 2000.0
+        assert loaded.symbols_per_event == 5
+
+    def test_roundtrip_without_levels(self, tmp_path):
+        path = str(tmp_path / "events.npz")
+        stream = EventStream(times=np.array([0.25]), duration_s=1.0)
+        save_event_stream(path, stream)
+        loaded = load_event_stream(path)
+        assert loaded.levels is None
+        assert loaded.n_events == 1
+
+    def test_empty_stream(self, tmp_path):
+        path = str(tmp_path / "events.npz")
+        stream = EventStream(times=np.zeros(0), duration_s=1.0)
+        save_event_stream(path, stream)
+        assert load_event_stream(path).n_events == 0
+
+
+class TestCsvExport:
+    def test_csv_with_levels(self, tmp_path):
+        path = str(tmp_path / "events.csv")
+        stream = EventStream(
+            times=np.array([0.5, 1.5]),
+            duration_s=5.0,
+            levels=np.array([8, 15]),
+            symbols_per_event=5,
+        )
+        export_events_csv(path, stream)
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "time_s,level,vth_v"
+        assert lines[1].startswith("0.500000,8,0.5")
+        assert len(lines) == 3
+
+    def test_csv_without_levels(self, tmp_path):
+        path = str(tmp_path / "events.csv")
+        stream = EventStream(times=np.array([0.125]), duration_s=1.0)
+        export_events_csv(path, stream)
+        lines = open(path).read().strip().splitlines()
+        assert lines == ["time_s", "0.125000"]

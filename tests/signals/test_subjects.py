@@ -1,0 +1,58 @@
+"""Tests for the synthetic subject population."""
+
+import numpy as np
+import pytest
+
+from repro.signals.subjects import DEFAULT_N_SUBJECTS, Subject, sample_subjects
+from repro.signals.emg import EMGModel
+
+
+class TestSampleSubjects:
+    def test_default_count(self):
+        assert len(sample_subjects()) == DEFAULT_N_SUBJECTS
+
+    def test_deterministic(self):
+        a = sample_subjects(seed=2015)
+        b = sample_subjects(seed=2015)
+        assert [s.model.gain_v for s in a] == [s.model.gain_v for s in b]
+
+    def test_different_seed_differs(self):
+        a = sample_subjects(seed=1)
+        b = sample_subjects(seed=2)
+        assert [s.model.gain_v for s in a] != [s.model.gain_v for s in b]
+
+    def test_ids_sequential(self):
+        subs = sample_subjects(5)
+        assert [s.subject_id for s in subs] == list(range(5))
+
+    def test_population_spans_amplitude_range(self):
+        """The weakest subject must sit well below the 0.3 V fixed
+        threshold and the strongest close to the 1 V DAC reference —
+        that spread is what Fig. 5 exercises."""
+        subs = sample_subjects()
+        gains = [s.model.gain_v for s in subs]
+        assert min(gains) < 0.2
+        assert max(gains) > 0.8
+
+    def test_single_subject(self):
+        subs = sample_subjects(1)
+        assert len(subs) == 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_subjects(0)
+
+    def test_models_valid(self):
+        for s in sample_subjects():
+            assert isinstance(s.model, EMGModel)
+            assert s.model.f_low < s.model.f_high
+
+
+class TestSubject:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Subject(subject_id=-1, model=EMGModel())
+
+    def test_description_mentions_gain(self):
+        s = sample_subjects()[0]
+        assert f"{s.model.gain_v:.3f}" in s.description

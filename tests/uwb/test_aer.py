@@ -1,0 +1,119 @@
+"""Tests for Address-Event Representation framing."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.uwb.aer import AERConfig, aer_decode, aer_encode
+
+
+def channel_stream(times, levels=None, duration=10.0):
+    return EventStream(
+        times=np.asarray(times, dtype=float),
+        duration_s=duration,
+        levels=None if levels is None else np.asarray(levels, dtype=np.int64),
+        symbols_per_event=5 if levels is not None else 1,
+    )
+
+
+class TestAERConfig:
+    def test_address_bits(self):
+        assert AERConfig(n_channels=1).address_bits == 0
+        assert AERConfig(n_channels=2).address_bits == 1
+        assert AERConfig(n_channels=4).address_bits == 2
+        assert AERConfig(n_channels=5).address_bits == 3
+
+    def test_symbols_per_event(self):
+        """4 channels x 4-bit levels: 1 marker + 2 address + 4 level = 7."""
+        assert AERConfig(n_channels=4, level_bits=4).symbols_per_event == 7
+        assert AERConfig(n_channels=1, level_bits=0).symbols_per_event == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AERConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            AERConfig(level_bits=-1)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, rng):
+        config = AERConfig(n_channels=4, level_bits=4)
+        streams = []
+        for _ in range(4):
+            times = np.sort(rng.uniform(0, 10, 50))
+            streams.append(channel_stream(times, rng.integers(0, 16, 50)))
+        merged = aer_encode(streams, config)
+        assert merged.n_events == 200
+        decoded = aer_decode(merged, config)
+        for original, recovered in zip(streams, decoded):
+            assert np.allclose(recovered.times, original.times)
+            assert np.array_equal(recovered.levels, original.levels)
+
+    def test_merged_times_sorted(self, rng):
+        config = AERConfig(n_channels=2, level_bits=4)
+        a = channel_stream(np.sort(rng.uniform(0, 10, 30)), rng.integers(0, 16, 30))
+        b = channel_stream(np.sort(rng.uniform(0, 10, 30)), rng.integers(0, 16, 30))
+        merged = aer_encode([a, b], config)
+        assert np.all(np.diff(merged.times) >= 0)
+
+    def test_tie_break_by_address(self):
+        config = AERConfig(n_channels=2, level_bits=4)
+        a = channel_stream([5.0], [1])
+        b = channel_stream([5.0], [2])
+        merged = aer_encode([b, a][::-1], config)  # order [a, b]
+        addresses = merged.levels >> 4
+        assert addresses.tolist() == [0, 1]
+
+    def test_wrong_channel_count_rejected(self):
+        config = AERConfig(n_channels=3, level_bits=0)
+        with pytest.raises(ValueError):
+            aer_encode([channel_stream([1.0])], config)
+
+    def test_levels_required_when_level_bits(self):
+        config = AERConfig(n_channels=1, level_bits=4)
+        with pytest.raises(ValueError):
+            aer_encode([channel_stream([1.0])], config)
+
+    def test_level_range_checked(self):
+        config = AERConfig(n_channels=1, level_bits=2)
+        with pytest.raises(ValueError):
+            aer_encode([channel_stream([1.0], [4])], config)
+
+    def test_decode_requires_levels(self):
+        config = AERConfig(n_channels=2, level_bits=0)
+        with pytest.raises(ValueError):
+            aer_decode(channel_stream([1.0]), config)
+
+    def test_arbiter_serialises_collisions(self):
+        """Colliding events are queued at least min_spacing_s apart."""
+        config = AERConfig(n_channels=2, level_bits=4)
+        a = channel_stream([5.0, 5.0 + 1e-6], [1, 2])
+        b = channel_stream([5.0], [3])
+        merged = aer_encode([a, b], config, min_spacing_s=1e-4)
+        assert merged.n_events == 3
+        assert np.all(np.diff(merged.times) >= 1e-4 - 1e-12)
+
+    def test_arbiter_overflow_drops_tail(self):
+        """Events the queue cannot place before the window end are lost."""
+        config = AERConfig(n_channels=1, level_bits=4)
+        times = np.full(10, 9.9999)
+        times = np.cumsum(np.full(10, 1e-7)) + 9.9998
+        s = channel_stream(times, np.arange(10) % 16)
+        merged = aer_encode([s], config, min_spacing_s=1e-3)
+        assert merged.n_events < 10
+
+    def test_negative_spacing_rejected(self):
+        config = AERConfig(n_channels=1, level_bits=4)
+        with pytest.raises(ValueError):
+            aer_encode([channel_stream([1.0], [1])], config, min_spacing_s=-1.0)
+
+    def test_zero_level_bits_atc_mode(self):
+        """Plain multi-channel ATC: address only, no level payload."""
+        config = AERConfig(n_channels=2, level_bits=0)
+        a = channel_stream([1.0, 3.0])
+        b = channel_stream([2.0])
+        merged = aer_encode([a, b], config)
+        decoded = aer_decode(merged, config)
+        assert decoded[0].n_events == 2
+        assert decoded[1].n_events == 1
+        assert decoded[0].levels is None

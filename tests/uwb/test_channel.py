@@ -1,0 +1,110 @@
+"""Tests for the UWB channel model."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.uwb.channel import UWBChannel, friis_path_loss_db, received_energy_j
+from repro.uwb.modulation import ook_modulate
+
+
+def make_train(n=500, duration=10.0, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    times = np.sort(rng.uniform(0.1, duration - 0.1, n))
+    times = times[np.concatenate([[True], np.diff(times) > 1e-4])]
+    stream = EventStream(times=times, duration_s=duration, symbols_per_event=1)
+    return ook_modulate(stream, symbol_period_s=1e-5)
+
+
+class TestPathLoss:
+    def test_increases_with_distance(self):
+        assert friis_path_loss_db(2.0) > friis_path_loss_db(1.0)
+
+    def test_exponent_slope(self):
+        """n=2: +6 dB per distance doubling beyond 1 m."""
+        d1 = friis_path_loss_db(2.0, path_loss_exp=2.0)
+        d2 = friis_path_loss_db(4.0, path_loss_exp=2.0)
+        assert d2 - d1 == pytest.approx(20 * np.log10(2), abs=1e-9)
+
+    def test_body_exponent_loses_more(self):
+        assert friis_path_loss_db(3.0, path_loss_exp=3.5) > friis_path_loss_db(
+            3.0, path_loss_exp=2.0
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            friis_path_loss_db(0.0)
+        with pytest.raises(ValueError):
+            friis_path_loss_db(1.0, centre_freq_hz=0.0)
+
+
+class TestReceivedEnergy:
+    def test_attenuation(self):
+        rx = received_energy_j(30e-12, distance_m=1.0)
+        assert 0 < rx < 30e-12
+
+    def test_monotone_in_distance(self):
+        near = received_energy_j(30e-12, 0.5)
+        far = received_energy_j(30e-12, 5.0)
+        assert near > far
+
+    def test_antenna_gain_helps(self):
+        base = received_energy_j(30e-12, 1.0)
+        gained = received_energy_j(30e-12, 1.0, antenna_gains_db=6.0)
+        assert gained == pytest.approx(base * 10 ** 0.6)
+
+
+class TestUWBChannel:
+    def test_ideal_channel_is_transparent(self):
+        train = make_train()
+        out = UWBChannel().transmit(train)
+        assert np.array_equal(out, train.pulse_times)
+
+    def test_erasures_drop_expected_fraction(self, rng):
+        train = make_train(2000)
+        ch = UWBChannel(erasure_prob=0.3)
+        out = ch.transmit(train, rng=rng)
+        frac = out.size / train.n_pulses
+        assert 0.6 < frac < 0.8
+
+    def test_full_erasure(self, rng):
+        ch = UWBChannel(erasure_prob=1.0)
+        assert ch.transmit(make_train(), rng=rng).size == 0
+
+    def test_jitter_perturbs_but_keeps_count(self, rng):
+        train = make_train()
+        ch = UWBChannel(jitter_rms_s=1e-7)
+        out = ch.transmit(train, rng=rng)
+        assert out.size == train.n_pulses
+        assert not np.array_equal(out, train.pulse_times)
+        assert np.max(np.abs(np.sort(out) - train.pulse_times)) < 1e-6
+
+    def test_false_pulses_added(self, rng):
+        train = make_train(100)
+        ch = UWBChannel(false_pulse_rate_hz=100.0)
+        out = ch.transmit(train, rng=rng)
+        assert out.size > train.n_pulses
+
+    def test_output_sorted_and_bounded(self, rng):
+        train = make_train()
+        ch = UWBChannel(erasure_prob=0.2, jitter_rms_s=1e-6, false_pulse_rate_hz=10.0)
+        out = ch.transmit(train, rng=rng)
+        assert np.all(np.diff(out) >= 0)
+        assert out.min() >= 0.0 and out.max() <= train.duration_s
+
+    def test_nonideal_requires_rng(self):
+        with pytest.raises(ValueError):
+            UWBChannel(erasure_prob=0.1).transmit(make_train())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"erasure_prob": -0.1},
+            {"erasure_prob": 1.1},
+            {"jitter_rms_s": -1.0},
+            {"false_pulse_rate_hz": -1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            UWBChannel(**kwargs)

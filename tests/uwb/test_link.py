@@ -1,0 +1,124 @@
+"""Tests for the end-to-end link simulation and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.uwb.channel import UWBChannel
+from repro.uwb.link import (
+    LinkConfig,
+    packet_baseline_accounting,
+    simulate_link,
+)
+from repro.uwb.receiver import EnergyDetector
+
+
+def datc_stream(n=300, duration=20.0, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.1, duration - 0.1, n))
+    times = times[np.concatenate([[True], np.diff(times) > 1e-3])]
+    return EventStream(
+        times=times,
+        duration_s=duration,
+        levels=rng.integers(1, 16, times.size),
+        symbols_per_event=5,
+    )
+
+
+class TestLinkConfig:
+    def test_defaults(self):
+        c = LinkConfig()
+        assert c.modulation == "ook"
+        assert c.pulse_energy_pj == 30.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"symbol_period_s": 0.0},
+            {"pulse_energy_pj": -1.0},
+            {"modulation": "fsk"},
+            {"distance_m": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkConfig(**kwargs)
+
+    def test_channel_from_budget_short_range(self):
+        """At 1 m with 30 pJ pulses the derived erasure probability is
+        negligible."""
+        ch = LinkConfig().channel_from_budget(EnergyDetector())
+        assert ch.erasure_prob < 1e-3
+
+
+class TestSimulateLink:
+    def test_ideal_link_preserves_everything(self):
+        s = datc_stream()
+        r = simulate_link(s)
+        assert r.rx_stream.n_events == s.n_events
+        assert np.array_equal(r.rx_stream.levels, s.levels)
+        assert r.event_delivery_ratio == pytest.approx(1.0)
+        assert r.level_error_ratio == 0.0
+
+    def test_symbol_and_pulse_accounting(self):
+        s = datc_stream()
+        r = simulate_link(s)
+        assert r.n_symbols == 5 * s.n_events
+        # OOK pulses: marker + popcount(level) per event.
+        expected_pulses = s.n_events + sum(bin(l).count("1") for l in s.levels)
+        assert r.n_pulses == expected_pulses
+
+    def test_energy_accounting(self):
+        s = datc_stream()
+        cfg = LinkConfig(pulse_energy_pj=30.0)
+        r = simulate_link(s, cfg)
+        assert r.tx_energy_j == pytest.approx(r.n_pulses * 30e-12)
+
+    def test_lossy_channel_drops_events(self, rng):
+        s = datc_stream(500)
+        ch = UWBChannel(erasure_prob=0.4)
+        r = simulate_link(s, channel=ch, rng=rng)
+        assert r.rx_stream.n_events < s.n_events
+        assert r.event_delivery_ratio < 1.0
+
+    def test_moderate_loss_corrupts_some_levels(self, rng):
+        s = datc_stream(500)
+        ch = UWBChannel(erasure_prob=0.15)
+        r = simulate_link(s, channel=ch, rng=rng)
+        assert r.level_error_ratio > 0.0
+
+    def test_ppm_modulation_roundtrip(self):
+        s = datc_stream()
+        r = simulate_link(s, LinkConfig(modulation="ppm"))
+        assert np.array_equal(r.rx_stream.levels, s.levels)
+        assert r.n_pulses == 5 * s.n_events  # PPM: every symbol is a pulse
+
+    def test_detector_derived_channel(self, rng):
+        s = datc_stream()
+        r = simulate_link(s, detector=EnergyDetector(), rng=rng)
+        assert r.event_delivery_ratio > 0.99
+
+
+class TestPacketBaseline:
+    def test_paper_payload_count(self):
+        acc = packet_baseline_accounting(50_000, adc_bits=12)
+        assert acc["payload_symbols"] == 600_000
+
+    def test_overhead_inclusive_larger(self):
+        acc = packet_baseline_accounting(50_000)
+        assert acc["total_symbols"] > acc["payload_symbols"]
+
+    def test_energy_scales_with_mean_bit(self):
+        lo = packet_baseline_accounting(1000, mean_bit=0.25)
+        hi = packet_baseline_accounting(1000, mean_bit=0.75)
+        assert hi["tx_energy_j"] == pytest.approx(3 * lo["tx_energy_j"])
+
+    def test_mismatched_fmt_rejected(self):
+        from repro.uwb.packets import PacketFormat
+
+        with pytest.raises(ValueError):
+            packet_baseline_accounting(100, adc_bits=12, fmt=PacketFormat(adc_bits=8))
+
+    def test_invalid_mean_bit(self):
+        with pytest.raises(ValueError):
+            packet_baseline_accounting(100, mean_bit=1.5)

@@ -1,0 +1,121 @@
+"""Tests for OOK / PPM event modulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.uwb.modulation import (
+    ook_demodulate,
+    ook_modulate,
+    ppm_demodulate,
+    ppm_modulate,
+)
+
+
+def datc_stream(times, levels, duration=10.0):
+    return EventStream(
+        times=np.asarray(times, dtype=float),
+        duration_s=duration,
+        levels=np.asarray(levels, dtype=np.int64),
+        symbols_per_event=5,
+    )
+
+
+def atc_stream(times, duration=10.0):
+    return EventStream(
+        times=np.asarray(times, dtype=float), duration_s=duration, symbols_per_event=1
+    )
+
+
+class TestOokModulate:
+    def test_symbol_count_is_five_per_datc_event(self):
+        s = datc_stream([1.0, 2.0, 3.0], [5, 8, 15])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        assert train.n_symbols == 15
+
+    def test_pulse_count_depends_on_level_popcount(self):
+        """OOK radiates marker + one pulse per '1' bit of the level."""
+        s = datc_stream([1.0, 2.0], [0b1111, 0b0000])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        assert train.n_pulses == (1 + 4) + (1 + 0)
+
+    def test_atc_event_is_single_pulse(self):
+        s = atc_stream([1.0, 2.0, 3.0])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        assert train.n_pulses == 3
+        assert train.n_symbols == 3
+
+    def test_overlapping_bursts_rejected(self):
+        s = datc_stream([1.0, 1.00001], [1, 1])
+        with pytest.raises(ValueError):
+            ook_modulate(s, symbol_period_s=1e-5)
+
+    def test_level_exceeding_bits_rejected(self):
+        s = datc_stream([1.0], [16])
+        with pytest.raises(ValueError):
+            ook_modulate(s, symbol_period_s=1e-5, bits_per_event=4)
+
+    def test_empty_stream(self):
+        s = atc_stream([])
+        train = ook_modulate(s)
+        assert train.n_pulses == 0
+        assert train.n_symbols == 0
+
+
+class TestOokRoundtrip:
+    def test_ideal_channel_roundtrip(self, rng):
+        times = np.sort(rng.uniform(0.1, 9.9, 200))
+        times = times[np.concatenate([[True], np.diff(times) > 1e-3])]
+        levels = rng.integers(0, 16, times.size)
+        s = datc_stream(times, levels)
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        rx = ook_demodulate(train.pulse_times, 10.0, 1e-5, bits_per_event=4)
+        assert rx.n_events == s.n_events
+        assert np.allclose(rx.times, s.times)
+        assert np.array_equal(rx.levels, levels)
+
+    def test_erased_payload_bit_reads_zero(self):
+        s = datc_stream([1.0], [0b1000])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        # Drop the payload pulse (keep the marker): level decodes as 0.
+        rx = ook_demodulate(train.pulse_times[:1], 10.0, 1e-5, 4)
+        assert rx.n_events == 1
+        assert rx.levels[0] == 0
+
+    def test_erased_marker_shifts_burst(self):
+        """Losing the marker promotes a payload pulse to a fake marker —
+        the realistic OOK failure mode the robustness bench quantifies."""
+        s = datc_stream([1.0], [0b1111])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        rx = ook_demodulate(train.pulse_times[1:], 10.0, 1e-5, 4)
+        assert rx.n_events == 1
+        assert rx.times[0] != pytest.approx(1.0)
+
+
+class TestPpm:
+    def test_every_symbol_costs_a_pulse(self):
+        s = datc_stream([1.0, 2.0], [0b0000, 0b1111])
+        train = ppm_modulate(s, symbol_period_s=1e-5)
+        assert train.n_pulses == 10
+        assert train.n_symbols == 10
+
+    def test_roundtrip(self, rng):
+        times = np.sort(rng.uniform(0.1, 9.9, 100))
+        times = times[np.concatenate([[True], np.diff(times) > 1e-3])]
+        levels = rng.integers(0, 16, times.size)
+        s = datc_stream(times, levels)
+        train = ppm_modulate(s, symbol_period_s=1e-5)
+        rx = ppm_demodulate(train.pulse_times, 10.0, 1e-5, 4)
+        assert rx.n_events == s.n_events
+        assert np.array_equal(rx.levels, levels)
+
+    def test_overlap_rejected(self):
+        s = datc_stream([1.0, 1.00002], [1, 2])
+        with pytest.raises(ValueError):
+            ppm_modulate(s, symbol_period_s=1e-5)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ppm_modulate(atc_stream([1.0]), symbol_period_s=0.0)
+        with pytest.raises(ValueError):
+            ook_modulate(atc_stream([1.0]), symbol_period_s=-1.0)

@@ -1,0 +1,65 @@
+"""Demodulator edge cases: spurious pulses, jitter at slot boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventStream
+from repro.uwb.modulation import ook_demodulate, ook_modulate
+
+
+def stream(times, levels, duration=10.0):
+    return EventStream(
+        times=np.asarray(times, dtype=float),
+        duration_s=duration,
+        levels=np.asarray(levels, dtype=np.int64),
+        symbols_per_event=5,
+    )
+
+
+class TestOokDemodEdgeCases:
+    def test_no_pulses(self):
+        rx = ook_demodulate(np.zeros(0), 10.0, 1e-5, 4)
+        assert rx.n_events == 0
+
+    def test_lone_spurious_pulse_becomes_level_zero_event(self):
+        rx = ook_demodulate(np.array([3.0]), 10.0, 1e-5, 4)
+        assert rx.n_events == 1
+        assert rx.levels[0] == 0
+
+    def test_small_jitter_within_half_slot_tolerated(self):
+        s = stream([1.0], [0b1010])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        jitter = np.full(train.n_pulses, 0.3e-5)
+        jitter[0] = 0.0  # keep the marker on time; payload pulses run late
+        rx = ook_demodulate(train.pulse_times + jitter, 10.0, 1e-5, 4)
+        assert rx.n_events == 1
+        assert rx.levels[0] == 0b1010
+
+    def test_pulse_beyond_half_slot_misreads(self):
+        """A payload pulse displaced past half a slot lands in the wrong
+        bit position — quantifying the jitter tolerance boundary."""
+        s = stream([1.0], [0b1000])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        shifted = train.pulse_times.copy()
+        shifted[1] += 0.9e-5  # almost a full slot late: bit 3 -> bit 2
+        rx = ook_demodulate(shifted, 10.0, 1e-5, 4)
+        assert rx.levels[0] == 0b0100
+
+    def test_back_to_back_bursts_separate(self):
+        # Two events exactly one burst span apart.
+        span = 5e-5
+        s = stream([1.0, 1.0 + span], [0b1111, 0b0001])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        rx = ook_demodulate(train.pulse_times, 10.0, 1e-5, 4)
+        assert rx.n_events == 2
+        assert rx.levels.tolist() == [0b1111, 0b0001]
+
+    def test_duplicate_pulses_harmless(self):
+        """A doubled detection (multipath) inside a slot does not create a
+        new event or change the level."""
+        s = stream([1.0], [0b0110])
+        train = ook_modulate(s, symbol_period_s=1e-5)
+        doubled = np.sort(np.concatenate([train.pulse_times, [train.pulse_times[1] + 1e-7]]))
+        rx = ook_demodulate(doubled, 10.0, 1e-5, 4)
+        assert rx.n_events == 1
+        assert rx.levels[0] == 0b0110

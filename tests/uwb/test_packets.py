@@ -1,0 +1,110 @@
+"""Tests for the packet-based baseline framing."""
+
+import numpy as np
+import pytest
+
+from repro.uwb.packets import (
+    PacketFormat,
+    crc8,
+    depacketize,
+    packetize,
+    payload_symbol_count,
+)
+
+
+class TestPayloadSymbolCount:
+    def test_paper_number(self):
+        """Sec. III-B: 12 x 50000 = 600000 symbols for the 20 s wave."""
+        assert payload_symbol_count(50_000, adc_bits=12) == 600_000
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            payload_symbol_count(-1)
+        with pytest.raises(ValueError):
+            payload_symbol_count(10, adc_bits=0)
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/ATM of 0x00 is 0x00; of a known byte pattern, stable.
+        assert crc8(np.zeros(8, dtype=np.uint8)) == 0
+
+    def test_detects_single_bit_flips(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        reference = crc8(bits)
+        for i in range(bits.size):
+            flipped = bits.copy()
+            flipped[i] ^= 1
+            assert crc8(flipped) != reference
+
+    def test_deterministic(self, rng):
+        bits = rng.integers(0, 2, 32).astype(np.uint8)
+        assert crc8(bits) == crc8(bits)
+
+
+class TestPacketFormat:
+    def test_default_geometry(self):
+        fmt = PacketFormat()
+        assert fmt.overhead_bits == 32
+        assert fmt.payload_bits == 96
+        assert fmt.packet_bits == 128
+
+    def test_packet_count_rounds_up(self):
+        fmt = PacketFormat(samples_per_packet=8)
+        assert fmt.n_packets(16) == 2
+        assert fmt.n_packets(17) == 3
+        assert fmt.n_packets(0) == 0
+
+    def test_total_bits(self):
+        fmt = PacketFormat()
+        assert fmt.total_bits(8) == 128
+
+    def test_overhead_exceeds_payload_only_count(self):
+        """Framing overhead makes the real stream larger than the paper's
+        payload-only 600000 figure."""
+        fmt = PacketFormat(adc_bits=12)
+        assert fmt.total_bits(50_000) > payload_symbol_count(50_000, 12)
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            PacketFormat(adc_bits=0)
+        with pytest.raises(ValueError):
+            PacketFormat(samples_per_packet=0)
+        with pytest.raises(ValueError):
+            PacketFormat(header_bits=-1)
+
+
+class TestPacketizeRoundtrip:
+    def test_roundtrip(self, rng):
+        fmt = PacketFormat()
+        codes = rng.integers(0, 4096, 64)
+        bits = packetize(codes, fmt)
+        decoded, errors = depacketize(bits, fmt)
+        assert errors == 0
+        assert np.array_equal(decoded[: codes.size], codes)
+
+    def test_padding_zeros(self):
+        fmt = PacketFormat(samples_per_packet=4)
+        codes = np.array([1, 2, 3, 4, 5])
+        decoded, _ = depacketize(packetize(codes, fmt), fmt)
+        assert decoded.size == 8
+        assert np.array_equal(decoded[5:], [0, 0, 0])
+
+    def test_corrupted_packet_dropped_by_crc(self, rng):
+        fmt = PacketFormat()
+        codes = rng.integers(0, 4096, 16)  # two packets
+        bits = packetize(codes, fmt)
+        bits = bits.copy()
+        # Flip a payload bit in the first packet.
+        bits[fmt.header_bits + fmt.sfd_bits + fmt.id_bits + 3] ^= 1
+        decoded, errors = depacketize(bits, fmt)
+        assert errors == 1
+        assert decoded.size == fmt.samples_per_packet  # only packet 2 kept
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            packetize(np.array([4096]), PacketFormat())
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(ValueError):
+            depacketize(np.zeros(100, dtype=np.uint8), PacketFormat())

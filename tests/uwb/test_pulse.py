@@ -1,0 +1,108 @@
+"""Tests for UWB pulse shapes and FCC compliance."""
+
+import numpy as np
+import pytest
+
+from repro.uwb.pulse import (
+    check_fcc_compliance,
+    fcc_indoor_mask_dbm_per_mhz,
+    gaussian_derivative,
+    pulse_spectrum_dbm_per_mhz,
+    pulse_waveform,
+)
+
+
+class TestGaussianDerivative:
+    def test_peak_normalised(self):
+        t = np.linspace(-1e-9, 1e-9, 1001)
+        for order in (0, 1, 2, 5, 7):
+            w = gaussian_derivative(t, 100e-12, order)
+            assert np.max(np.abs(w)) == pytest.approx(1.0)
+
+    def test_order_zero_is_gaussian(self):
+        t = np.linspace(-1e-9, 1e-9, 1001)
+        w = gaussian_derivative(t, 100e-12, 0)
+        assert w[500] == pytest.approx(1.0)  # peak at centre
+        assert np.all(w > 0)
+
+    def test_odd_orders_antisymmetric(self):
+        t = np.linspace(-1e-9, 1e-9, 1001)
+        w = gaussian_derivative(t, 100e-12, 1)
+        assert np.allclose(w, -w[::-1], atol=1e-12)
+
+    def test_even_orders_symmetric(self):
+        t = np.linspace(-1e-9, 1e-9, 1001)
+        w = gaussian_derivative(t, 100e-12, 2)
+        assert np.allclose(w, w[::-1], atol=1e-12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gaussian_derivative(np.zeros(3), 0.0, 1)
+        with pytest.raises(ValueError):
+            gaussian_derivative(np.zeros(3), 1e-10, -1)
+
+
+class TestPulseWaveform:
+    def test_duration_and_rate(self):
+        shape = pulse_waveform(order=5, tau_s=51e-12, fs_hz=50e9)
+        assert shape.fs_hz == 50e9
+        assert shape.duration_s == pytest.approx(2 * 10 * 51e-12, rel=0.01)
+
+    def test_higher_order_shifts_peak_frequency_up(self):
+        low = pulse_waveform(order=1, tau_s=51e-12)
+        high = pulse_waveform(order=5, tau_s=51e-12)
+        assert high.peak_frequency_hz() > low.peak_frequency_hz()
+
+    def test_fifth_derivative_peak_in_fcc_band(self):
+        """The classic 5th-derivative / 51 ps pulse peaks inside
+        3.1-10.6 GHz."""
+        shape = pulse_waveform(order=5, tau_s=51e-12)
+        assert 3.1e9 < shape.peak_frequency_hz() < 10.6e9
+
+    def test_energy_positive(self):
+        assert pulse_waveform().energy_norm > 0
+
+
+class TestFccMask:
+    def test_mask_values(self):
+        f = np.array([0.5e9, 1.0e9, 1.8e9, 2.5e9, 5.0e9, 11.0e9])
+        m = fcc_indoor_mask_dbm_per_mhz(f)
+        assert m.tolist() == [-41.3, -75.3, -53.3, -51.3, -41.3, -51.3]
+
+    def test_gps_band_is_strictest(self):
+        f = np.linspace(0.1e9, 12e9, 1000)
+        m = fcc_indoor_mask_dbm_per_mhz(f)
+        assert m.min() == -75.3
+
+
+class TestCompliance:
+    def test_event_rate_prf_compliant(self):
+        """At biomedical event rates (<= a few kHz PRF) the 5th-derivative
+        pulse sits far below the mask."""
+        shape = pulse_waveform(order=5, tau_s=51e-12)
+        ok, margin = check_fcc_compliance(shape, prf_hz=2000.0, peak_amplitude_v=0.5)
+        assert ok
+        assert margin > 20.0
+
+    def test_absurd_prf_violates(self):
+        """Cranking the PRF by ~9 orders of magnitude must break the mask —
+        the check is not vacuous."""
+        shape = pulse_waveform(order=5, tau_s=51e-12)
+        ok_low, margin_low = check_fcc_compliance(shape, 2000.0)
+        ok_high, margin_high = check_fcc_compliance(
+            shape, 5e12, peak_amplitude_v=5.0
+        )
+        assert ok_low
+        assert not ok_high
+        assert margin_high < margin_low
+
+    def test_psd_scales_with_prf(self):
+        shape = pulse_waveform(order=5)
+        _, psd1k = pulse_spectrum_dbm_per_mhz(shape, prf_hz=1000.0)
+        _, psd2k = pulse_spectrum_dbm_per_mhz(shape, prf_hz=2000.0)
+        band = np.isfinite(psd1k) & np.isfinite(psd2k)
+        assert np.allclose(psd2k[band] - psd1k[band], 10 * np.log10(2), atol=1e-6)
+
+    def test_invalid_prf(self):
+        with pytest.raises(ValueError):
+            pulse_spectrum_dbm_per_mhz(pulse_waveform(), prf_hz=0.0)

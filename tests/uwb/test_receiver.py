@@ -1,0 +1,81 @@
+"""Tests for the energy-detection receiver model."""
+
+import pytest
+
+from repro.uwb.receiver import EnergyDetector, detection_probability, noise_psd_w_per_hz
+
+
+class TestNoisePsd:
+    def test_ktf_magnitude(self):
+        """kT at 290 K is -174 dBm/Hz; a 6 dB NF doubles it twice."""
+        n0 = noise_psd_w_per_hz(noise_figure_db=0.0)
+        assert n0 == pytest.approx(4.0e-21, rel=0.01)
+        assert noise_psd_w_per_hz(6.0) == pytest.approx(n0 * 10 ** 0.6, rel=1e-9)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            noise_psd_w_per_hz(temperature_k=0.0)
+
+
+class TestDetectionProbability:
+    def test_zero_energy_gives_pfa(self):
+        """With no signal, Pd collapses to the false-alarm rate."""
+        assert detection_probability(0.0, pfa=1e-3) == pytest.approx(1e-3, rel=0.01)
+
+    def test_monotone_in_snr(self):
+        pds = [detection_probability(snr) for snr in (0.0, 1.0, 5.0, 20.0, 100.0)]
+        assert pds == sorted(pds)
+
+    def test_high_snr_saturates(self):
+        assert detection_probability(200.0) > 0.999
+
+    def test_wider_window_needs_more_energy(self):
+        """More degrees of freedom collect more noise: Pd drops at fixed
+        Es/N0 when TW grows."""
+        tight = detection_probability(10.0, time_bandwidth=2.0)
+        wide = detection_probability(10.0, time_bandwidth=50.0)
+        assert tight > wide
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"es_over_n0": -1.0},
+            {"es_over_n0": 1.0, "time_bandwidth": 0.0},
+            {"es_over_n0": 1.0, "pfa": 0.0},
+            {"es_over_n0": 1.0, "pfa": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            detection_probability(**kwargs)
+
+
+class TestEnergyDetector:
+    def test_short_link_is_reliable(self):
+        """30 pJ pulses over ~1 m must be detected essentially always —
+        the paper's wearable use case."""
+        from repro.uwb.channel import received_energy_j
+
+        det = EnergyDetector()
+        rx = received_energy_j(30e-12, distance_m=1.0)
+        assert det.pd_for_energy(rx) > 0.999
+
+    def test_erasure_prob_complement(self):
+        det = EnergyDetector()
+        assert det.erasure_prob_for_energy(1e-18) == pytest.approx(
+            1.0 - det.pd_for_energy(1e-18)
+        )
+
+    def test_false_pulse_rate(self):
+        det = EnergyDetector(pfa=1e-3)
+        assert det.false_pulse_rate_hz(1e-5) == pytest.approx(100.0)
+
+    def test_invalid_symbol_period(self):
+        with pytest.raises(ValueError):
+            EnergyDetector().false_pulse_rate_hz(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EnergyDetector(time_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            EnergyDetector(pfa=2.0)
