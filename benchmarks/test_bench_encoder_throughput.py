@@ -3,8 +3,13 @@
 These are conventional pytest-benchmark timing runs (many rounds): the
 frame-vectorised behavioural encoder must process a full 20 s / 50000-
 sample pattern in milliseconds, and the cycle-accurate RTL model must
-sustain well over its own 2 kHz real-time clock.
+sustain well over its own 2 kHz real-time clock.  The batched-vs-loop
+test additionally *asserts* the speedup of the 2-D frame-vectorised
+D-ATC path over the per-signal Python loop on a 16-signal batch.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -12,6 +17,7 @@ import pytest
 from repro.core.atc import atc_encode
 from repro.core.config import ATCConfig, DATCConfig
 from repro.core.datc import datc_encode
+from repro.core.encoders import DATCEncoder, datc_encode_batch
 from repro.digital.dtc_rtl import DTCRtl
 from repro.rx.reconstruction import reconstruct_hybrid
 
@@ -51,3 +57,61 @@ def test_reconstruction_throughput(benchmark, pattern):
 def test_dataset_generation_throughput(benchmark, paper_dataset):
     pattern = benchmark(paper_dataset.pattern, 7)
     assert pattern.n_samples == 50_000
+
+
+def test_datc_chunked_streaming_throughput(benchmark, pattern):
+    chunks = np.array_split(pattern.emg, 50)  # ~0.4 s per chunk
+
+    def run():
+        encoder = DATCEncoder(pattern.fs)
+        for chunk in chunks:
+            encoder.push(chunk)
+        encoder.finalize()
+        return encoder.stream
+
+    stream = benchmark(run)
+    one_shot, _ = datc_encode(pattern.emg, pattern.fs)
+    assert np.array_equal(stream.times, one_shot.times)
+
+
+def test_datc_batch_speedup_over_loop(paper_dataset):
+    """Acceptance: batched D-ATC >= 3x the per-signal loop on 16 signals.
+
+    ~8x on an idle machine; ENCODER_SPEEDUP_MIN lowers the bar on noisy
+    shared runners (CI) where wall-clock ratios are unreliable.
+    """
+    signals = np.stack([paper_dataset.pattern(i).emg for i in range(16)])
+    fs = paper_dataset.pattern(0).fs
+    config = DATCConfig()
+
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    minimum = float(os.environ.get("ENCODER_SPEEDUP_MIN", "3.0"))
+    # Wall-clock ratios collapse under CPU contention (co-tenant runs,
+    # frequency scaling); retry a few times before calling it a failure.
+    for attempt in range(3):
+        loop_t, loop_out = best_of(
+            lambda: [datc_encode(row, fs, config) for row in signals]
+        )
+        batch_t, batch_out = best_of(
+            lambda: datc_encode_batch(signals, fs, config)
+        )
+        speedup = loop_t / batch_t
+        print(
+            f"\nbatched D-ATC (attempt {attempt + 1}): "
+            f"loop {loop_t * 1e3:.1f} ms, batch {batch_t * 1e3:.1f} ms "
+            f"-> {speedup:.1f}x"
+        )
+        if speedup >= minimum:
+            break
+
+    for (s1, _), (s2, _) in zip(loop_out, batch_out):
+        assert np.array_equal(s1.times, s2.times)
+        assert np.array_equal(s1.levels, s2.levels)
+    assert speedup >= minimum

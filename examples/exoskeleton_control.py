@@ -11,7 +11,11 @@ This example closes that loop end to end:
   -> 1-DOF actuator model -> grip aperture
 
 and reports how faithfully the actuated aperture tracks the subject's
-intended grip, including with a lossy radio.
+intended grip, including with a lossy radio.  The transmitter runs the
+*streaming* encoder (repro.core.encoders.DATCEncoder), consuming the
+sEMG in 100 ms chunks exactly as a wearable front end would — the
+events are available to the radio with frame-level latency instead of
+after the whole recording.
 
 Usage::
 
@@ -20,7 +24,7 @@ Usage::
 
 import numpy as np
 
-from repro import DATCConfig, datc_encode
+from repro import DATCConfig, DATCEncoder
 from repro.rx.correlation import correlation_percent, resample_to_length
 from repro.rx.reconstruction import reconstruct_hybrid
 from repro.signals import EMGModel, mvc_grip_protocol, synthesize_emg
@@ -55,8 +59,14 @@ def run_trial(erasure_prob: float, rng: np.random.Generator) -> None:
     force = mvc_grip_protocol(duration, fs)  # the subject's intent
     emg = synthesize_emg(force, fs, EMGModel(gain_v=0.45), rng)
 
-    # Transmit side: D-ATC events over the IR-UWB link.
-    stream, _ = datc_encode(emg, fs, DATCConfig())
+    # Transmit side: the always-on streaming encoder eats 100 ms chunks
+    # (bit-identical to one-shot datc_encode, but event-by-event live).
+    encoder = DATCEncoder(fs, DATCConfig())
+    chunk = int(0.1 * fs)
+    for start in range(0, emg.size, chunk):
+        encoder.push(emg[start:start + chunk])
+    encoder.finalize()
+    stream = encoder.stream
     channel = UWBChannel(erasure_prob=erasure_prob)
     link = simulate_link(stream, LinkConfig(), channel=channel,
                          rng=rng if erasure_prob else None)

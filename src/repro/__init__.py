@@ -18,16 +18,24 @@ Quick start::
 
 from .core import (
     ATCConfig,
+    ATCEncoder,
     ATCTrace,
     DATCConfig,
+    DATCEncoder,
     DATCTrace,
     EventStream,
+    MultiChannelDATC,
     PipelineResult,
+    StreamingEncoder,
     ThresholdPredictor,
     atc_encode,
+    atc_encode_batch,
     datc_encode,
+    datc_encode_batch,
+    encode_batch,
     merge_streams,
     run_atc,
+    run_batch,
     run_datc,
 )
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
@@ -36,16 +44,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ATCConfig",
+    "ATCEncoder",
     "ATCTrace",
     "DATCConfig",
+    "DATCEncoder",
     "DATCTrace",
     "EventStream",
+    "MultiChannelDATC",
     "PipelineResult",
+    "StreamingEncoder",
     "ThresholdPredictor",
     "atc_encode",
+    "atc_encode_batch",
     "datc_encode",
+    "datc_encode_batch",
+    "encode_batch",
     "merge_streams",
     "run_atc",
+    "run_batch",
     "run_datc",
     "DatasetSpec",
     "EMGModel",

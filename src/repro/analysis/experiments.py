@@ -274,12 +274,19 @@ def run_fig5(
     n_patterns: "int | None" = None,
     vth: float = 0.3,
     dataset: "DatasetSpec | None" = None,
+    jobs: "int | None" = None,
 ) -> Fig5Result:
-    """Regenerate Fig. 5 (full dataset unless ``n_patterns`` limits it)."""
+    """Regenerate Fig. 5 (full dataset unless ``n_patterns`` limits it).
+
+    Both schemes run through the batched encoder paths; ``jobs`` adds
+    worker threads for pattern generation and receiver-side scoring.
+    """
     dataset = dataset if dataset is not None else default_dataset()
     return Fig5Result(
-        atc=dataset_sweep(dataset, "atc", atc_config=ATCConfig(vth=vth), limit=n_patterns),
-        datc=dataset_sweep(dataset, "datc", limit=n_patterns),
+        atc=dataset_sweep(
+            dataset, "atc", atc_config=ATCConfig(vth=vth), limit=n_patterns, jobs=jobs
+        ),
+        datc=dataset_sweep(dataset, "datc", limit=n_patterns, jobs=jobs),
     )
 
 
@@ -380,14 +387,18 @@ def run_fig7(
     pattern_ids: "tuple[int, ...]" = (5, 23, 57, 120),
     vths: "tuple[float, ...]" = (0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6),
     dataset: "DatasetSpec | None" = None,
+    jobs: "int | None" = None,
 ) -> Fig7Result:
-    """Regenerate Fig. 7 on four (fixed-seed "random") patterns."""
+    """Regenerate Fig. 7 on four (fixed-seed "random") patterns.
+
+    ``jobs`` parallelises the per-pattern threshold sweeps.
+    """
     dataset = dataset if dataset is not None else default_dataset()
     atc_sweeps = {}
     datc_points = {}
     for pid in pattern_ids:
         pattern = dataset.pattern(pid)
-        atc_sweeps[pid] = atc_threshold_sweep(pattern, list(vths))
+        atc_sweeps[pid] = atc_threshold_sweep(pattern, list(vths), jobs=jobs)
         d = run_datc(pattern)
         datc_points[pid] = SweepPoint(
             parameter=-1.0,

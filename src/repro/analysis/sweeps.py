@@ -4,6 +4,13 @@ These are the workhorses behind Figs. 5-7 and the ablation benches (the
 paper states "different DAC resolution have been examined to determine the
 best trade-off between accuracy and complexity" and that artifact pulses
 act "similar to pulse missing" — both studies are reproduced here).
+
+Execution model: each sweep declares its operating-point grid and maps an
+evaluation function over it.  The dataset sweep encodes all patterns at
+once through the batched encoder paths (:func:`repro.core.pipeline.run_batch`),
+and every sweep takes an opt-in ``jobs`` argument that fans the grid out
+over a ``concurrent.futures`` thread pool — grid order is preserved and
+results are identical to the sequential run.
 """
 
 from __future__ import annotations
@@ -13,7 +20,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import ATCConfig, DATCConfig
-from ..core.pipeline import DEFAULT_WINDOW_S, PipelineResult, run_atc, run_datc
+from ..core.pipeline import (
+    DEFAULT_WINDOW_S,
+    PipelineResult,
+    map_jobs,
+    run_atc,
+    run_batch,
+    run_datc,
+)
 from ..rx.correlation import aligned_correlation_percent
 from ..rx.reconstruction import reconstruct_hybrid
 from ..signals.dataset import DatasetSpec, Pattern
@@ -31,6 +45,15 @@ __all__ = [
 ]
 
 
+def _sweep_point(parameter: float, result: PipelineResult) -> SweepPoint:
+    return SweepPoint(
+        parameter=float(parameter),
+        correlation_pct=result.correlation_pct,
+        n_events=result.n_events,
+        n_symbols=result.n_symbols,
+    )
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One operating point of a sweep: parameter, correlation, events."""
@@ -42,21 +65,14 @@ class SweepPoint:
 
 
 def atc_threshold_sweep(
-    pattern: Pattern, vths: "np.ndarray | list[float]"
+    pattern: Pattern, vths: "np.ndarray | list[float]", jobs: "int | None" = None
 ) -> "list[SweepPoint]":
     """ATC correlation/events across fixed threshold voltages (Fig. 7)."""
-    points = []
-    for vth in vths:
-        result = run_atc(pattern, ATCConfig(vth=float(vth)))
-        points.append(
-            SweepPoint(
-                parameter=float(vth),
-                correlation_pct=result.correlation_pct,
-                n_events=result.n_events,
-                n_symbols=result.n_symbols,
-            )
-        )
-    return points
+
+    def evaluate(vth: float) -> SweepPoint:
+        return _sweep_point(vth, run_atc(pattern, ATCConfig(vth=float(vth))))
+
+    return map_jobs(evaluate, (float(v) for v in vths), jobs)
 
 
 @dataclass(frozen=True)
@@ -96,46 +112,46 @@ def dataset_sweep(
     atc_config: "ATCConfig | None" = None,
     datc_config: "DATCConfig | None" = None,
     limit: "int | None" = None,
+    jobs: "int | None" = None,
 ) -> DatasetSweepResult:
-    """Run one scheme over (a prefix of) the dataset."""
+    """Run one scheme over (a prefix of) the dataset.
+
+    All patterns are encoded in one batched call (the patterns of a
+    dataset share rate and length); ``jobs`` parallelises pattern
+    generation and the receiver-side scoring.
+    """
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
     n = dataset.n_patterns if limit is None else min(limit, dataset.n_patterns)
     ids = np.arange(n)
-    corr = np.empty(n)
-    events = np.empty(n, dtype=np.int64)
-    for i in ids:
-        pattern = dataset.pattern(int(i))
-        if scheme == "atc":
-            result: PipelineResult = run_atc(pattern, atc_config)
-        else:
-            result = run_datc(pattern, datc_config)
-        corr[i] = result.correlation_pct
-        events[i] = result.n_events
+    patterns = map_jobs(lambda i: dataset.pattern(int(i)), ids, jobs)
+    config = atc_config if scheme == "atc" else datc_config
+    results = run_batch(patterns, scheme, config, jobs=jobs)
+    corr = np.array([r.correlation_pct for r in results])
+    events = np.array([r.n_events for r in results], dtype=np.int64)
     return DatasetSweepResult(
         scheme=scheme, pattern_ids=ids, correlations_pct=corr, n_events=events
     )
 
 
-def frame_size_sweep(pattern: Pattern, selectors: "tuple[int, ...]" = (0, 1, 2, 3)) -> "list[SweepPoint]":
+def frame_size_sweep(
+    pattern: Pattern,
+    selectors: "tuple[int, ...]" = (0, 1, 2, 3),
+    jobs: "int | None" = None,
+) -> "list[SweepPoint]":
     """D-ATC across the four legal frame sizes (ablation)."""
-    points = []
-    for sel in selectors:
+
+    def evaluate(sel: int) -> SweepPoint:
         config = DATCConfig(frame_selector=sel)
-        result = run_datc(pattern, config)
-        points.append(
-            SweepPoint(
-                parameter=float(config.frame_size),
-                correlation_pct=result.correlation_pct,
-                n_events=result.n_events,
-                n_symbols=result.n_symbols,
-            )
-        )
-    return points
+        return _sweep_point(config.frame_size, run_datc(pattern, config))
+
+    return map_jobs(evaluate, selectors, jobs)
 
 
 def dac_resolution_sweep(
-    pattern: Pattern, bits_list: "tuple[int, ...]" = (2, 3, 4, 5, 6)
+    pattern: Pattern,
+    bits_list: "tuple[int, ...]" = (2, 3, 4, 5, 6),
+    jobs: "int | None" = None,
 ) -> "list[SweepPoint]":
     """D-ATC across DAC resolutions (the paper's accuracy/complexity study).
 
@@ -143,8 +159,8 @@ def dac_resolution_sweep(
     every resolution, so only the quantisation granularity changes; the
     symbol cost per event is ``1 + bits``.
     """
-    points = []
-    for bits in bits_list:
+
+    def evaluate(bits: int) -> SweepPoint:
         n_levels = 1 << bits
         config = DATCConfig(
             dac_bits=bits,
@@ -153,16 +169,9 @@ def dac_resolution_sweep(
             min_level=1,
             initial_level=n_levels // 2,
         )
-        result = run_datc(pattern, config)
-        points.append(
-            SweepPoint(
-                parameter=float(bits),
-                correlation_pct=result.correlation_pct,
-                n_events=result.n_events,
-                n_symbols=result.n_symbols,
-            )
-        )
-    return points
+        return _sweep_point(bits, run_datc(pattern, config))
+
+    return map_jobs(evaluate, bits_list, jobs)
 
 
 def pulse_loss_sweep(
@@ -171,6 +180,7 @@ def pulse_loss_sweep(
     config: "DATCConfig | None" = None,
     seed: int = 7,
     window_s: float = DEFAULT_WINDOW_S,
+    jobs: "int | None" = None,
 ) -> "list[SweepPoint]":
     """D-ATC correlation under event erasures (artifact-robustness study).
 
@@ -179,12 +189,14 @@ def pulse_loss_sweep(
     receiver reconstruction.
     """
     config = config if config is not None else DATCConfig()
-    base = run_datc(pattern, config)
-    reference = pattern.ground_truth_envelope(window_s=window_s)
-    points = []
-    for i, p in enumerate(loss_probs):
+    for p in loss_probs:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"loss probability must be in [0, 1), got {p}")
+    base = run_datc(pattern, config)
+    reference = pattern.ground_truth_envelope(window_s=window_s)
+
+    def evaluate(item: "tuple[int, float]") -> SweepPoint:
+        i, p = item
         rng = np.random.default_rng((seed, i))
         keep = rng.random(base.stream.n_events) >= p
         stream = base.stream.drop_events(keep)
@@ -196,15 +208,14 @@ def pulse_loss_sweep(
             smooth_window_s=window_s,
         )
         corr = aligned_correlation_percent(recon, reference)
-        points.append(
-            SweepPoint(
-                parameter=float(p),
-                correlation_pct=corr,
-                n_events=stream.n_events,
-                n_symbols=stream.n_symbols,
-            )
+        return SweepPoint(
+            parameter=float(p),
+            correlation_pct=corr,
+            n_events=stream.n_events,
+            n_symbols=stream.n_symbols,
         )
-    return points
+
+    return map_jobs(evaluate, enumerate(loss_probs), jobs)
 
 
 def snr_sweep(
@@ -212,6 +223,7 @@ def snr_sweep(
     snr_dbs: "tuple[float, ...]" = (30.0, 20.0, 10.0, 5.0, 0.0),
     scheme: str = "datc",
     seed: int = 11,
+    jobs: "int | None" = None,
 ) -> "list[SweepPoint]":
     """Correlation vs. additive input noise (robustness to signal quality).
 
@@ -223,8 +235,9 @@ def snr_sweep(
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
     signal_power = float(np.mean(pattern.emg ** 2))
-    points = []
-    for i, snr_db in enumerate(snr_dbs):
+
+    def evaluate(item: "tuple[int, float]") -> SweepPoint:
+        i, snr_db = item
         rng = np.random.default_rng((seed, i))
         noise_power = signal_power / (10.0 ** (snr_db / 10.0))
         noisy = pattern.emg + np.sqrt(noise_power) * rng.standard_normal(
@@ -245,15 +258,14 @@ def snr_sweep(
         # how much of the true signal survives the noisy front-end.
         reference = pattern.ground_truth_envelope()
         corr = aligned_correlation_percent(result.reconstruction, reference)
-        points.append(
-            SweepPoint(
-                parameter=float(snr_db),
-                correlation_pct=corr,
-                n_events=result.n_events,
-                n_symbols=result.n_symbols,
-            )
+        return SweepPoint(
+            parameter=float(snr_db),
+            correlation_pct=corr,
+            n_events=result.n_events,
+            n_symbols=result.n_symbols,
         )
-    return points
+
+    return map_jobs(evaluate, enumerate(snr_dbs), jobs)
 
 
 def weight_sweep(
@@ -264,29 +276,22 @@ def weight_sweep(
         (0.0, 0.0, 2.0),    # last frame only (memoryless)
         (0.1, 0.3, 1.6),    # strongly recency-weighted
     ),
+    jobs: "int | None" = None,
 ) -> "list[tuple[tuple[float, float, float], SweepPoint]]":
     """Sensitivity of D-ATC to the predictor weights (ablation).
 
     Weight triples are normalised to sum to the paper's divisor (2) so
     the interval ladder keeps its meaning.
     """
-    results = []
-    for weights in weight_sets:
+
+    def evaluate(
+        weights: "tuple[float, float, float]",
+    ) -> "tuple[tuple[float, float, float], SweepPoint]":
         total = sum(weights)
         if total <= 0:
             raise ValueError(f"weights must have positive sum, got {weights}")
         scaled = tuple(2.0 * w / total for w in weights)
         config = DATCConfig(weights=scaled)
-        result = run_datc(pattern, config)
-        results.append(
-            (
-                weights,
-                SweepPoint(
-                    parameter=float(scaled[2]),
-                    correlation_pct=result.correlation_pct,
-                    n_events=result.n_events,
-                    n_symbols=result.n_symbols,
-                ),
-            )
-        )
-    return results
+        return weights, _sweep_point(scaled[2], run_datc(pattern, config))
+
+    return map_jobs(evaluate, weight_sets, jobs)

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro verilog -o dtc.v     # emit synthesizable RTL
     python -m repro vcd -o dtc.vcd       # waveform dump of a real pattern
     python -m repro report --quick       # regenerate EXPERIMENTS.md
+    python -m repro bench                # one-shot vs chunked vs batched
+    python -m repro fig5 --jobs 4        # sweep with 4 worker threads
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig5
 
-    print(run_fig5(n_patterns=args.patterns).format_table())
+    print(run_fig5(n_patterns=args.patterns, jobs=args.jobs).format_table())
     return 0
 
 
@@ -52,7 +54,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig7
 
-    print(run_fig7().format_table())
+    print(run_fig7(jobs=args.jobs).format_table())
     return 0
 
 
@@ -113,6 +115,79 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from .core.atc import atc_encode
+    from .core.config import ATCConfig, DATCConfig
+    from .core.datc import datc_encode
+    from .core.encoders import ATCEncoder, DATCEncoder, encode_batch
+    from .signals.dataset import DatasetSpec
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    patterns = [dataset.pattern(i) for i in range(args.signals)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+    n_total = signals.size
+
+    def best_of(fn) -> "tuple[float, int]":
+        best, events = float("inf"), 0
+        for _ in range(args.repeats):
+            t0 = perf_counter()
+            events = fn()
+            best = min(best, perf_counter() - t0)
+        return best, events
+
+    schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    print(
+        f"encoder throughput: {args.signals} signals x {args.duration:g} s "
+        f"@ {fs:g} Hz ({n_total} samples), chunk={args.chunk}, "
+        f"best of {args.repeats}"
+    )
+    header = (
+        f"{'path':<22}{'time (ms)':>11}{'samples/s':>14}{'events/s':>11}"
+        f"{'speedup':>9}"
+    )
+    for scheme in schemes:
+        config = ATCConfig() if scheme == "atc" else DATCConfig()
+        one_shot = atc_encode if scheme == "atc" else datc_encode
+        encoder_cls = ATCEncoder if scheme == "atc" else DATCEncoder
+
+        def run_one_shot() -> int:
+            return sum(one_shot(row, fs, config)[0].n_events for row in signals)
+
+        def run_chunked() -> int:
+            total = 0
+            for row in signals:
+                enc = encoder_cls(fs, config)
+                for start in range(0, row.size, args.chunk):
+                    enc.push(row[start : start + args.chunk])
+                enc.finalize()
+                total += enc.stream.n_events
+            return total
+
+        def run_batched() -> int:
+            return sum(s.n_events for s, _ in encode_batch(signals, fs, config))
+
+        rows = [
+            ("one-shot loop", run_one_shot),
+            (f"chunked ({args.chunk})", run_chunked),
+            ("batched 2-D", run_batched),
+        ]
+        print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
+        base_t = None
+        for name, fn in rows:
+            t, events = best_of(fn)
+            base_t = t if base_t is None else base_t
+            print(
+                f"{name:<22}{t * 1e3:>11.1f}{n_total / t:>14.3g}"
+                f"{events / t:>11.3g}{base_t / t:>8.1f}x"
+            )
+    return 0
+
+
 def _cmd_encode(args: argparse.Namespace) -> int:
     from .core.config import DATCConfig
     from .core.datc import datc_encode
@@ -132,6 +207,20 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -147,13 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig5", help="Fig. 5 dataset sweep")
     p.add_argument("--patterns", type=int, default=None, help="limit pattern count")
+    p.add_argument("--jobs", type=int, default=None, help="worker threads")
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig6", help="Fig. 6 iso-correlation comparison")
     p.add_argument("--pattern", type=int, default=22)
     p.set_defaults(func=_cmd_fig6)
 
-    sub.add_parser("fig7", help="Fig. 7 trade-off curves").set_defaults(func=_cmd_fig7)
+    p = sub.add_parser("fig7", help="Fig. 7 trade-off curves")
+    p.add_argument("--jobs", type=int, default=None, help="worker threads")
+    p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("symbols", help="Sec. III-B symbol accounting")
     p.add_argument("--pattern", type=int, default=22)
@@ -185,6 +277,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", type=int, default=22)
     p.add_argument("-o", "--output", default="events.npz")
     p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser(
+        "bench", help="encoder throughput: one-shot vs chunked vs batched"
+    )
+    p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
+    p.add_argument("--signals", type=_positive_int, default=16, help="batch rows")
+    p.add_argument(
+        "--duration", type=_positive_float, default=20.0, help="seconds per signal"
+    )
+    p.add_argument(
+        "--chunk", type=_positive_int, default=1000, help="streaming chunk size"
+    )
+    p.add_argument("--repeats", type=_positive_int, default=3, help="best-of repeats")
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

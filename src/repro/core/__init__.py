@@ -3,6 +3,14 @@
 from .atc import ATCTrace, atc_encode, rising_edges
 from .config import PAPER_CLOCK_HZ, ATCConfig, DATCConfig
 from .datc import DATCTrace, datc_encode
+from .encoders import (
+    ATCEncoder,
+    DATCEncoder,
+    StreamingEncoder,
+    atc_encode_batch,
+    datc_encode_batch,
+    encode_batch,
+)
 from .events import EventStream, merge_streams
 from .intervals import interval_levels_float, select_level
 from .pipeline import (
@@ -10,6 +18,7 @@ from .pipeline import (
     DEFAULT_WINDOW_S,
     PipelineResult,
     run_atc,
+    run_batch,
     run_datc,
 )
 from .multichannel import MultiChannelDATC, MultiChannelResult
@@ -24,6 +33,12 @@ __all__ = [
     "DATCConfig",
     "DATCTrace",
     "datc_encode",
+    "StreamingEncoder",
+    "ATCEncoder",
+    "DATCEncoder",
+    "encode_batch",
+    "atc_encode_batch",
+    "datc_encode_batch",
     "EventStream",
     "merge_streams",
     "interval_levels_float",
@@ -33,6 +48,7 @@ __all__ = [
     "PipelineResult",
     "run_atc",
     "run_datc",
+    "run_batch",
     "ThresholdPredictor",
     "MultiChannelDATC",
     "MultiChannelResult",

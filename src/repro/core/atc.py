@@ -7,6 +7,15 @@ recovers with simple windowing.  Its weakness — the reason D-ATC exists —
 is that ``Vth`` must be trimmed per subject: too high and low-amplitude
 signals are never sensed, too low and the event (hence power) budget
 explodes.
+
+Streaming & batching
+--------------------
+:func:`atc_encode` is a thin wrapper over the incremental
+:class:`repro.core.encoders.ATCEncoder` — feed an ``ATCEncoder`` arbitrary
+chunks via ``push()`` for live sources, with bit-identical output.  To
+encode many equal-length signals at once, use
+:func:`repro.core.encoders.atc_encode_batch` (fully vectorised across the
+signal axis).
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from ..analog.comparator import Comparator
 from .config import ATCConfig
 from .events import EventStream
 
-__all__ = ["ATCTrace", "atc_encode", "rising_edges"]
+__all__ = ["ATCTrace", "atc_encode", "rising_edges", "rising_edges_2d"]
 
 
 def rising_edges(bits: np.ndarray, initial: int = 0) -> np.ndarray:
@@ -33,6 +42,22 @@ def rising_edges(bits: np.ndarray, initial: int = 0) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
     prev = np.concatenate([[1 if initial else 0], bits[:-1]])
     return np.flatnonzero((bits == 1) & (prev == 0))
+
+
+def rising_edges_2d(bits: np.ndarray, initial: int = 0) -> np.ndarray:
+    """Row-wise 0 -> 1 transition mask for a 2-D ``(n_signals, n)`` matrix.
+
+    The batched counterpart of :func:`rising_edges` (same convention,
+    same ``initial`` comparator-flop reset state, applied per row).
+    Returns a boolean mask; per-row event indices are
+    ``np.flatnonzero(mask[r])``.
+    """
+    bits = np.asarray(bits).astype(np.int8)
+    if bits.ndim != 2:
+        raise ValueError(f"bits must be 2-D, got shape {bits.shape}")
+    first = np.full((bits.shape[0], 1), 1 if initial else 0, dtype=np.int8)
+    prev = np.concatenate([first, bits[:, :-1]], axis=1)
+    return (bits == 1) & (prev == 0)
 
 
 @dataclass(frozen=True)
@@ -89,43 +114,12 @@ def atc_encode(
     (EventStream, ATCTrace)
         The event stream (1 symbol per event) and the diagnostic trace.
     """
-    config = config if config is not None else ATCConfig()
+    from .encoders import ATCEncoder  # deferred: encoders imports this module
+
     x = np.asarray(signal, dtype=float)
     if x.ndim != 1:
         raise ValueError(f"signal must be 1-D, got shape {x.shape}")
-    if fs <= 0:
-        raise ValueError(f"fs must be positive, got {fs}")
-    if rectify:
-        x = np.abs(x)
-
-    duration = x.size / fs
-    n_clocks = int(np.floor(duration * config.clock_hz))
-    if n_clocks == 0:
-        raise ValueError(
-            f"signal too short: {x.size} samples at {fs} Hz covers no "
-            f"{config.clock_hz} Hz clock period"
-        )
-
-    if comparator is None:
-        dense_bits = (x > config.vth).astype(np.uint8)
-    else:
-        dense_bits = comparator.compare(x, config.vth, rng=rng)
-
-    # Clock edge k (1-based) samples the dense value active just before it
-    # (same convention as repro.digital.synchronizer.sample_at_clock).
-    edge_idx = np.ceil(
-        np.arange(1, n_clocks + 1) * (fs / config.clock_hz) - 1e-9
-    ).astype(np.int64) - 1
-    edge_idx = np.clip(edge_idx, 0, x.size - 1)
-    d_in = dense_bits[edge_idx]
-
-    idx = rising_edges(d_in)
-    times = (idx + 1) / config.clock_hz
-    stream = EventStream(
-        times=times,
-        duration_s=duration,
-        levels=None,
-        clock_hz=config.clock_hz,
-        symbols_per_event=config.symbols_per_event,
-    )
-    return stream, ATCTrace(d_in=d_in, vth=config.vth, clock_hz=config.clock_hz)
+    encoder = ATCEncoder(fs, config, comparator=comparator, rectify=rectify, rng=rng)
+    encoder.push(x)
+    trace = encoder.finalize()
+    return encoder.stream, trace

@@ -17,6 +17,16 @@ constant, so comparison and edge detection are plain numpy; only the
 per-frame predictor update is sequential.  With ``config.quantized=True``
 the arithmetic is bit-identical to :class:`repro.digital.dtc_rtl.DTCRtl`
 (the "Verilog matches Matlab" check of Sec. III-C).
+
+Streaming & batching
+--------------------
+:func:`datc_encode` is a thin wrapper over the incremental
+:class:`repro.core.encoders.DATCEncoder` — feed a ``DATCEncoder``
+arbitrary chunks via ``push()`` for live sources (it carries comparator,
+frame and predictor state across chunk boundaries) with bit-identical
+output.  To encode many equal-length signals at once, use
+:func:`repro.core.encoders.datc_encode_batch`, which vectorises each frame
+across the signal axis with one predictor per row.
 """
 
 from __future__ import annotations
@@ -127,90 +137,14 @@ def datc_encode(
         The event stream — with per-event 4-bit levels and
         ``symbols_per_event = 1 + dac_bits`` — and the full trace.
     """
-    config = config if config is not None else DATCConfig()
+    from .encoders import DATCEncoder  # deferred: encoders imports this module
+
     x = np.asarray(signal, dtype=float)
     if x.ndim != 1:
         raise ValueError(f"signal must be 1-D, got shape {x.shape}")
-    if fs <= 0:
-        raise ValueError(f"fs must be positive, got {fs}")
-    if rectify:
-        x = np.abs(x)
-    if dac is not None and dac.n_bits != config.dac_bits:
-        raise ValueError(
-            f"dac.n_bits ({dac.n_bits}) must match config.dac_bits ({config.dac_bits})"
-        )
-
-    duration = x.size / fs
-    n_clocks = int(np.floor(duration * config.clock_hz))
-    if n_clocks == 0:
-        raise ValueError(
-            f"signal too short: {x.size} samples at {fs} Hz covers no "
-            f"{config.clock_hz} Hz clock period"
-        )
-
-    # Values seen by the clocked comparator flop at each clock edge (same
-    # convention as repro.digital.synchronizer.sample_at_clock).
-    edge_idx = np.ceil(
-        np.arange(1, n_clocks + 1) * (fs / config.clock_hz) - 1e-9
-    ).astype(np.int64) - 1
-    edge_idx = np.clip(edge_idx, 0, x.size - 1)
-    x_clk = x[edge_idx]
-
-    predictor = ThresholdPredictor(config)
-    frame_size = config.frame_size
-
-    d_in = np.empty(n_clocks, dtype=np.uint8)
-    levels = np.empty(n_clocks, dtype=np.int64)
-    vth_per_clock = np.empty(n_clocks, dtype=float)
-    frame_levels = []
-    frame_ones = []
-    frame_avr = []
-
-    comparator_state = 0
-    n_frames_total = -(-n_clocks // frame_size)  # ceil division
-    for f in range(n_frames_total):
-        k0 = f * frame_size
-        k1 = min(k0 + frame_size, n_clocks)
-        level = predictor.level
-        vth = dac.to_voltage(level) if dac is not None else config.level_to_voltage(level)
-
-        segment = x_clk[k0:k1]
-        if comparator is None:
-            bits = (segment > vth).astype(np.uint8)
-        else:
-            bits = comparator.compare(
-                segment, vth, rng=rng, initial_state=comparator_state
-            )
-            comparator_state = int(bits[-1]) if bits.size else comparator_state
-
-        d_in[k0:k1] = bits
-        levels[k0:k1] = level
-        vth_per_clock[k0:k1] = vth
-
-        if k1 - k0 == frame_size:  # only completed frames update the DTC
-            n_one = int(bits.sum())
-            frame_avr.append(predictor.average(n_one))
-            predictor.update(n_one)
-            frame_ones.append(n_one)
-            frame_levels.append(predictor.level)
-
-    idx = rising_edges(d_in)
-    times = (idx + 1) / config.clock_hz
-    stream = EventStream(
-        times=times,
-        duration_s=duration,
-        levels=levels[idx],
-        clock_hz=config.clock_hz,
-        symbols_per_event=config.symbols_per_event,
+    encoder = DATCEncoder(
+        fs, config, comparator=comparator, dac=dac, rectify=rectify, rng=rng
     )
-    trace = DATCTrace(
-        d_in=d_in,
-        levels=levels,
-        vth=vth_per_clock,
-        frame_levels=np.asarray(frame_levels, dtype=np.int64),
-        frame_ones=np.asarray(frame_ones, dtype=np.int64),
-        frame_avr=np.asarray(frame_avr, dtype=float),
-        clock_hz=config.clock_hz,
-        frame_size=frame_size,
-    )
-    return stream, trace
+    encoder.push(x)
+    trace = encoder.finalize()
+    return encoder.stream, trace

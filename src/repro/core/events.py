@@ -46,8 +46,11 @@ class EventStream:
     def __post_init__(self) -> None:
         times = np.asarray(self.times, dtype=float)
         object.__setattr__(self, "times", times)
-        if self.duration_s <= 0:
-            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.duration_s < 0 or (self.duration_s == 0 and times.size):
+            raise ValueError(
+                "duration_s must be positive (0 allowed only for an empty "
+                f"stream), got {self.duration_s}"
+            )
         if times.ndim != 1:
             raise ValueError(f"times must be 1-D, got shape {times.shape}")
         if times.size and (times[0] < 0 or times[-1] > self.duration_s):
@@ -77,6 +80,8 @@ class EventStream:
     @property
     def mean_rate_hz(self) -> float:
         """Average firing rate over the observation window."""
+        if self.duration_s == 0:
+            return 0.0
         return self.n_events / self.duration_s
 
     @property

@@ -16,7 +16,8 @@ import numpy as np
 from ..rx.reconstruction import reconstruct_hybrid
 from ..uwb.aer import AERConfig, aer_decode, aer_encode
 from .config import DATCConfig
-from .datc import DATCTrace, datc_encode
+from .datc import DATCTrace
+from .encoders import datc_encode_batch
 from .events import EventStream
 
 __all__ = ["MultiChannelDATC", "MultiChannelResult"]
@@ -89,18 +90,36 @@ class MultiChannelDATC:
         """Marker + address bits + level bits per transmitted event."""
         return self.aer.symbols_per_event
 
-    def encode(self, signals: "list[np.ndarray]", fs: float) -> MultiChannelResult:
-        """Encode one signal per channel and merge onto the AER link."""
-        if len(signals) != self.n_channels:
+    def encode(
+        self, signals: "np.ndarray | list[np.ndarray]", fs: float
+    ) -> MultiChannelResult:
+        """Encode one signal per channel and merge onto the AER link.
+
+        ``signals`` is either a 2-D ``(n_channels, n_samples)`` array or a
+        list of equal-length 1-D arrays (one per channel — the electrodes
+        share one ADC-less front end, so their recordings are synchronous
+        and cover the same window).  All channels are encoded through the
+        batched frame-vectorised D-ATC path
+        (:func:`repro.core.encoders.datc_encode_batch`).
+        """
+        if isinstance(signals, np.ndarray):
+            if signals.ndim != 2:
+                raise ValueError(
+                    f"signals array must be 2-D (n_channels, n_samples), "
+                    f"got shape {signals.shape}"
+                )
+            n_given = signals.shape[0]
+        else:
+            n_given = len(signals)
+        if n_given != self.n_channels:
             raise ValueError(
-                f"expected {self.n_channels} signals, got {len(signals)}"
+                f"expected {self.n_channels} signals, got {n_given}"
             )
-        streams = []
-        traces = []
-        for signal in signals:
-            stream, trace = datc_encode(signal, fs, self.config)
-            streams.append(stream)
-            traces.append(trace)
+        # Equal channel lengths (synchronous electrodes) are validated by
+        # the batch path itself.
+        results = datc_encode_batch(signals, fs, self.config)
+        streams = [stream for stream, _ in results]
+        traces = [trace for _, trace in results]
         merged = aer_encode(streams, self.aer, min_spacing_s=self.min_spacing_s)
         return MultiChannelResult(
             channel_streams=tuple(streams), merged=merged, traces=tuple(traces)

@@ -63,6 +63,16 @@ class ThresholdPredictor:
         return self._level
 
     @property
+    def interval_ladder(self) -> "tuple[float, ...] | tuple[int, ...] | np.ndarray":
+        """The ascending Eqn. (2) interval ladder this predictor selects from.
+
+        Integers in quantized mode, floats otherwise.  Shared with the
+        row-vectorised batch predictor so both select levels from the
+        identical ladder.
+        """
+        return self._levels
+
+    @property
     def vth(self) -> float:
         """The current threshold voltage (Eqn. 3)."""
         return self.config.level_to_voltage(self._level)

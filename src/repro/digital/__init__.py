@@ -17,7 +17,12 @@ from .lut import (
     interval_levels,
 )
 from .primitives import Counter, Mux, Register, ShiftRegister, mask_for_width
-from .synchronizer import Synchronizer, sample_at_clock
+from .synchronizer import (
+    Synchronizer,
+    clock_sample_indices,
+    n_whole_clocks,
+    sample_at_clock,
+)
 from .vcd import VCDSignal, dump_vcd, vcd_from_dtc_run
 
 __all__ = [
@@ -42,6 +47,8 @@ __all__ = [
     "ShiftRegister",
     "mask_for_width",
     "Synchronizer",
+    "clock_sample_indices",
+    "n_whole_clocks",
     "sample_at_clock",
     "VCDSignal",
     "dump_vcd",

@@ -17,7 +17,59 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Synchronizer", "sample_at_clock"]
+__all__ = ["Synchronizer", "clock_sample_indices", "n_whole_clocks", "sample_at_clock"]
+
+
+def n_whole_clocks(n_samples: int, fs: float, clock_hz: float) -> int:
+    """Number of whole ``clock_hz`` periods covered by ``n_samples`` at ``fs``.
+
+    The shared definition used by the encoders and the synchronizer: the
+    arithmetic (``floor((n / fs) * clock_hz)``, in that association) must be
+    identical everywhere or chunked and one-shot paths disagree on the
+    clock count for pathological rate ratios.
+    """
+    if fs <= 0 or clock_hz <= 0:
+        raise ValueError("fs and clock_hz must be positive")
+    return int(np.floor((n_samples / fs) * clock_hz))
+
+
+def clock_sample_indices(
+    n_samples: int,
+    fs: float,
+    clock_hz: float,
+    n_clocks: "int | None" = None,
+    start_clock: int = 0,
+) -> np.ndarray:
+    """Dense-sample index captured at each rising clock edge.
+
+    Clock edge ``k`` (1-based) falls at time ``k / clock_hz`` and captures
+    the dense sample active just before it: ``ceil(k * fs / clock_hz - eps)
+    - 1``, clipped to ``[0, n_samples - 1]``.  The epsilon keeps exact rate
+    ratios (e.g. equal rates) transparent in the face of floating-point
+    rounding.
+
+    ``start_clock`` selects a window of edges ``start_clock + 1 ..
+    start_clock + n_clocks`` — the streaming encoders use it to resume the
+    edge sequence mid-signal with indices identical to a one-shot run.
+    ``n_clocks`` defaults to every remaining whole clock period.
+    """
+    max_clocks = n_whole_clocks(n_samples, fs, clock_hz)
+    if not 0 <= start_clock <= max_clocks:
+        raise ValueError(
+            f"start_clock={start_clock} out of range [0, {max_clocks}]"
+        )
+    if n_clocks is None:
+        n_clocks = max_clocks - start_clock
+    elif start_clock + n_clocks > max_clocks:
+        raise ValueError(
+            f"n_clocks={n_clocks} from clock {start_clock} exceeds the "
+            f"{max_clocks} whole clock periods available"
+        )
+    edges = np.ceil(
+        np.arange(start_clock + 1, start_clock + n_clocks + 1) * (fs / clock_hz)
+        - 1e-9
+    ).astype(np.int64) - 1
+    return np.clip(edges, 0, n_samples - 1)
 
 
 def sample_at_clock(
@@ -33,22 +85,14 @@ def sample_at_clock(
     dense_bits = np.asarray(dense_bits)
     if dense_fs <= 0 or clock_hz <= 0:
         raise ValueError("dense_fs and clock_hz must be positive")
-    duration = dense_bits.size / dense_fs
-    max_clocks = int(np.floor(duration * clock_hz))
+    max_clocks = n_whole_clocks(dense_bits.size, dense_fs, clock_hz)
     if n_clocks is None:
         n_clocks = max_clocks
     elif n_clocks > max_clocks:
         raise ValueError(
             f"n_clocks={n_clocks} exceeds the {max_clocks} whole clock periods available"
         )
-    # Clock edge k falls at t_k = k / clock_hz; the flop captures the dense
-    # sample active just before the edge: ceil(t_k * fs - eps) - 1.  The
-    # epsilon keeps exact rate ratios (e.g. equal rates) transparent in
-    # the face of floating-point rounding.
-    edges = np.ceil(np.arange(1, n_clocks + 1) * (dense_fs / clock_hz) - 1e-9).astype(
-        np.int64
-    ) - 1
-    edges = np.clip(edges, 0, dense_bits.size - 1)
+    edges = clock_sample_indices(dense_bits.size, dense_fs, clock_hz, n_clocks=n_clocks)
     return dense_bits[edges].astype(np.uint8)
 
 

@@ -16,6 +16,7 @@ class TestParser:
         for command in (
             ["fig2"], ["fig3"], ["fig5"], ["fig6"], ["fig7"], ["symbols"],
             ["table1"], ["timing"], ["verilog"], ["vcd"], ["report"], ["encode"],
+            ["bench"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -71,3 +72,21 @@ class TestCommands:
     def test_fig5_reduced(self, capsys):
         assert main(["fig5", "--patterns", "8"]) == 0
         assert "correlation over 8 patterns" in capsys.readouterr().out
+
+    def test_fig5_with_jobs(self, capsys):
+        assert main(["fig5", "--patterns", "6", "--jobs", "2"]) == 0
+        assert "correlation over 6 patterns" in capsys.readouterr().out
+
+    def test_bench_prints_all_paths(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--scheme", "both", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for needle in ("one-shot loop", "chunked", "batched 2-D", "[atc]", "[datc]"):
+            assert needle in out

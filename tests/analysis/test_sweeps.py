@@ -47,6 +47,19 @@ class TestDatasetSweep:
         with pytest.raises(ValueError):
             dataset_sweep(small_dataset, "adc")
 
+    def test_jobs_identical_to_sequential(self, small_dataset):
+        seq = dataset_sweep(small_dataset, "datc", limit=4)
+        par = dataset_sweep(small_dataset, "datc", limit=4, jobs=3)
+        assert np.array_equal(seq.correlations_pct, par.correlations_pct)
+        assert np.array_equal(seq.n_events, par.n_events)
+
+    def test_threshold_sweep_jobs_identical(self, mid_pattern):
+        vths = [0.1, 0.2, 0.3, 0.4]
+        seq = atc_threshold_sweep(mid_pattern, vths)
+        par = atc_threshold_sweep(mid_pattern, vths, jobs=4)
+        assert [p.n_events for p in seq] == [p.n_events for p in par]
+        assert [p.correlation_pct for p in seq] == [p.correlation_pct for p in par]
+
 
 class TestFrameSizeSweep:
     def test_four_points(self, mid_pattern):

@@ -1,0 +1,276 @@
+"""Tests for the streaming/batched encoder engine (repro.core.encoders)."""
+
+import numpy as np
+import pytest
+
+from repro.analog.comparator import Comparator
+from repro.core.atc import atc_encode
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.datc import datc_encode
+from repro.core.encoders import (
+    ATCEncoder,
+    DATCEncoder,
+    atc_encode_batch,
+    datc_encode_batch,
+    encode_batch,
+)
+from repro.digital.synchronizer import clock_sample_indices, n_whole_clocks
+
+
+def chunked(x, sizes):
+    """Split ``x`` into chunks cycling through ``sizes``."""
+    out, i, s = [], 0, 0
+    while i < x.size:
+        n = sizes[s % len(sizes)]
+        s += 1
+        out.append(x[i : i + n])
+        i += n
+    return out
+
+
+def assert_datc_equal(one_shot, streamed):
+    (s1, t1), (s2, t2) = one_shot, streamed
+    assert np.array_equal(s1.times, s2.times)
+    assert np.array_equal(s1.levels, s2.levels)
+    assert s1.duration_s == s2.duration_s
+    assert s1.symbols_per_event == s2.symbols_per_event
+    assert np.array_equal(t1.d_in, t2.d_in)
+    assert np.array_equal(t1.levels, t2.levels)
+    assert np.array_equal(t1.vth, t2.vth)
+    assert np.array_equal(t1.frame_levels, t2.frame_levels)
+    assert np.array_equal(t1.frame_ones, t2.frame_ones)
+    assert np.array_equal(t1.frame_avr, t2.frame_avr)
+
+
+class TestATCStreaming:
+    @pytest.mark.parametrize(
+        "sizes", [[1], [7], [1000], [100_000], [3, 0, 250, 1, 999]]
+    )
+    def test_chunked_matches_one_shot(self, mid_pattern, sizes):
+        stream, trace = atc_encode(mid_pattern.emg, mid_pattern.fs)
+        enc = ATCEncoder(mid_pattern.fs)
+        for c in chunked(mid_pattern.emg, sizes):
+            enc.push(c)
+        trace2 = enc.finalize()
+        assert np.array_equal(stream.times, enc.stream.times)
+        assert stream.duration_s == enc.stream.duration_s
+        assert np.array_equal(trace.d_in, trace2.d_in)
+        assert trace.vth == trace2.vth
+
+    def test_incremental_events_cover_the_one_shot_stream(self, mid_pattern):
+        stream, _ = atc_encode(mid_pattern.emg, mid_pattern.fs)
+        enc = ATCEncoder(mid_pattern.fs)
+        parts = [enc.push(c) for c in chunked(mid_pattern.emg, [777])]
+        enc.finalize()
+        times = np.concatenate([p.times for p in parts])
+        assert np.array_equal(times, stream.times)
+
+    def test_hysteresis_comparator_state_carried(self, mid_pattern):
+        comp = Comparator(hysteresis_v=0.05)
+        stream, trace = atc_encode(mid_pattern.emg, mid_pattern.fs, comparator=comp)
+        enc = ATCEncoder(mid_pattern.fs, comparator=comp)
+        for c in chunked(mid_pattern.emg, [313]):
+            enc.push(c)
+        trace2 = enc.finalize()
+        assert np.array_equal(stream.times, enc.stream.times)
+        assert np.array_equal(trace.d_in, trace2.d_in)
+
+    def test_noisy_comparator_chunked_matches_one_shot(self, mid_pattern):
+        comp = Comparator(noise_rms_v=0.02)
+        stream, _ = atc_encode(
+            mid_pattern.emg,
+            mid_pattern.fs,
+            comparator=comp,
+            rng=np.random.default_rng(7),
+        )
+        enc = ATCEncoder(
+            mid_pattern.fs, comparator=comp, rng=np.random.default_rng(7)
+        )
+        for c in chunked(mid_pattern.emg, [911]):
+            enc.push(c)
+        enc.finalize()
+        assert np.array_equal(stream.times, enc.stream.times)
+
+
+class TestDATCStreaming:
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [1],  # single-sample chunks
+            [60],  # smaller than one frame (100 clocks = 125 samples)
+            [125],  # exactly one frame of samples
+            [137],  # chunk boundary mid-frame
+            [100_000],  # whole signal at once
+            [3, 0, 250, 1, 999],  # mixed, including empty
+        ],
+    )
+    def test_chunked_matches_one_shot(self, mid_pattern, sizes):
+        one_shot = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        enc = DATCEncoder(mid_pattern.fs)
+        for c in chunked(mid_pattern.emg, sizes):
+            enc.push(c)
+        trace = enc.finalize()
+        assert_datc_equal(one_shot, (enc.stream, trace))
+
+    def test_quantized_chunked_matches_one_shot(self, mid_pattern):
+        config = DATCConfig(quantized=True)
+        one_shot = datc_encode(mid_pattern.emg, mid_pattern.fs, config)
+        enc = DATCEncoder(mid_pattern.fs, config)
+        for c in chunked(mid_pattern.emg, [333]):
+            enc.push(c)
+        trace = enc.finalize()
+        assert_datc_equal(one_shot, (enc.stream, trace))
+
+    def test_incremental_streams_are_ordered_and_complete(self, mid_pattern):
+        one_shot, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        enc = DATCEncoder(mid_pattern.fs)
+        parts = [enc.push(c) for c in chunked(mid_pattern.emg, [617])]
+        enc.finalize()
+        times = np.concatenate([p.times for p in parts])
+        levels = np.concatenate([p.levels for p in parts])
+        # finalize() may add trailing partial-frame events not seen by push
+        n = times.size
+        assert np.all(np.diff(times) > 0)
+        assert np.array_equal(times, one_shot.times[:n])
+        assert np.array_equal(levels, one_shot.levels[:n])
+        assert np.array_equal(enc.stream.times, one_shot.times)
+
+    def test_empty_first_chunk(self):
+        enc = DATCEncoder(2500.0)
+        events = enc.push(np.zeros(0))
+        assert events.n_events == 0
+        assert events.duration_s == 0.0
+
+    def test_noisy_comparator_chunked_matches_one_shot(self, mid_pattern):
+        comp = Comparator(hysteresis_v=0.02, noise_rms_v=0.01)
+        one_shot = datc_encode(
+            mid_pattern.emg,
+            mid_pattern.fs,
+            comparator=comp,
+            rng=np.random.default_rng(11),
+        )
+        enc = DATCEncoder(
+            mid_pattern.fs, comparator=comp, rng=np.random.default_rng(11)
+        )
+        for c in chunked(mid_pattern.emg, [457]):
+            enc.push(c)
+        trace = enc.finalize()
+        assert_datc_equal(one_shot, (enc.stream, trace))
+
+    def test_bounded_memory(self, mid_pattern):
+        enc = DATCEncoder(mid_pattern.fs)
+        for c in chunked(mid_pattern.emg, [500]):
+            enc.push(c)
+            assert enc._tail.size <= 500 + 2  # O(chunk), not O(signal)
+            assert enc._frame_buf.size < enc.config.frame_size
+
+    def test_too_short_signal_raises_at_finalize(self):
+        enc = DATCEncoder(2500.0)
+        enc.push(np.zeros(1))  # one sample covers no 2 kHz clock period
+        with pytest.raises(ValueError, match="too short"):
+            enc.finalize()
+
+    def test_push_after_finalize_rejected(self, mid_pattern):
+        enc = DATCEncoder(mid_pattern.fs)
+        enc.push(mid_pattern.emg)
+        enc.finalize()
+        with pytest.raises(RuntimeError):
+            enc.push(mid_pattern.emg)
+        with pytest.raises(RuntimeError):
+            enc.finalize()
+
+    def test_non_1d_chunk_rejected(self):
+        enc = DATCEncoder(2500.0)
+        with pytest.raises(ValueError, match="1-D"):
+            enc.push(np.zeros((2, 10)))
+
+    def test_invalid_fs_rejected(self):
+        with pytest.raises(ValueError, match="fs"):
+            DATCEncoder(0.0)
+
+
+class TestBatchedEncoding:
+    def test_datc_batch_matches_per_signal_loop(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(4)]
+        fs = patterns[0].fs
+        batch = np.stack([p.emg for p in patterns])
+        for (stream, trace), p in zip(datc_encode_batch(batch, fs), patterns):
+            assert_datc_equal(datc_encode(p.emg, fs), (stream, trace))
+
+    def test_datc_batch_quantized_matches_loop(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(3)]
+        fs = patterns[0].fs
+        config = DATCConfig(quantized=True)
+        batch = np.stack([p.emg for p in patterns])
+        for (stream, trace), p in zip(
+            datc_encode_batch(batch, fs, config), patterns
+        ):
+            assert_datc_equal(datc_encode(p.emg, fs, config), (stream, trace))
+
+    def test_atc_batch_matches_per_signal_loop(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(4)]
+        fs = patterns[0].fs
+        batch = np.stack([p.emg for p in patterns])
+        for (stream, trace), p in zip(atc_encode_batch(batch, fs), patterns):
+            one_stream, one_trace = atc_encode(p.emg, fs)
+            assert np.array_equal(one_stream.times, stream.times)
+            assert np.array_equal(one_trace.d_in, trace.d_in)
+
+    def test_list_of_signals_accepted(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(2)]
+        fs = patterns[0].fs
+        as_list = datc_encode_batch([p.emg for p in patterns], fs)
+        as_array = datc_encode_batch(np.stack([p.emg for p in patterns]), fs)
+        for (sl, _), (sa, _) in zip(as_list, as_array):
+            assert np.array_equal(sl.times, sa.times)
+
+    def test_dispatch_on_config_type(self, small_dataset):
+        pattern = small_dataset.pattern(1)
+        batch = pattern.emg[np.newaxis, :]
+        atc_stream, _ = encode_batch(batch, pattern.fs, ATCConfig())[0]
+        datc_stream, _ = encode_batch(batch, pattern.fs, DATCConfig())[0]
+        default_stream, _ = encode_batch(batch, pattern.fs)[0]
+        assert not atc_stream.has_levels
+        assert datc_stream.has_levels
+        assert np.array_equal(default_stream.times, datc_stream.times)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            datc_encode_batch(np.zeros(100), 2500.0)
+        with pytest.raises(ValueError, match="same length"):
+            datc_encode_batch([np.zeros(100), np.zeros(200)], 2500.0)
+        with pytest.raises(ValueError, match="at least one"):
+            datc_encode_batch([], 2500.0)
+        with pytest.raises(ValueError, match="too short"):
+            datc_encode_batch(np.zeros((2, 1)), 2500.0)
+        with pytest.raises(TypeError):
+            encode_batch(np.zeros((1, 2500)), 2500.0, config="datc")
+
+
+class TestClockSampleIndices:
+    def test_matches_the_encoders_inline_formula(self):
+        n_samples, fs, clock_hz = 50_000, 2500.0, 2000.0
+        n_clocks = n_whole_clocks(n_samples, fs, clock_hz)
+        expected = np.ceil(
+            np.arange(1, n_clocks + 1) * (fs / clock_hz) - 1e-9
+        ).astype(np.int64) - 1
+        expected = np.clip(expected, 0, n_samples - 1)
+        assert np.array_equal(
+            clock_sample_indices(n_samples, fs, clock_hz), expected
+        )
+
+    def test_windowed_resume_matches_full_sequence(self):
+        full = clock_sample_indices(10_000, 2500.0, 2000.0)
+        head = clock_sample_indices(10_000, 2500.0, 2000.0, n_clocks=100)
+        tail = clock_sample_indices(10_000, 2500.0, 2000.0, start_clock=100)
+        assert np.array_equal(np.concatenate([head, tail]), full)
+
+    def test_equal_rates_are_identity(self):
+        idx = clock_sample_indices(1000, 2000.0, 2000.0)
+        assert np.array_equal(idx, np.arange(1000))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            clock_sample_indices(1000, 2500.0, 2000.0, start_clock=10_000)
+        with pytest.raises(ValueError):
+            clock_sample_indices(1000, 2500.0, 2000.0, n_clocks=10_000)

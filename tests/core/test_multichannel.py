@@ -74,6 +74,29 @@ class TestMultiChannelDATC:
         with pytest.raises(ValueError):
             system.encode(signals, fs)
 
+    def test_2d_array_input_matches_list_input(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3)
+        from_list = system.encode(signals, fs)
+        from_array = system.encode(np.stack(signals), fs)
+        for a, b in zip(from_list.channel_streams, from_array.channel_streams):
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.levels, b.levels)
+        assert np.array_equal(from_list.merged.times, from_array.merged.times)
+
+    def test_non_2d_array_rejected(self, channel_signals):
+        fs, signals = channel_signals
+        system = MultiChannelDATC(n_channels=3)
+        with pytest.raises(ValueError, match="2-D"):
+            system.encode(np.concatenate(signals), fs)
+
+    def test_unequal_channel_lengths_rejected(self, channel_signals):
+        fs, signals = channel_signals
+        ragged = [signals[0], signals[1], signals[2][:-100]]
+        system = MultiChannelDATC(n_channels=3)
+        with pytest.raises(ValueError, match="same length"):
+            system.encode(ragged, fs)
+
     def test_invalid_channel_count(self):
         with pytest.raises(ValueError):
             MultiChannelDATC(n_channels=0)

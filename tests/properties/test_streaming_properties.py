@@ -1,0 +1,78 @@
+"""Property-based tests: chunked streaming == one-shot for any chunking."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atc import atc_encode
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.datc import datc_encode
+from repro.core.encoders import ATCEncoder, DATCEncoder, encode_batch
+
+FS = 2500.0
+
+# Short D-ATC operating point so a few hundred samples span many frames.
+SMALL_DATC = DATCConfig(frame_sizes=(8, 16, 32, 64))
+
+
+@st.composite
+def signal_and_chunking(draw):
+    """A random signal plus a random partition of it into chunks."""
+    n = draw(st.integers(min_value=5, max_value=600))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(0.0, 0.4, size=n)
+    cuts = draw(
+        st.lists(st.integers(min_value=0, max_value=n), max_size=8).map(sorted)
+    )
+    bounds = [0] + list(cuts) + [n]
+    chunks = [signal[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+    return signal, chunks
+
+
+class TestChunkedEqualsOneShot:
+    @settings(max_examples=60, deadline=None)
+    @given(data=signal_and_chunking())
+    def test_datc(self, data):
+        signal, chunks = data
+        stream, trace = datc_encode(signal, FS, SMALL_DATC)
+        enc = DATCEncoder(FS, SMALL_DATC)
+        for chunk in chunks:
+            enc.push(chunk)
+        trace2 = enc.finalize()
+        assert np.array_equal(stream.times, enc.stream.times)
+        assert np.array_equal(stream.levels, enc.stream.levels)
+        assert np.array_equal(trace.d_in, trace2.d_in)
+        assert np.array_equal(trace.levels, trace2.levels)
+        assert np.array_equal(trace.frame_ones, trace2.frame_ones)
+        assert np.array_equal(trace.frame_avr, trace2.frame_avr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=signal_and_chunking())
+    def test_atc(self, data):
+        signal, chunks = data
+        stream, trace = atc_encode(signal, FS, ATCConfig(vth=0.3))
+        enc = ATCEncoder(FS, ATCConfig(vth=0.3))
+        for chunk in chunks:
+            enc.push(chunk)
+        trace2 = enc.finalize()
+        assert np.array_equal(stream.times, enc.stream.times)
+        assert np.array_equal(trace.d_in, trace2.d_in)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_signals=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=10, max_value=400),
+    )
+    def test_batched_equals_loop(self, seed, n_signals, n):
+        rng = np.random.default_rng(seed)
+        batch = rng.normal(0.0, 0.4, size=(n_signals, n))
+        for (stream, trace), row in zip(
+            encode_batch(batch, FS, SMALL_DATC), batch
+        ):
+            one_stream, one_trace = datc_encode(row, FS, SMALL_DATC)
+            assert np.array_equal(one_stream.times, stream.times)
+            assert np.array_equal(one_stream.levels, stream.levels)
+            assert np.array_equal(one_trace.d_in, trace.d_in)
+            assert np.array_equal(one_trace.frame_avr, trace.frame_avr)
