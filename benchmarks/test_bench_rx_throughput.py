@@ -1,0 +1,138 @@
+"""Microbenchmarks: receiver (decode + score) throughput.
+
+The acceptance gate of the batched receiver engine
+(:mod:`repro.rx.decoders`): on a 16-pattern batch of full 20 s recordings,
+the batched event-rate decode must beat the per-stream loop by >= 3x (the
+loop pays a Python iteration plus an ``np.histogram`` sort per stream; the
+batch bins every stream's events with one ``np.bincount``).  The hybrid
+D-ATC decode carries more per-row state (level ZOH) and larger matrices,
+so its gate is a lower floor; the batched correlation is asserted equal,
+not faster — scoring runs on the 50 k-sample reference grid and is
+memory-bound either way.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.encoders import encode_batch
+from repro.rx.correlation import (
+    aligned_correlation_percent,
+    aligned_correlation_percent_batch,
+)
+from repro.rx.decoders import StreamingDecoder, reconstruct_batch, stream_chunks
+from repro.rx.reconstruction import reconstruct_hybrid, reconstruct_rate
+
+N_STREAMS = 16
+
+
+@pytest.fixture(scope="module")
+def batch(paper_dataset):
+    """16 full-length patterns, their streams (both schemes) and references."""
+    patterns = [paper_dataset.pattern(i) for i in range(N_STREAMS)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+    return {
+        "atc": [s for s, _ in encode_batch(signals, fs, ATCConfig())],
+        "datc": [s for s, _ in encode_batch(signals, fs, DATCConfig())],
+        "references": np.stack([p.ground_truth_envelope() for p in patterns]),
+    }
+
+
+def best_of(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _assert_decode_speedup(streams, scheme, config, loop_fn, minimum):
+    # Wall-clock ratios collapse under CPU contention (co-tenant runs,
+    # frequency scaling); retry a few times before calling it a failure.
+    for attempt in range(3):
+        loop_t, loop_out = best_of(loop_fn)
+        batch_t, batch_out = best_of(
+            lambda: reconstruct_batch(streams, scheme, config)
+        )
+        speedup = loop_t / batch_t
+        print(
+            f"\nbatched {scheme} decode (attempt {attempt + 1}): "
+            f"loop {loop_t * 1e3:.1f} ms, batch {batch_t * 1e3:.1f} ms "
+            f"-> {speedup:.1f}x"
+        )
+        if speedup >= minimum:
+            break
+    for row, one in zip(batch_out, loop_out):
+        assert np.array_equal(row, one)
+    assert speedup >= minimum
+
+
+def test_rate_decode_batch_speedup_over_loop(batch):
+    """Acceptance: batched rate decode >= 3x the per-stream loop, 16 streams.
+
+    ~3.5x on an idle machine; RX_SPEEDUP_MIN lowers the bar on noisy
+    shared runners (CI) where wall-clock ratios are unreliable.
+    """
+    minimum = float(os.environ.get("RX_SPEEDUP_MIN", "3.0"))
+    streams = batch["atc"]
+    _assert_decode_speedup(
+        streams,
+        "atc",
+        ATCConfig(),
+        lambda: [reconstruct_rate(s) for s in streams],
+        minimum,
+    )
+
+
+def test_hybrid_decode_batch_speedup_over_loop(batch):
+    """The hybrid decode gains less (per-row ZOH state, bigger matrices)."""
+    minimum = float(os.environ.get("RX_DATC_SPEEDUP_MIN", "1.3"))
+    config = DATCConfig()
+    streams = batch["datc"]
+    _assert_decode_speedup(
+        streams,
+        "datc",
+        config,
+        lambda: [
+            reconstruct_hybrid(s, vref=config.vref, dac_bits=config.dac_bits)
+            for s in streams
+        ],
+        minimum,
+    )
+
+
+def test_batched_scoring_matches_loop(batch):
+    """One stacked correlation call == the per-stream scoring loop, exactly."""
+    references = batch["references"]
+    for scheme, config in (("atc", ATCConfig()), ("datc", DATCConfig())):
+        recons = reconstruct_batch(batch[scheme], scheme, config)
+        batched = aligned_correlation_percent_batch(recons, references)
+        loop = [
+            aligned_correlation_percent(recons[i], references[i])
+            for i in range(N_STREAMS)
+        ]
+        assert np.array_equal(batched, np.array(loop))
+        assert np.all(batched > 40.0)  # sanity: the decode carries signal
+
+
+def test_streaming_decoder_throughput(benchmark, batch):
+    """A live chunked decode must run far faster than real time."""
+    stream = batch["datc"][0]
+    chunk_s = 0.1  # 100 ms chunks, the wearable front-end cadence
+    bounds = np.arange(chunk_s, stream.duration_s, chunk_s)
+    chunks = stream_chunks(stream, np.append(bounds, stream.duration_s))
+
+    def run():
+        decoder = StreamingDecoder(scheme="datc")
+        for chunk in chunks:
+            decoder.push(chunk)
+        decoder.finalize()
+        return decoder.envelope
+
+    envelope = benchmark(run)
+    assert np.array_equal(envelope, reconstruct_hybrid(stream))

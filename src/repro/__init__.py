@@ -38,6 +38,7 @@ from .core import (
     run_batch,
     run_datc,
 )
+from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
 
 __version__ = "1.0.0"
@@ -63,6 +64,8 @@ __all__ = [
     "run_atc",
     "run_batch",
     "run_datc",
+    "StreamingDecoder",
+    "reconstruct_batch",
     "DatasetSpec",
     "EMGModel",
     "Pattern",

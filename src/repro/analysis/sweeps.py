@@ -5,12 +5,14 @@ paper states "different DAC resolution have been examined to determine the
 best trade-off between accuracy and complexity" and that artifact pulses
 act "similar to pulse missing" — both studies are reproduced here).
 
-Execution model: each sweep declares its operating-point grid and maps an
-evaluation function over it.  The dataset sweep encodes all patterns at
-once through the batched encoder paths (:func:`repro.core.pipeline.run_batch`),
-and every sweep takes an opt-in ``jobs`` argument that fans the grid out
-over a ``concurrent.futures`` thread pool — grid order is preserved and
-results are identical to the sequential run.
+Execution model: each sweep declares its operating-point grid, encodes
+every point (fanning out over an opt-in ``jobs`` thread pool), and — since
+all of a sweep's streams share the pattern's observation window — decodes
+and scores the whole grid through the batched receiver engine
+(:func:`repro.rx.decoders.reconstruct_batch` + one stacked correlation
+call).  The dataset sweep rides :func:`repro.core.pipeline.run_batch`,
+which batches both sides.  Grid order is preserved and results are
+bit-identical to the sequential per-stream run.
 """
 
 from __future__ import annotations
@@ -19,19 +21,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.atc import atc_encode
 from ..core.config import ATCConfig, DATCConfig
+from ..core.datc import datc_encode
+from ..core.events import EventStream
 from ..core.pipeline import (
+    DEFAULT_FS_OUT,
     DEFAULT_WINDOW_S,
     PipelineResult,
     map_jobs,
-    run_atc,
     run_batch,
     run_datc,
 )
-from ..rx.correlation import aligned_correlation_percent
-from ..rx.reconstruction import reconstruct_hybrid
+from ..rx.correlation import aligned_correlation_percent_batch
+from ..rx.decoders import reconstruct_batch
 from ..signals.dataset import DatasetSpec, Pattern
-from ..uwb.channel import UWBChannel
 
 __all__ = [
     "SweepPoint",
@@ -54,6 +58,63 @@ def _sweep_point(parameter: float, result: PipelineResult) -> SweepPoint:
     )
 
 
+def _batched_scores(
+    streams: "list[EventStream]",
+    scheme: str,
+    config,
+    reference: np.ndarray,
+    fs_out: float = DEFAULT_FS_OUT,
+    window_s: float = DEFAULT_WINDOW_S,
+) -> np.ndarray:
+    """Decode + score a sweep's streams against one reference in two calls.
+
+    Every sweep evaluates many operating points of the *same* pattern, so
+    the streams share an observation window and the reference is common:
+    one batched reconstruction, one stacked correlation.
+    """
+    recons = reconstruct_batch(
+        streams, scheme, config, fs_out=fs_out, window_s=window_s
+    )
+    references = np.broadcast_to(reference, (len(streams), reference.size))
+    return aligned_correlation_percent_batch(recons, references)
+
+
+def _batched_sweep(
+    items,
+    encode,
+    parameter,
+    scheme: str,
+    config,
+    reference: np.ndarray,
+    jobs: "int | None",
+    fs_out: float = DEFAULT_FS_OUT,
+    window_s: float = DEFAULT_WINDOW_S,
+) -> "list[SweepPoint]":
+    """The shared shape of a batched-receiver sweep.
+
+    Produce one stream per grid item (``encode`` fans out over ``jobs``),
+    run the receiver side once via :func:`_batched_scores`, and assemble
+    the points in grid order; ``parameter`` maps an item to the value the
+    point reports.
+    """
+    items = list(items)
+    if not items:
+        return []
+    streams = map_jobs(encode, items, jobs)
+    corrs = _batched_scores(
+        streams, scheme, config, reference, fs_out=fs_out, window_s=window_s
+    )
+    return [
+        SweepPoint(
+            parameter=float(parameter(item)),
+            correlation_pct=float(corr),
+            n_events=stream.n_events,
+            n_symbols=stream.n_symbols,
+        )
+        for item, corr, stream in zip(items, corrs, streams)
+    ]
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One operating point of a sweep: parameter, correlation, events."""
@@ -67,12 +128,20 @@ class SweepPoint:
 def atc_threshold_sweep(
     pattern: Pattern, vths: "np.ndarray | list[float]", jobs: "int | None" = None
 ) -> "list[SweepPoint]":
-    """ATC correlation/events across fixed threshold voltages (Fig. 7)."""
+    """ATC correlation/events across fixed threshold voltages (Fig. 7).
 
-    def evaluate(vth: float) -> SweepPoint:
-        return _sweep_point(vth, run_atc(pattern, ATCConfig(vth=float(vth))))
-
-    return map_jobs(evaluate, (float(v) for v in vths), jobs)
+    Encoding fans out over ``jobs``; the receiver side (reconstruction +
+    correlation) runs once, batched across all thresholds.
+    """
+    return _batched_sweep(
+        (float(v) for v in vths),
+        lambda vth: atc_encode(pattern.emg, pattern.fs, ATCConfig(vth=vth))[0],
+        lambda vth: vth,
+        "atc",
+        None,
+        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
+        jobs,
+    )
 
 
 @dataclass(frozen=True)
@@ -139,13 +208,22 @@ def frame_size_sweep(
     selectors: "tuple[int, ...]" = (0, 1, 2, 3),
     jobs: "int | None" = None,
 ) -> "list[SweepPoint]":
-    """D-ATC across the four legal frame sizes (ablation)."""
+    """D-ATC across the four legal frame sizes (ablation).
 
-    def evaluate(sel: int) -> SweepPoint:
-        config = DATCConfig(frame_selector=sel)
-        return _sweep_point(config.frame_size, run_datc(pattern, config))
-
-    return map_jobs(evaluate, selectors, jobs)
+    The frame size only affects the *encoder*; the decode parameters
+    (``vref``, ``dac_bits``) are common, so the receiver side runs once,
+    batched across the grid.
+    """
+    configs = [DATCConfig(frame_selector=int(sel)) for sel in selectors]
+    return _batched_sweep(
+        configs,
+        lambda config: datc_encode(pattern.emg, pattern.fs, config)[0],
+        lambda config: config.frame_size,
+        "datc",
+        configs[0] if configs else None,
+        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
+        jobs,
+    )
 
 
 def dac_resolution_sweep(
@@ -158,6 +236,10 @@ def dac_resolution_sweep(
     The interval ladder keeps the same top fraction (0.48 of the frame) at
     every resolution, so only the quantisation granularity changes; the
     symbol cost per event is ``1 + bits``.
+
+    This sweep stays on the per-stream receiver path: each point decodes
+    with a *different* ``dac_bits``, which the batched engine (one shared
+    decode config per call) does not cover.
     """
 
     def evaluate(bits: int) -> SweepPoint:
@@ -186,36 +268,34 @@ def pulse_loss_sweep(
 
     Drops whole events with probability p (the dominant OOK failure is
     losing the marker pulse, which erases the event) and re-runs the
-    receiver reconstruction.
+    receiver — all loss points decoded and scored in one batched call.
     """
     config = config if config is not None else DATCConfig()
+    loss_probs = [float(p) for p in loss_probs]
     for p in loss_probs:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"loss probability must be in [0, 1), got {p}")
+    if not loss_probs:
+        return []
     base = run_datc(pattern, config)
-    reference = pattern.ground_truth_envelope(window_s=window_s)
 
-    def evaluate(item: "tuple[int, float]") -> SweepPoint:
+    def drop(item: "tuple[int, float]") -> EventStream:
         i, p = item
         rng = np.random.default_rng((seed, i))
         keep = rng.random(base.stream.n_events) >= p
-        stream = base.stream.drop_events(keep)
-        recon = reconstruct_hybrid(
-            stream,
-            fs_out=base.fs_out,
-            vref=config.vref,
-            dac_bits=config.dac_bits,
-            smooth_window_s=window_s,
-        )
-        corr = aligned_correlation_percent(recon, reference)
-        return SweepPoint(
-            parameter=float(p),
-            correlation_pct=corr,
-            n_events=stream.n_events,
-            n_symbols=stream.n_symbols,
-        )
+        return base.stream.drop_events(keep)
 
-    return map_jobs(evaluate, enumerate(loss_probs), jobs)
+    return _batched_sweep(
+        enumerate(loss_probs),
+        drop,
+        lambda item: item[1],
+        "datc",
+        config,
+        pattern.ground_truth_envelope(window_s=window_s),
+        jobs,
+        fs_out=base.fs_out,
+        window_s=window_s,
+    )
 
 
 def snr_sweep(
@@ -235,37 +315,29 @@ def snr_sweep(
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
     signal_power = float(np.mean(pattern.emg ** 2))
+    config = ATCConfig() if scheme == "atc" else DATCConfig()
+    encode = atc_encode if scheme == "atc" else datc_encode
 
-    def evaluate(item: "tuple[int, float]") -> SweepPoint:
+    def encode_noisy(item: "tuple[int, float]") -> EventStream:
         i, snr_db = item
         rng = np.random.default_rng((seed, i))
         noise_power = signal_power / (10.0 ** (snr_db / 10.0))
         noisy = pattern.emg + np.sqrt(noise_power) * rng.standard_normal(
             pattern.emg.size
         )
-        noisy_pattern = Pattern(
-            pattern_id=pattern.pattern_id,
-            subject=pattern.subject,
-            fs=pattern.fs,
-            emg=noisy,
-            force=pattern.force,
-        )
-        if scheme == "atc":
-            result = run_atc(noisy_pattern)
-        else:
-            result = run_datc(noisy_pattern)
-        # Score against the CLEAN recording's envelope: the question is
-        # how much of the true signal survives the noisy front-end.
-        reference = pattern.ground_truth_envelope()
-        corr = aligned_correlation_percent(result.reconstruction, reference)
-        return SweepPoint(
-            parameter=float(snr_db),
-            correlation_pct=corr,
-            n_events=result.n_events,
-            n_symbols=result.n_symbols,
-        )
+        return encode(noisy, pattern.fs, config)[0]
 
-    return map_jobs(evaluate, enumerate(snr_dbs), jobs)
+    # Score against the CLEAN recording's envelope: the question is how
+    # much of the true signal survives the noisy front-end.
+    return _batched_sweep(
+        enumerate(float(s) for s in snr_dbs),
+        encode_noisy,
+        lambda item: item[1],
+        scheme,
+        config,
+        pattern.ground_truth_envelope(),
+        jobs,
+    )
 
 
 def weight_sweep(
@@ -281,17 +353,24 @@ def weight_sweep(
     """Sensitivity of D-ATC to the predictor weights (ablation).
 
     Weight triples are normalised to sum to the paper's divisor (2) so
-    the interval ladder keeps its meaning.
+    the interval ladder keeps its meaning.  The weights only steer the
+    encoder's predictor, so the receiver side runs once, batched.
     """
-
-    def evaluate(
-        weights: "tuple[float, float, float]",
-    ) -> "tuple[tuple[float, float, float], SweepPoint]":
+    weight_sets = [tuple(w) for w in weight_sets]  # survive generator input
+    configs = []
+    for weights in weight_sets:
         total = sum(weights)
         if total <= 0:
             raise ValueError(f"weights must have positive sum, got {weights}")
         scaled = tuple(2.0 * w / total for w in weights)
-        config = DATCConfig(weights=scaled)
-        return weights, _sweep_point(scaled[2], run_datc(pattern, config))
-
-    return map_jobs(evaluate, weight_sets, jobs)
+        configs.append(DATCConfig(weights=scaled))
+    points = _batched_sweep(
+        configs,
+        lambda config: datc_encode(pattern.emg, pattern.fs, config)[0],
+        lambda config: config.weights[2],
+        "datc",
+        configs[0] if configs else None,
+        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
+        jobs,
+    )
+    return list(zip(weight_sets, points))

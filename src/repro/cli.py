@@ -116,6 +116,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.rx:
+        return _bench_rx(args)
     from time import perf_counter
 
     from .core.atc import atc_encode
@@ -185,6 +187,121 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{name:<22}{t * 1e3:>11.1f}{n_total / t:>14.3g}"
                 f"{events / t:>11.3g}{base_t / t:>8.1f}x"
             )
+    return 0
+
+
+def _bench_rx(args: argparse.Namespace) -> int:
+    """Receiver throughput: per-stream loop vs chunked vs batched decode."""
+    from time import perf_counter
+
+    from .core.config import ATCConfig, DATCConfig
+    from .core.encoders import encode_batch
+    from .core.events import EventStream
+    from .rx.correlation import (
+        aligned_correlation_percent,
+        aligned_correlation_percent_batch,
+    )
+    from .rx.decoders import StreamingDecoder, reconstruct_batch, stream_chunks
+    from .rx.reconstruction import reconstruct_hybrid, reconstruct_rate
+    from .signals.dataset import DatasetSpec
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    patterns = [dataset.pattern(i) for i in range(args.signals)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+    references = np.stack([p.ground_truth_envelope() for p in patterns])
+    chunk_s = args.chunk / fs
+
+    def best_of(fn) -> "tuple[float, object]":
+        best, out = float("inf"), None
+        for _ in range(args.repeats):
+            t0 = perf_counter()
+            out = fn()
+            best = min(best, perf_counter() - t0)
+        return best, out
+
+    def split(stream: "EventStream") -> "list[EventStream]":
+        bounds = np.arange(0.0, stream.duration_s, chunk_s)[1:]
+        return stream_chunks(stream, np.append(bounds, stream.duration_s))
+
+    schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    print(
+        f"receiver throughput: {args.signals} streams x {args.duration:g} s, "
+        f"decode @ 100 Hz, chunk={args.chunk} samples "
+        f"({chunk_s:g} s), best of {args.repeats}"
+    )
+    header = (
+        f"{'path':<22}{'time (ms)':>11}{'streams/s':>14}{'speedup':>9}"
+    )
+    for scheme in schemes:
+        config = ATCConfig() if scheme == "atc" else DATCConfig()
+        streams = [s for s, _ in encode_batch(signals, fs, config)]
+        reconstruct = reconstruct_rate if scheme == "atc" else reconstruct_hybrid
+        chunked = [split(s) for s in streams]
+
+        def run_loop() -> "list[np.ndarray]":
+            if scheme == "atc":
+                return [reconstruct(s) for s in streams]
+            return [
+                reconstruct(s, vref=config.vref, dac_bits=config.dac_bits)
+                for s in streams
+            ]
+
+        def run_chunked() -> "list[np.ndarray]":
+            out = []
+            for chunks in chunked:
+                dec = StreamingDecoder(scheme=scheme, config=config)
+                for chunk in chunks:
+                    dec.push(chunk)
+                dec.finalize()
+                out.append(dec.envelope)
+            return out
+
+        def run_batched() -> np.ndarray:
+            return reconstruct_batch(streams, scheme, config)
+
+        rows = [
+            ("per-stream loop", run_loop),
+            (f"chunked ({args.chunk})", run_chunked),
+            ("batched 2-D", run_batched),
+        ]
+        print(f"\n[{scheme}] reconstruction\n{header}\n" + "-" * len(header))
+        base_t, base_recons = None, None
+        for name, fn in rows:
+            t, recons = best_of(fn)
+            if base_t is None:
+                base_t, base_recons = t, recons
+            elif not all(
+                np.array_equal(r, b) for r, b in zip(recons, base_recons)
+            ):
+                raise AssertionError(
+                    f"{name} reconstructions diverged from the loop"
+                )
+            print(
+                f"{name:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
+                f"{base_t / t:>8.1f}x"
+            )
+
+        # Decode + correlation, for context: scoring runs on the 50 k
+        # reference grid and is memory-bound, so the end-to-end gain is
+        # smaller than the reconstruction-stage gain.
+        loop_t, loop_corrs = best_of(
+            lambda: [
+                aligned_correlation_percent(recon, ref)
+                for recon, ref in zip(run_loop(), references)
+            ]
+        )
+        batch_t, batch_corrs = best_of(
+            lambda: aligned_correlation_percent_batch(run_batched(), references)
+        )
+        if not np.array_equal(np.asarray(loop_corrs), batch_corrs):
+            raise AssertionError("batched correlations diverged from the loop")
+        print(
+            f"with correlation: loop {loop_t * 1e3:.1f} ms, "
+            f"batched {batch_t * 1e3:.1f} ms ({loop_t / batch_t:.1f}x)"
+        )
     return 0
 
 
@@ -279,7 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser(
-        "bench", help="encoder throughput: one-shot vs chunked vs batched"
+        "bench", help="encoder/receiver throughput: one-shot vs chunked vs batched"
+    )
+    p.add_argument(
+        "--rx",
+        action="store_true",
+        help="benchmark the receiver (decode + correlation) instead of the encoder",
     )
     p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
     p.add_argument("--signals", type=_positive_int, default=16, help="batch rows")

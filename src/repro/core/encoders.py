@@ -103,6 +103,7 @@ class StreamingEncoder:
         self._last_bit = 0
         self._event_idx_parts: "list[np.ndarray]" = []
         self._d_in_parts: "list[np.ndarray]" = []
+        self._n_drained = 0  # events already handed out by push()/drain()
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -213,6 +214,22 @@ class StreamingEncoder:
         """Flush pending state; return the diagnostic trace."""
         raise NotImplementedError
 
+    def drain(self) -> EventStream:
+        """Events fired since the last ``push``/``drain``, incrementally.
+
+        ``finalize`` can fire events that no ``push`` returned — D-ATC's
+        trailing partial frame is compared (events fire) without updating
+        the DTC.  A live receiver must see them too, so the full chunked
+        sequence is ``push* -> finalize -> drain``; see
+        :class:`repro.rx.decoders.StreamingDecoder`.  Draining with
+        nothing outstanding returns an empty stream.
+        """
+        idx = self._event_indices()[self._n_drained :]
+        levels = self._event_levels()
+        if levels is not None:
+            levels = levels[self._n_drained :]
+        return self._incremental_stream(idx, levels)
+
     @property
     def stream(self) -> EventStream:
         """All events fired so far, as a single one-shot-equivalent stream."""
@@ -231,6 +248,7 @@ class StreamingEncoder:
     def _incremental_stream(
         self, idx: np.ndarray, levels: "np.ndarray | None"
     ) -> EventStream:
+        self._n_drained += idx.size
         return EventStream(
             times=(idx + 1) / self.clock_hz,
             duration_s=self.duration_s,

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..rx.reconstruction import reconstruct_hybrid
+from ..rx.decoders import reconstruct_batch
 from ..uwb.aer import AERConfig, aer_decode, aer_encode
 from .config import DATCConfig
 from .datc import DATCTrace
@@ -135,14 +135,18 @@ class MultiChannelDATC:
         fs_out: float = 100.0,
         smooth_window_s: float = 0.25,
     ) -> "list[np.ndarray]":
-        """Receiver side: per-channel envelope estimates from the AER stream."""
-        return [
-            reconstruct_hybrid(
-                stream,
-                fs_out=fs_out,
-                vref=self.config.vref,
-                dac_bits=self.config.dac_bits,
-                smooth_window_s=smooth_window_s,
-            )
-            for stream in self.decode(merged)
-        ]
+        """Receiver side: per-channel envelope estimates from the AER stream.
+
+        All channels share the AER stream's observation window, so the
+        demultiplexed streams are decoded in one batched call
+        (:func:`repro.rx.decoders.reconstruct_batch`); each row is
+        bit-identical to the per-channel ``reconstruct_hybrid``.
+        """
+        matrix = reconstruct_batch(
+            self.decode(merged),
+            "datc",
+            self.config,
+            fs_out=fs_out,
+            window_s=smooth_window_s,
+        )
+        return [matrix[c] for c in range(self.n_channels)]

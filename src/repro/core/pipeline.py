@@ -7,9 +7,11 @@ and score the reconstruction against the pattern's ground-truth ARV
 envelope (the paper's "% correlation w.r.t. raw muscle force").
 
 Batching: :func:`run_batch` evaluates many patterns through the
-frame-vectorised batch encoders (:mod:`repro.core.encoders`) in one call —
-the hot path of the dataset sweeps — with an opt-in thread pool for the
-receiver-side work.
+frame-vectorised batch encoders (:mod:`repro.core.encoders`) *and* the
+batched receiver engine (:mod:`repro.rx.decoders`) — one vectorised
+decode + one stacked correlation call for the whole batch — the hot path
+of the dataset sweeps.  The opt-in thread pool covers the remaining
+per-pattern work (ground-truth envelopes, the ragged fallback).
 """
 
 from __future__ import annotations
@@ -18,7 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..rx.correlation import aligned_correlation_percent
+from ..rx.correlation import (
+    aligned_correlation_percent,
+    aligned_correlation_percent_batch,
+)
+from ..rx.decoders import reconstruct_batch
 from ..rx.reconstruction import reconstruct_hybrid, reconstruct_rate
 from ..signals.dataset import Pattern
 from .atc import ATCTrace, atc_encode
@@ -163,13 +169,15 @@ def run_batch(
 ) -> "list[PipelineResult]":
     """Evaluate many patterns end to end, in pattern order.
 
-    Encoding runs through the batched 2-D paths when every pattern shares
-    the same sampling rate and length (a dataset's always do), falling
-    back to per-pattern encoding otherwise.  ``jobs`` enables a
-    ``concurrent.futures`` thread pool for the receiver-side
-    reconstruction + scoring (numpy releases the GIL in the hot loops);
-    ``None``/``1`` stays sequential.  Results are bit-identical either
-    way.
+    Both sides run through the batched 2-D engines when every pattern
+    shares the same sampling rate and length (a dataset's always do): one
+    ``encode_batch`` call, one :func:`repro.rx.decoders.reconstruct_batch`
+    decode of all streams, and one stacked-correlation call for the whole
+    batch.  Ragged inputs fall back to the per-pattern path via
+    :func:`map_jobs`.  ``jobs`` enables a ``concurrent.futures`` thread
+    pool for the remaining per-pattern work (ground-truth envelopes, the
+    ragged fallback); ``None``/``1`` stays sequential.  Results are
+    bit-identical on every path.
     """
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
@@ -188,17 +196,37 @@ def run_batch(
     homogeneous = all(
         p.fs == fs and p.n_samples == patterns[0].n_samples for p in patterns
     )
-    if homogeneous:
-        emg = np.stack([p.emg for p in patterns])
-        encoded = encode_batch(emg, fs, config)
-    else:
+    if not homogeneous:
         encode = atc_encode if scheme == "atc" else datc_encode
-        encoded = [encode(p.emg, p.fs, config) for p in patterns]
 
-    def score(item) -> PipelineResult:
-        (stream, trace), pattern = item
-        return _receive_and_score(
-            scheme, stream, trace, pattern, config, fs_out, window_s
+        def evaluate(pattern: Pattern) -> PipelineResult:
+            stream, trace = encode(pattern.emg, pattern.fs, config)
+            return _receive_and_score(
+                scheme, stream, trace, pattern, config, fs_out, window_s
+            )
+
+        return map_jobs(evaluate, patterns, jobs)
+
+    emg = np.stack([p.emg for p in patterns])
+    encoded = encode_batch(emg, fs, config)
+    streams = [stream for stream, _ in encoded]
+    recons = reconstruct_batch(
+        streams, scheme, config, fs_out=fs_out, window_s=window_s
+    )
+    references = np.stack(
+        map_jobs(
+            lambda p: p.ground_truth_envelope(window_s=window_s), patterns, jobs
         )
-
-    return map_jobs(score, zip(encoded, patterns), jobs)
+    )
+    corrs = aligned_correlation_percent_batch(recons, references)
+    return [
+        PipelineResult(
+            scheme=scheme,
+            stream=stream,
+            reconstruction=recons[i],
+            fs_out=fs_out,
+            correlation_pct=float(corrs[i]),
+            trace=trace,
+        )
+        for i, (stream, trace) in enumerate(encoded)
+    ]

@@ -1,5 +1,5 @@
 """Receiver-side DSP: event-rate windowing, envelope reconstruction,
-correlation metrics."""
+correlation metrics, and the batched/streaming decoder engine."""
 
 from .calibration import (
     ForceCalibration,
@@ -9,9 +9,20 @@ from .calibration import (
 )
 from .correlation import (
     aligned_correlation_percent,
+    aligned_correlation_percent_batch,
     correlation_percent,
+    pearson_batch,
     pearson_r,
+    resample_rows_to_length,
     resample_to_length,
+)
+from .decoders import (
+    StreamingDecoder,
+    binned_counts_batch,
+    event_rate_batch,
+    level_zoh_batch,
+    reconstruct_batch,
+    stream_chunks,
 )
 from .reconstruction import (
     level_zoh,
@@ -19,7 +30,14 @@ from .reconstruction import (
     reconstruct_levels,
     reconstruct_rate,
 )
-from .windowing import binned_counts, event_rate, exponential_rate
+from .windowing import (
+    binned_counts,
+    event_rate,
+    exponential_rate,
+    grid_centers,
+    grid_edges,
+    stream_bins,
+)
 
 __all__ = [
     "ForceCalibration",
@@ -27,9 +45,18 @@ __all__ = [
     "rmse_mvc",
     "tracking_report",
     "aligned_correlation_percent",
+    "aligned_correlation_percent_batch",
     "correlation_percent",
+    "pearson_batch",
     "pearson_r",
+    "resample_rows_to_length",
     "resample_to_length",
+    "StreamingDecoder",
+    "binned_counts_batch",
+    "event_rate_batch",
+    "level_zoh_batch",
+    "reconstruct_batch",
+    "stream_chunks",
     "level_zoh",
     "reconstruct_hybrid",
     "reconstruct_levels",
@@ -37,4 +64,7 @@ __all__ = [
     "binned_counts",
     "event_rate",
     "exponential_rate",
+    "grid_centers",
+    "grid_edges",
+    "stream_bins",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.events import EventStream
 from ..signals.envelope import moving_average
-from .windowing import event_rate
+from .windowing import event_rate, grid_centers, stream_bins
 
 __all__ = [
     "reconstruct_rate",
@@ -29,15 +29,6 @@ __all__ = [
     "reconstruct_hybrid",
     "level_zoh",
 ]
-
-
-def _grid(stream: EventStream, fs_out: float) -> np.ndarray:
-    if fs_out <= 0:
-        raise ValueError(f"fs_out must be positive, got {fs_out}")
-    n = int(np.floor(stream.duration_s * fs_out))
-    if n == 0:
-        raise ValueError("duration too short for the requested output rate")
-    return (np.arange(n) + 0.5) / fs_out
 
 
 def reconstruct_rate(
@@ -63,7 +54,7 @@ def level_zoh(
     threshold, so holding it indefinitely would overestimate rest periods.
     Before the first event the estimate is 0.
     """
-    t = _grid(stream, fs_out)
+    t = grid_centers(stream_bins(stream, fs_out), fs_out)
     if stream.n_events == 0:
         return np.zeros(t.size)
     volts = stream.level_voltages(vref=vref, dac_bits=dac_bits)
@@ -125,7 +116,7 @@ def reconstruct_hybrid(
         silence_timeout_s=silence_timeout_s,
     )
     rate = event_rate(stream, fs_out, window_s=smooth_window_s)
-    peak = rate.max()
+    peak = rate.max() if rate.size else 0.0
     rate_norm = rate / peak if peak > 0 else rate
     combined = level_part * (1.0 - rate_weight + rate_weight * rate_norm)
     window = max(1, int(round(smooth_window_s * fs_out)))

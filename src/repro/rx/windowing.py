@@ -1,5 +1,16 @@
 """Moving-window event-rate estimators (the receiver's "low-complexity
-windowing" used to recover force information from ATC pulse trains).
+windowing" used to recover force information from ATC pulse trains), plus
+the shared output-grid helpers every reconstructor works on.
+
+All receiver-side estimators share one uniform output grid: ``n`` bins of
+``1 / fs_out`` seconds covering ``[0, n / fs_out]``.  The helpers here are
+the single source of truth for that grid — :mod:`repro.rx.reconstruction`
+and the batched engine (:mod:`repro.rx.decoders`) both build on them.
+
+Zero-duration and empty streams (legal since the incremental
+``StreamingEncoder`` produces them before its first whole clock period)
+yield *empty* output arrays; an error is raised only when a stream carries
+events that the requested grid cannot represent.
 """
 
 from __future__ import annotations
@@ -9,22 +20,52 @@ import numpy as np
 from ..core.events import EventStream
 from ..signals.envelope import moving_average
 
-__all__ = ["binned_counts", "event_rate", "exponential_rate"]
+__all__ = [
+    "stream_bins",
+    "grid_edges",
+    "grid_centers",
+    "binned_counts",
+    "event_rate",
+    "exponential_rate",
+]
+
+
+def stream_bins(stream: EventStream, fs_out: float) -> int:
+    """Number of output bins for ``stream`` on a ``fs_out`` grid.
+
+    ``floor(duration * fs_out)`` — zero for zero-duration or too-short
+    *empty* streams (the caller then returns empty arrays), but an error
+    when events exist that no grid bin could hold.
+    """
+    if fs_out <= 0:
+        raise ValueError(f"fs_out must be positive, got {fs_out}")
+    n = int(np.floor(stream.duration_s * fs_out))
+    if n == 0 and stream.n_events:
+        raise ValueError("duration too short for the requested output rate")
+    return n
+
+
+def grid_edges(n_bins: int, fs_out: float) -> np.ndarray:
+    """Bin edges of the uniform output grid: ``k / fs_out`` for k in 0..n."""
+    return np.arange(n_bins + 1) / fs_out
+
+
+def grid_centers(n_bins: int, fs_out: float) -> np.ndarray:
+    """Bin centres of the uniform output grid."""
+    return (np.arange(n_bins) + 0.5) / fs_out
 
 
 def binned_counts(stream: EventStream, fs_out: float) -> np.ndarray:
     """Event counts in uniform bins of ``1 / fs_out`` seconds.
 
     Returns an integer array of length ``floor(duration * fs_out)`` (the
-    uniform grid every reconstructor works on).
+    uniform grid every reconstructor works on); empty for empty
+    zero-duration streams.
     """
-    if fs_out <= 0:
-        raise ValueError(f"fs_out must be positive, got {fs_out}")
-    n = int(np.floor(stream.duration_s * fs_out))
+    n = stream_bins(stream, fs_out)
     if n == 0:
-        raise ValueError("duration too short for the requested output rate")
-    edges = np.arange(n + 1) / fs_out
-    counts, _ = np.histogram(stream.times, bins=edges)
+        return np.zeros(0, dtype=np.intp)
+    counts, _ = np.histogram(stream.times, bins=grid_edges(n, fs_out))
     return counts
 
 
@@ -45,15 +86,21 @@ def exponential_rate(stream: EventStream, fs_out: float, tau_s: float = 0.25) ->
     """Causal exponentially-smoothed event rate (Hz).
 
     A first-order (leaky integrator) alternative to the moving window —
-    the cheapest hardware-friendly decoder.
+    the cheapest hardware-friendly decoder.  The recurrence
+    ``acc[i] = beta * acc[i-1] + alpha * c[i]`` is evaluated with a
+    vectorised logarithmic prefix scan (``log2(n)`` whole-array passes)
+    instead of a per-sample Python loop; the scan only ever multiplies by
+    ``beta**s <= 1``, so it is overflow-free for arbitrarily long streams
+    and agrees with the sequential recurrence to ~1e-15 relative.
     """
     if tau_s <= 0:
         raise ValueError(f"tau_s must be positive, got {tau_s}")
     counts = binned_counts(stream, fs_out).astype(float)
     alpha = 1.0 - np.exp(-1.0 / (tau_s * fs_out))
-    out = np.empty_like(counts)
-    acc = 0.0
-    for i, c in enumerate(counts):
-        acc += alpha * (c - acc)
-        out[i] = acc
+    beta = 1.0 - alpha
+    out = alpha * counts
+    step = 1
+    while step < out.size:
+        out[step:] += (beta ** step) * out[:-step]
+        step *= 2
     return out * fs_out

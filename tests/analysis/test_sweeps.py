@@ -117,6 +117,11 @@ class TestPulseLossSweep:
         with pytest.raises(ValueError):
             pulse_loss_sweep(mid_pattern, (1.0,))
 
+    def test_ndarray_grid_accepted(self, mid_pattern):
+        """Sweep grids are often np.linspace arrays, not lists."""
+        points = pulse_loss_sweep(mid_pattern, np.linspace(0.0, 0.3, 3))
+        assert [p.parameter for p in points] == [0.0, 0.15, 0.3]
+
 
 class TestSnrSweep:
     def test_clean_snr_matches_baseline(self, mid_pattern):
@@ -149,6 +154,12 @@ class TestSnrSweep:
         points = snr_sweep(mid_pattern, (20.0,), scheme="atc")
         assert len(points) == 1
 
+    def test_ndarray_grid_accepted(self, mid_pattern):
+        from repro.analysis.sweeps import snr_sweep
+
+        points = snr_sweep(mid_pattern, np.array([30.0, 10.0]))
+        assert [p.parameter for p in points] == [30.0, 10.0]
+
     def test_invalid_scheme(self, mid_pattern):
         from repro.analysis.sweeps import snr_sweep
 
@@ -174,3 +185,10 @@ class TestWeightSweep:
     def test_zero_sum_rejected(self, mid_pattern):
         with pytest.raises(ValueError):
             weight_sweep(mid_pattern, ((0.0, 0.0, 0.0),))
+
+    def test_generator_input_accepted(self, mid_pattern):
+        """A one-shot iterable grid must not be silently exhausted."""
+        sets = ((0.35, 0.65, 1.0), (1.0, 1.0, 1.0))
+        results = weight_sweep(mid_pattern, (w for w in sets))
+        assert [w for w, _ in results] == list(sets)
+        assert len(results) == 2

@@ -133,6 +133,22 @@ class TestDATCStreaming:
         assert np.all(np.diff(times) > 0)
         assert np.array_equal(times, one_shot.times[:n])
         assert np.array_equal(levels, one_shot.levels[:n])
+
+    def test_drain_delivers_partial_frame_flush(self, mid_pattern):
+        """push* -> finalize -> drain hands out every event exactly once,
+        including those the trailing partial frame fires inside finalize."""
+        emg = mid_pattern.emg[:5100]  # cut mid-contraction, mid-frame
+        one_shot, _ = datc_encode(emg, mid_pattern.fs)
+        enc = DATCEncoder(mid_pattern.fs)
+        parts = [enc.push(c) for c in chunked(emg, [617])]
+        enc.finalize()
+        flushed = enc.drain()
+        assert flushed.n_events > 0  # the partial frame really fired
+        times = np.concatenate([p.times for p in parts] + [flushed.times])
+        levels = np.concatenate([p.levels for p in parts] + [flushed.levels])
+        assert np.array_equal(times, one_shot.times)
+        assert np.array_equal(levels, one_shot.levels)
+        assert enc.drain().n_events == 0  # idempotent once drained
         assert np.array_equal(enc.stream.times, one_shot.times)
 
     def test_empty_first_chunk(self):

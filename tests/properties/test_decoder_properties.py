@@ -1,0 +1,148 @@
+"""Property-based tests: the batched/streaming receiver engine matches the
+per-stream decoders bit for bit, for any stream contents and any chunking."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventStream
+from repro.rx.correlation import (
+    aligned_correlation_percent,
+    aligned_correlation_percent_batch,
+)
+from repro.rx.decoders import (
+    StreamingDecoder,
+    binned_counts_batch,
+    reconstruct_batch,
+    stream_chunks,
+)
+from repro.rx.reconstruction import reconstruct_hybrid, reconstruct_rate
+from repro.rx.windowing import binned_counts, exponential_rate
+
+
+@st.composite
+def random_stream(draw, with_levels=True):
+    """A random event stream: any density, clustered or sparse, maybe empty."""
+    duration = draw(st.floats(min_value=0.05, max_value=8.0))
+    n_events = draw(st.integers(min_value=0, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, duration, size=n_events))
+    # Snap some events onto exact grid edges to probe the binning ties.
+    if n_events and draw(st.booleans()):
+        k = min(3, n_events)
+        times[:k] = np.round(times[:k] * 100.0) / 100.0
+        times = np.sort(np.clip(times, 0.0, duration))
+    levels = rng.integers(0, 16, size=n_events) if with_levels else None
+    return EventStream(times=times, duration_s=duration, levels=levels)
+
+
+@st.composite
+def stream_and_chunking(draw, with_levels=True):
+    """A random stream plus a random partition of its window into chunks."""
+    stream = draw(random_stream(with_levels=with_levels))
+    cuts = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=stream.duration_s),
+            max_size=6,
+        ).map(sorted)
+    )
+    return stream, list(cuts) + [stream.duration_s]
+
+
+class TestStreamingDecoderEqualsOneShot:
+    @settings(max_examples=60, deadline=None)
+    @given(data=stream_and_chunking())
+    def test_datc(self, data):
+        stream, bounds = data
+        decoder = StreamingDecoder(scheme="datc")
+        parts = [decoder.push(c) for c in stream_chunks(stream, bounds)]
+        parts.append(decoder.finalize())
+        assert np.array_equal(
+            np.concatenate(parts), reconstruct_hybrid(stream)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=stream_and_chunking(with_levels=False))
+    def test_atc(self, data):
+        stream, bounds = data
+        decoder = StreamingDecoder(scheme="atc")
+        parts = [decoder.push(c) for c in stream_chunks(stream, bounds)]
+        parts.append(decoder.finalize())
+        assert np.array_equal(np.concatenate(parts), reconstruct_rate(stream))
+
+
+class TestBatchEqualsPerStream:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_streams=st.integers(min_value=1, max_value=6),
+        duration=st.floats(min_value=0.05, max_value=6.0),
+        fs_out=st.sampled_from([100.0, 50.0, 33.0]),
+    )
+    def test_counts_and_reconstructions(self, seed, n_streams, duration, fs_out):
+        rng = np.random.default_rng(seed)
+        streams = []
+        for _ in range(n_streams):
+            n_events = int(rng.integers(0, 120))
+            times = np.sort(rng.uniform(0.0, duration, size=n_events))
+            streams.append(
+                EventStream(
+                    times=times,
+                    duration_s=duration,
+                    levels=rng.integers(0, 16, size=n_events),
+                )
+            )
+        counts = binned_counts_batch(streams, fs_out)
+        hybrid = reconstruct_batch(streams, "datc", fs_out=fs_out)
+        rate = reconstruct_batch(streams, "atc", fs_out=fs_out)
+        for i, stream in enumerate(streams):
+            assert np.array_equal(counts[i], binned_counts(stream, fs_out))
+            assert np.array_equal(
+                hybrid[i], reconstruct_hybrid(stream, fs_out=fs_out)
+            )
+            assert np.array_equal(
+                rate[i], reconstruct_rate(stream, fs_out=fs_out)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_streams=st.integers(min_value=1, max_value=5),
+        n_ref=st.integers(min_value=2, max_value=600),
+    )
+    def test_batched_scoring(self, seed, n_streams, n_ref):
+        rng = np.random.default_rng(seed)
+        recons = rng.normal(size=(n_streams, int(rng.integers(2, 300))))
+        refs = rng.normal(size=(n_streams, n_ref))
+        batch = aligned_correlation_percent_batch(recons, refs)
+        for i in range(n_streams):
+            assert batch[i] == aligned_correlation_percent(recons[i], refs[i])
+
+
+class TestExponentialRate:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        tau=st.floats(min_value=0.02, max_value=3.0),
+        duration=st.floats(min_value=0.05, max_value=20.0),
+    )
+    def test_scan_matches_sequential_recurrence(self, seed, tau, duration):
+        """The vectorised log-scan == the per-sample loop, to 1e-12."""
+        rng = np.random.default_rng(seed)
+        n_events = int(rng.integers(0, 300))
+        times = np.sort(rng.uniform(0.0, duration, size=n_events))
+        stream = EventStream(times=times, duration_s=duration)
+        fs_out = 100.0
+        got = exponential_rate(stream, fs_out, tau_s=tau)
+        counts = binned_counts(stream, fs_out).astype(float)
+        alpha = 1.0 - np.exp(-1.0 / (tau * fs_out))
+        acc, reference = 0.0, np.empty_like(counts)
+        for i, c in enumerate(counts):
+            acc += alpha * (c - acc)
+            reference[i] = acc
+        reference *= fs_out
+        scale = max(np.max(np.abs(reference)) if reference.size else 0.0, 1e-30)
+        assert got.shape == reference.shape
+        if reference.size:
+            assert np.max(np.abs(got - reference)) / scale < 1e-12

@@ -1,0 +1,311 @@
+"""Tests for the batched + streaming receiver engine (repro.rx.decoders)."""
+
+import numpy as np
+import pytest
+
+from repro.core.atc import atc_encode
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.datc import datc_encode
+from repro.core.events import EventStream
+from repro.rx.correlation import (
+    aligned_correlation_percent,
+    aligned_correlation_percent_batch,
+    pearson_batch,
+    pearson_r,
+    resample_rows_to_length,
+    resample_to_length,
+)
+from repro.rx.decoders import (
+    StreamingDecoder,
+    binned_counts_batch,
+    event_rate_batch,
+    level_zoh_batch,
+    reconstruct_batch,
+    stream_chunks,
+)
+from repro.rx.reconstruction import level_zoh, reconstruct_hybrid, reconstruct_rate
+from repro.rx.windowing import binned_counts, event_rate
+
+
+@pytest.fixture(scope="module")
+def datc_streams(small_dataset):
+    return [
+        datc_encode(small_dataset.pattern(i).emg, small_dataset.pattern(i).fs)[0]
+        for i in range(4)
+    ]
+
+
+@pytest.fixture(scope="module")
+def atc_streams(small_dataset):
+    return [
+        atc_encode(
+            small_dataset.pattern(i).emg,
+            small_dataset.pattern(i).fs,
+            ATCConfig(vth=0.3),
+        )[0]
+        for i in range(4)
+    ]
+
+
+def chunked_decode(stream, scheme, n_chunks, rng, **kwargs):
+    """Run a StreamingDecoder over random time slices of ``stream``."""
+    cuts = np.sort(rng.uniform(0.0, stream.duration_s, size=n_chunks - 1))
+    bounds = np.concatenate([cuts, [stream.duration_s]])
+    decoder = StreamingDecoder(scheme=scheme, **kwargs)
+    parts = [decoder.push(c) for c in stream_chunks(stream, bounds)]
+    parts.append(decoder.finalize())
+    return decoder, np.concatenate(parts)
+
+
+class TestBatchedDecoders:
+    def test_binned_counts_matches_per_stream(self, datc_streams):
+        batch = binned_counts_batch(datc_streams, 100.0)
+        for row, stream in zip(batch, datc_streams):
+            assert np.array_equal(row, binned_counts(stream, 100.0))
+
+    def test_event_rate_matches_per_stream(self, atc_streams):
+        batch = event_rate_batch(atc_streams, 100.0, window_s=0.25)
+        for row, stream in zip(batch, atc_streams):
+            assert np.array_equal(row, event_rate(stream, 100.0, window_s=0.25))
+
+    def test_level_zoh_matches_per_stream(self, datc_streams):
+        batch = level_zoh_batch(datc_streams)
+        for row, stream in zip(batch, datc_streams):
+            assert np.array_equal(row, level_zoh(stream))
+
+    def test_reconstruct_hybrid_matches_per_stream(self, datc_streams):
+        batch = reconstruct_batch(datc_streams, "datc")
+        for row, stream in zip(batch, datc_streams):
+            assert np.array_equal(row, reconstruct_hybrid(stream))
+
+    def test_reconstruct_rate_matches_per_stream(self, atc_streams):
+        batch = reconstruct_batch(atc_streams, "atc")
+        for row, stream in zip(batch, atc_streams):
+            assert np.array_equal(row, reconstruct_rate(stream))
+
+    def test_exact_edge_times(self):
+        """Events on bin edges follow np.histogram's assignment exactly."""
+        fs_out = 10.0
+        edges = np.arange(21) / fs_out
+        times = np.sort(np.concatenate([edges, edges[:-1] + 0.049]))
+        stream = EventStream(times=times, duration_s=2.0)
+        assert np.array_equal(
+            binned_counts_batch([stream], fs_out)[0],
+            binned_counts(stream, fs_out),
+        )
+
+    def test_empty_rows(self):
+        empty = EventStream(
+            times=np.zeros(0), duration_s=5.0,
+            levels=np.zeros(0, dtype=np.int64),
+        )
+        busy = EventStream(
+            times=np.array([1.0, 2.5]), duration_s=5.0, levels=np.array([4, 9])
+        )
+        for combo in ([empty, busy], [busy, empty], [empty, empty]):
+            batch = reconstruct_batch(combo, "datc")
+            for row, stream in zip(batch, combo):
+                assert np.array_equal(row, reconstruct_hybrid(stream))
+
+    def test_zero_duration_batch(self):
+        empty = EventStream(times=np.zeros(0), duration_s=0.0)
+        assert binned_counts_batch([empty, empty], 100.0).shape == (2, 0)
+        assert reconstruct_batch([empty], "atc").shape == (1, 0)
+
+    def test_mismatched_durations_rejected(self):
+        a = EventStream(times=np.zeros(0), duration_s=5.0)
+        b = EventStream(times=np.zeros(0), duration_s=4.0)
+        with pytest.raises(ValueError, match="duration"):
+            binned_counts_batch([a, b], 100.0)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            reconstruct_batch([], "atc")
+
+    def test_invalid_scheme_rejected(self, atc_streams):
+        with pytest.raises(ValueError, match="scheme"):
+            reconstruct_batch(atc_streams, "adc")
+
+    def test_invalid_rate_weight_rejected(self, datc_streams):
+        with pytest.raises(ValueError, match="rate_weight"):
+            reconstruct_batch(datc_streams, "datc", rate_weight=1.5)
+
+
+class TestBatchedScoring:
+    def test_pearson_matches_scalar(self, rng):
+        a = rng.normal(size=(5, 400))
+        b = rng.normal(size=(5, 400))
+        batch = pearson_batch(a, b)
+        for i in range(5):
+            assert batch[i] == pearson_r(a[i], b[i])
+
+    def test_constant_rows_score_zero(self, rng):
+        a = np.ones((3, 50))
+        b = rng.normal(size=(3, 50))
+        assert np.array_equal(pearson_batch(a, b), np.zeros(3))
+
+    def test_pearson_shape_checks(self, rng):
+        with pytest.raises(ValueError):
+            pearson_batch(rng.normal(size=10), rng.normal(size=10))
+        with pytest.raises(ValueError):
+            pearson_batch(rng.normal(size=(2, 5)), rng.normal(size=(3, 5)))
+        with pytest.raises(ValueError):
+            pearson_batch(np.zeros((2, 1)), np.zeros((2, 1)))
+
+    @pytest.mark.parametrize("m,n_out", [(40, 400), (400, 40), (40, 40), (1, 7)])
+    def test_resample_rows_matches_scalar(self, rng, m, n_out):
+        x = rng.normal(size=(4, m))
+        batch = resample_rows_to_length(x, n_out)
+        for i in range(4):
+            assert np.array_equal(batch[i], resample_to_length(x[i], n_out))
+
+    def test_aligned_correlation_matches_scalar(self, datc_streams, small_dataset):
+        recons = reconstruct_batch(datc_streams, "datc")
+        refs = np.stack(
+            [small_dataset.pattern(i).ground_truth_envelope() for i in range(4)]
+        )
+        batch = aligned_correlation_percent_batch(recons, refs)
+        for i in range(4):
+            assert batch[i] == aligned_correlation_percent(recons[i], refs[i])
+
+
+class TestStreamingDecoder:
+    def test_chunked_equals_one_shot_datc(self, datc_streams, rng):
+        for stream in datc_streams:
+            decoder, envelope = chunked_decode(stream, "datc", 7, rng)
+            assert np.array_equal(envelope, reconstruct_hybrid(stream))
+            assert np.array_equal(decoder.envelope, envelope)
+
+    def test_chunked_equals_one_shot_atc(self, atc_streams, rng):
+        for stream in atc_streams:
+            decoder, envelope = chunked_decode(stream, "atc", 7, rng)
+            assert np.array_equal(envelope, reconstruct_rate(stream))
+
+    def test_stream_chunks_partition(self, datc_streams):
+        """The shared chunker partitions events exactly once, in order."""
+        stream = datc_streams[0]
+        chunks = stream_chunks(stream, [1.0, 1.0, 2.5, stream.duration_s])
+        assert [c.duration_s for c in chunks] == [1.0, 1.0, 2.5, stream.duration_s]
+        times = np.concatenate([c.times for c in chunks])
+        levels = np.concatenate([c.levels for c in chunks])
+        assert np.array_equal(times, stream.times)
+        assert np.array_equal(levels, stream.levels)
+
+    def test_stream_chunks_bad_bounds_rejected(self, datc_streams):
+        with pytest.raises(ValueError, match="bounds"):
+            stream_chunks(datc_streams[0], [1.0])
+        with pytest.raises(ValueError, match="bounds"):
+            stream_chunks(datc_streams[0], [])
+
+    def test_event_on_youngest_edge_stays_open(self):
+        """An event exactly on the grid's youngest edge is pending — it may
+        fold back into the last bin via the final grid's right-closed rule,
+        so that bin must not be emitted early (regression)."""
+        stream = EventStream(
+            times=np.array([0.005, 0.03, 0.06, 0.10]), duration_s=0.103
+        )
+        one_shot = reconstruct_rate(stream, fs_out=100.0, window_s=0.05)
+        decoder = StreamingDecoder(scheme="atc", window_s=0.05)
+        parts = [
+            decoder.push(
+                EventStream(times=np.array([0.005, 0.03]), duration_s=0.05)
+            ),
+            decoder.push(
+                EventStream(times=np.array([0.06, 0.10]), duration_s=0.103)
+            ),
+            decoder.finalize(),
+        ]
+        assert np.array_equal(np.concatenate(parts), one_shot)
+
+    def test_atc_emits_eagerly(self):
+        """Rate decoding streams: most samples arrive before finalize()."""
+        stream = EventStream(
+            times=np.arange(0.005, 9.95, 0.01), duration_s=10.0
+        )
+        decoder = StreamingDecoder(scheme="atc")
+        emitted = decoder.push(stream).size
+        tail = decoder.finalize().size
+        assert emitted > 0
+        assert emitted > tail
+
+    def test_state_accounting(self, datc_streams):
+        stream = datc_streams[0]
+        decoder = StreamingDecoder(scheme="datc")
+        decoder.push(stream)
+        assert decoder.n_events == stream.n_events
+        assert decoder.duration_s == stream.duration_s
+        assert decoder.n_bins == int(stream.duration_s * 100.0)
+        assert not decoder.finalized
+        decoder.finalize()
+        assert decoder.finalized
+
+    def test_empty_decode(self):
+        decoder = StreamingDecoder(scheme="atc")
+        assert decoder.push(EventStream(times=np.zeros(0), duration_s=0.0)).size == 0
+        assert decoder.finalize().size == 0
+        assert decoder.envelope.size == 0
+
+    def test_push_after_finalize_rejected(self):
+        decoder = StreamingDecoder()
+        decoder.finalize()
+        with pytest.raises(RuntimeError):
+            decoder.push(EventStream(times=np.zeros(0), duration_s=1.0))
+        with pytest.raises(RuntimeError):
+            decoder.finalize()
+
+    def test_shrinking_duration_rejected(self):
+        decoder = StreamingDecoder()
+        decoder.push(EventStream(times=np.zeros(0), duration_s=2.0))
+        with pytest.raises(ValueError, match="backwards"):
+            decoder.push(EventStream(times=np.zeros(0), duration_s=1.0))
+
+    def test_out_of_order_events_rejected(self):
+        decoder = StreamingDecoder(scheme="atc")
+        decoder.push(EventStream(times=np.array([1.5]), duration_s=2.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            decoder.push(EventStream(times=np.array([0.5]), duration_s=3.0))
+
+    def test_datc_needs_levels(self):
+        decoder = StreamingDecoder(scheme="datc")
+        with pytest.raises(ValueError, match="level"):
+            decoder.push(EventStream(times=np.array([0.5]), duration_s=1.0))
+
+    def test_too_short_for_grid_raises_at_finalize(self):
+        decoder = StreamingDecoder(scheme="atc")
+        decoder.push(EventStream(times=np.array([0.001]), duration_s=0.005))
+        with pytest.raises(ValueError, match="too short"):
+            decoder.finalize()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StreamingDecoder(scheme="adc")
+        with pytest.raises(ValueError):
+            StreamingDecoder(fs_out=0.0)
+        with pytest.raises(ValueError):
+            StreamingDecoder(window_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingDecoder(rate_weight=-0.1)
+
+    @pytest.mark.parametrize("cut", [None, 5100])
+    def test_live_encoder_decoder_pair(self, mid_pattern, cut):
+        """StreamingEncoder chunks feed straight into StreamingDecoder.
+
+        ``cut=5100`` stops mid-contraction with the clocked length a
+        non-multiple of the frame size: the trailing partial frame then
+        fires events inside ``finalize()``, which ``drain()`` must
+        deliver to the decoder (regression).
+        """
+        from repro.core.encoders import DATCEncoder
+
+        emg = mid_pattern.emg[:cut]
+        encoder = DATCEncoder(mid_pattern.fs)
+        decoder = StreamingDecoder(scheme="datc")
+        for chunk in np.array_split(emg, 40):
+            decoder.push(encoder.push(chunk))
+        encoder.finalize()
+        decoder.push(encoder.drain())
+        decoder.finalize()
+        assert np.array_equal(
+            decoder.envelope, reconstruct_hybrid(encoder.stream)
+        )
+        assert encoder.drain().n_events == 0  # nothing left outstanding

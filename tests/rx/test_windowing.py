@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core.events import EventStream
-from repro.rx.windowing import binned_counts, event_rate, exponential_rate
+from repro.rx.windowing import (
+    binned_counts,
+    event_rate,
+    exponential_rate,
+    grid_centers,
+    grid_edges,
+    stream_bins,
+)
 
 
 def make_stream(times, duration=10.0):
@@ -53,6 +60,43 @@ class TestEventRate:
             event_rate(make_stream([1.0]), 100.0, window_s=0.0)
 
 
+class TestOutputGrid:
+    """The shared grid helpers every reconstructor (and the batched
+    engine) builds on."""
+
+    def test_bin_count(self):
+        s = make_stream([1.0], duration=10.0)
+        assert stream_bins(s, 100.0) == 1000
+        assert stream_bins(s, 7.5) == 75
+
+    def test_edges_and_centers(self):
+        assert np.array_equal(grid_edges(4, 2.0), [0.0, 0.5, 1.0, 1.5, 2.0])
+        assert np.array_equal(grid_centers(4, 2.0), [0.25, 0.75, 1.25, 1.75])
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            stream_bins(make_stream([1.0]), 0.0)
+
+    def test_zero_duration_empty_stream_is_legal(self):
+        """Incremental encoders emit zero-duration empty streams before
+        their first whole clock period; the receiver returns empty arrays
+        rather than raising."""
+        s = EventStream(times=np.zeros(0), duration_s=0.0)
+        assert stream_bins(s, 100.0) == 0
+        assert binned_counts(s, 100.0).size == 0
+        assert event_rate(s, 100.0).size == 0
+        assert exponential_rate(s, 100.0).size == 0
+
+    def test_short_empty_stream_is_legal(self):
+        s = EventStream(times=np.zeros(0), duration_s=0.005)
+        assert binned_counts(s, 100.0).size == 0
+
+    def test_events_without_bins_still_raise(self):
+        s = EventStream(times=np.array([0.001]), duration_s=0.005)
+        with pytest.raises(ValueError, match="too short"):
+            stream_bins(s, 100.0)
+
+
 class TestExponentialRate:
     def test_converges_to_true_rate(self):
         times = np.arange(0.01, 10.0, 0.02)  # 50 Hz
@@ -67,3 +111,17 @@ class TestExponentialRate:
     def test_invalid_tau(self):
         with pytest.raises(ValueError):
             exponential_rate(make_stream([1.0]), 100.0, tau_s=0.0)
+
+    def test_matches_sequential_recurrence(self, rng):
+        """The vectorised log-scan tracks the per-sample loop to 1e-12."""
+        times = np.sort(rng.uniform(0, 10, 500))
+        stream = make_stream(times)
+        got = exponential_rate(stream, 100.0, tau_s=0.25)
+        counts = binned_counts(stream, 100.0).astype(float)
+        alpha = 1.0 - np.exp(-1.0 / (0.25 * 100.0))
+        acc, ref = 0.0, np.empty_like(counts)
+        for i, c in enumerate(counts):
+            acc += alpha * (c - acc)
+            ref[i] = acc
+        ref *= 100.0
+        assert np.max(np.abs(got - ref)) / np.max(np.abs(ref)) < 1e-12

@@ -70,6 +70,26 @@ class TestMovingAverage:
         )
         assert np.allclose(fast, naive)
 
+    def test_axis_rows_match_1d(self):
+        """The batched receiver's axis-aware smoothing: every row of a 2-D
+        call is bit-identical to smoothing that row alone."""
+        rng = np.random.default_rng(5)
+        for n, w in [(3, 2), (40, 7), (200, 25), (5, 100)]:
+            x = rng.standard_normal((4, n))
+            smoothed = moving_average(x, w, axis=-1)
+            for r in range(4):
+                assert np.array_equal(smoothed[r], moving_average(x[r], w))
+
+    def test_axis_zero(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((30, 4))
+        smoothed = moving_average(x, 5, axis=0)
+        for c in range(4):
+            assert np.array_equal(smoothed[:, c], moving_average(x[:, c], 5))
+
+    def test_empty_rows(self):
+        assert moving_average(np.zeros((3, 0)), 5, axis=-1).shape == (3, 0)
+
 
 class TestArvEnvelope:
     def test_constant_sine_envelope(self):
