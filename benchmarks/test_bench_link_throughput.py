@@ -1,0 +1,149 @@
+"""Microbenchmarks: IR-UWB link (modulate + demodulate + score) throughput.
+
+The acceptance gates of the vectorised link engine (`repro.uwb`):
+
+* `simulate_link_batch` on a 16-pattern batch of full 20 s D-ATC streams
+  must beat the per-stream loop path (per-stream modulation, the per-pulse
+  reference demodulator, per-stream matching) by >= 3x, with every output
+  bit-identical.
+* The vectorised OOK demodulator must beat the per-pulse reference loop by
+  >= 5x on a 50k-pulse train, bit-identical on clean *and*
+  erased/jittered/spurious pulse patterns.
+
+Both ratios collapse on contended shared runners, so CI lowers the bars
+via LINK_SPEEDUP_MIN / LINK_DEMOD_SPEEDUP_MIN (like RX_SPEEDUP_MIN).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.core.encoders import encode_batch
+from repro.core.events import EventStream
+from repro.uwb.channel import UWBChannel
+from repro.uwb.link import LinkConfig, _link_result, simulate_link_batch
+from repro.uwb.modulation import _ook_demodulate_loop, ook_demodulate, ook_modulate
+
+N_STREAMS = 16
+
+
+@pytest.fixture(scope="module")
+def datc_streams(paper_dataset):
+    """16 full-length 20 s patterns encoded to D-ATC streams."""
+    patterns = [paper_dataset.pattern(i) for i in range(N_STREAMS)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+    return [s for s, _ in encode_batch(signals, fs, DATCConfig())]
+
+
+def best_of(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _loop_link(streams, config):
+    """The pre-vectorisation per-stream link path, kept as ground truth."""
+    results = []
+    channel = UWBChannel()
+    for stream in streams:
+        bits = stream.symbols_per_event - 1
+        train = ook_modulate(stream, config.symbol_period_s, bits)
+        rx_stream = _ook_demodulate_loop(
+            train.pulse_times, stream.duration_s, config.symbol_period_s,
+            bits, clock_hz=stream.clock_hz,
+        )
+        results.append(_link_result(stream, rx_stream, train, config, channel))
+    return results
+
+
+def test_link_batch_speedup_over_loop(datc_streams):
+    """Acceptance: batched link >= 3x the per-stream loop on 16 streams."""
+    minimum = float(os.environ.get("LINK_SPEEDUP_MIN", "3.0"))
+    config = LinkConfig()
+    # Wall-clock ratios collapse under CPU contention (co-tenant runs,
+    # frequency scaling); retry a few times before calling it a failure.
+    for attempt in range(3):
+        loop_t, loop_out = best_of(lambda: _loop_link(datc_streams, config))
+        batch_t, batch_out = best_of(
+            lambda: simulate_link_batch(datc_streams, config)
+        )
+        speedup = loop_t / batch_t
+        print(
+            f"\nbatched link (attempt {attempt + 1}): "
+            f"loop {loop_t * 1e3:.1f} ms, batch {batch_t * 1e3:.1f} ms "
+            f"-> {speedup:.1f}x"
+        )
+        if speedup >= minimum:
+            break
+    for batch, loop in zip(batch_out, loop_out):
+        assert np.array_equal(batch.rx_stream.times, loop.rx_stream.times)
+        assert np.array_equal(batch.rx_stream.levels, loop.rx_stream.levels)
+        assert batch.n_pulses == loop.n_pulses
+        assert batch.n_symbols == loop.n_symbols
+        assert batch.tx_energy_j == loop.tx_energy_j
+        assert batch.event_delivery_ratio == loop.event_delivery_ratio
+        assert batch.level_error_ratio == loop.level_error_ratio
+    assert speedup >= minimum
+
+
+def _big_train(n_events=12_500, bits=4, seed=2015):
+    """An OOK train of ~50k pulses (marker + full 4-bit payload each)."""
+    spacing = 1e-4  # 2x the 5-slot burst span at 1e-5 s/slot
+    times = (np.arange(n_events) + 1) * spacing
+    levels = np.full(n_events, (1 << bits) - 1, dtype=np.int64)
+    stream = EventStream(
+        times=times,
+        duration_s=float(times[-1] + 1.0),
+        levels=levels,
+        symbols_per_event=1 + bits,
+    )
+    return ook_modulate(stream, 1e-5, bits), stream
+
+
+def test_ook_demod_vectorised_speedup():
+    """Acceptance: vectorised OOK demod >= 5x the loop on a 50k-pulse train."""
+    minimum = float(os.environ.get("LINK_DEMOD_SPEEDUP_MIN", "5.0"))
+    train, stream = _big_train()
+    assert train.n_pulses >= 50_000
+    for attempt in range(3):
+        loop_t, loop_rx = best_of(
+            lambda: _ook_demodulate_loop(
+                train.pulse_times, stream.duration_s, 1e-5, 4
+            )
+        )
+        vec_t, vec_rx = best_of(
+            lambda: ook_demodulate(train.pulse_times, stream.duration_s, 1e-5, 4)
+        )
+        speedup = loop_t / vec_t
+        print(
+            f"\nvectorised OOK demod (attempt {attempt + 1}): "
+            f"loop {loop_t * 1e3:.1f} ms, vec {vec_t * 1e3:.1f} ms "
+            f"-> {speedup:.1f}x"
+        )
+        if speedup >= minimum:
+            break
+    assert np.array_equal(vec_rx.times, loop_rx.times)
+    assert np.array_equal(vec_rx.levels, loop_rx.levels)
+    assert np.array_equal(vec_rx.levels, stream.levels)
+    assert speedup >= minimum
+
+
+def test_ook_demod_bit_identical_on_corrupted_train():
+    """Erasures + jitter + spurious pulses: vectorised == loop, exactly."""
+    train, stream = _big_train(n_events=2_000)
+    rng = np.random.default_rng(7)
+    channel = UWBChannel(
+        erasure_prob=0.15, jitter_rms_s=1.5e-6, false_pulse_rate_hz=200.0
+    )
+    rx_times = channel.transmit(train, rng=rng)
+    vec = ook_demodulate(rx_times, stream.duration_s, 1e-5, 4)
+    loop = _ook_demodulate_loop(rx_times, stream.duration_s, 1e-5, 4)
+    assert np.array_equal(vec.times, loop.times)
+    assert np.array_equal(vec.levels, loop.levels)

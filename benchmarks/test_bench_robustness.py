@@ -1,6 +1,6 @@
 """Bench: robustness of D-ATC to input SNR and to receiver decoder choice.
 
-Two studies beyond the paper's headline figures:
+Three studies beyond the paper's headline figures:
 
 * **SNR sweep** — the paper claims the scheme "is robust w.r.t. the sEMG
   signal variability"; we quantify correlation vs additive input noise
@@ -8,9 +8,13 @@ Two studies beyond the paper's headline figures:
 * **Decoder comparison** — the D-ATC stream supports three receiver
   decoders (rate-only, level-only, hybrid); the hybrid one used in all
   experiments must dominate on weak *and* strong subjects.
+* **Link erasure sweep** — individual radiated pulses are erased by the
+  channel (the paper's "artifacts effect is similar to pulse missing"
+  at the physical layer); all points run through one batched
+  ``simulate_link_batch`` call.
 """
 
-from repro.analysis.sweeps import snr_sweep
+from repro.analysis.sweeps import link_erasure_sweep, snr_sweep
 from repro.core.datc import datc_encode
 from repro.rx.correlation import aligned_correlation_percent
 from repro.rx.reconstruction import (
@@ -45,6 +49,34 @@ def test_snr_robustness(benchmark, paper_dataset):
     assert by_snr[10.0].correlation_pct > 80.0
     # Degradation is monotone-ish end to end.
     assert datc_points[-1].correlation_pct < datc_points[0].correlation_pct
+
+
+def test_link_erasure_robustness(benchmark, paper_dataset):
+    pattern = paper_dataset.pattern(22)
+    stream, _ = datc_encode(pattern.emg, pattern.fs)
+    probs = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+    points = benchmark.pedantic(
+        lambda: link_erasure_sweep(stream, probs), rounds=1, iterations=1
+    )
+
+    lines = [f"{'erasure p':>10} {'delivery':>9} {'level err':>10} {'pulses':>9}"]
+    for p in points:
+        lines.append(
+            f"{p.erasure_prob:>10.2f} {p.event_delivery_ratio:>9.3f} "
+            f"{p.level_error_ratio:>10.3f} {p.n_pulses:>9,}"
+        )
+    print_report(
+        "D-ATC link under pulse erasures (batched simulate_link_batch)",
+        "\n".join(lines),
+    )
+
+    # Clean channel: every event and level survives.
+    assert points[0].event_delivery_ratio == 1.0
+    assert points[0].level_error_ratio == 0.0
+    # Erasures cost delivered events and corrupt levels of survivors.
+    assert points[-1].event_delivery_ratio < points[0].event_delivery_ratio
+    assert points[-1].level_error_ratio > 0.0
 
 
 def test_decoder_comparison(benchmark, paper_dataset):

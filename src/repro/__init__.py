@@ -40,6 +40,7 @@ from .core import (
 )
 from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
+from .uwb import LinkConfig, simulate_link, simulate_link_batch
 
 __version__ = "1.0.0"
 
@@ -66,6 +67,9 @@ __all__ = [
     "run_datc",
     "StreamingDecoder",
     "reconstruct_batch",
+    "LinkConfig",
+    "simulate_link",
+    "simulate_link_batch",
     "DatasetSpec",
     "EMGModel",
     "Pattern",

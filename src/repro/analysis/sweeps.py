@@ -36,14 +36,18 @@ from ..core.pipeline import (
 from ..rx.correlation import aligned_correlation_percent_batch
 from ..rx.decoders import reconstruct_batch
 from ..signals.dataset import DatasetSpec, Pattern
+from ..uwb.channel import UWBChannel
+from ..uwb.link import LinkConfig, simulate_link_batch
 
 __all__ = [
     "SweepPoint",
+    "LinkSweepPoint",
     "atc_threshold_sweep",
     "dataset_sweep",
     "DatasetSweepResult",
     "frame_size_sweep",
     "dac_resolution_sweep",
+    "link_erasure_sweep",
     "pulse_loss_sweep",
     "weight_sweep",
 ]
@@ -296,6 +300,57 @@ def pulse_loss_sweep(
         fs_out=base.fs_out,
         window_s=window_s,
     )
+
+
+@dataclass(frozen=True)
+class LinkSweepPoint:
+    """One operating point of a physical-link sweep."""
+
+    erasure_prob: float
+    event_delivery_ratio: float
+    level_error_ratio: float
+    n_pulses: int
+    tx_energy_j: float
+
+
+def link_erasure_sweep(
+    stream: EventStream,
+    erasure_probs: "tuple[float, ...]" = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5),
+    config: "LinkConfig | None" = None,
+    seed: int = 13,
+) -> "list[LinkSweepPoint]":
+    """Event delivery and level integrity vs pulse-erasure probability.
+
+    The pulse-level companion of :func:`pulse_loss_sweep` (which drops
+    whole *events*): here individual radiated pulses are erased by the
+    channel, so lost markers shift bursts and lost payload pulses corrupt
+    levels — the paper's "artifacts effect is similar to pulse missing"
+    argument at the physical layer.  All operating points share one
+    batched link call (:func:`repro.uwb.link.simulate_link_batch`) with a
+    per-point channel and a single RNG.
+    """
+    config = config if config is not None else LinkConfig()
+    erasure_probs = [float(p) for p in erasure_probs]
+    for p in erasure_probs:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"erasure probability must be in [0, 1], got {p}")
+    if not erasure_probs:
+        return []
+    channels = [UWBChannel(erasure_prob=p) for p in erasure_probs]
+    rng = np.random.default_rng(seed)
+    results = simulate_link_batch(
+        [stream] * len(channels), config, channel=channels, rng=rng
+    )
+    return [
+        LinkSweepPoint(
+            erasure_prob=p,
+            event_delivery_ratio=r.event_delivery_ratio,
+            level_error_ratio=r.level_error_ratio,
+            n_pulses=r.n_pulses,
+            tx_energy_j=r.tx_energy_j,
+        )
+        for p, r in zip(erasure_probs, results)
+    ]
 
 
 def snr_sweep(

@@ -17,10 +17,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _best_of(fn, repeats: int) -> "tuple[float, object]":
+    """Best wall-clock over ``repeats`` runs of ``fn``, plus its output."""
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        out = fn()
+        best = min(best, perf_counter() - t0)
+    return best, out
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -116,10 +127,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.link:
+        return _bench_link(args)
     if args.rx:
         return _bench_rx(args)
-    from time import perf_counter
-
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -133,14 +144,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     fs = patterns[0].fs
     signals = np.stack([p.emg for p in patterns])
     n_total = signals.size
-
-    def best_of(fn) -> "tuple[float, int]":
-        best, events = float("inf"), 0
-        for _ in range(args.repeats):
-            t0 = perf_counter()
-            events = fn()
-            best = min(best, perf_counter() - t0)
-        return best, events
 
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
     print(
@@ -181,7 +184,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
         base_t = None
         for name, fn in rows:
-            t, events = best_of(fn)
+            t, events = _best_of(fn, args.repeats)
             base_t = t if base_t is None else base_t
             print(
                 f"{name:<22}{t * 1e3:>11.1f}{n_total / t:>14.3g}"
@@ -192,8 +195,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _bench_rx(args: argparse.Namespace) -> int:
     """Receiver throughput: per-stream loop vs chunked vs batched decode."""
-    from time import perf_counter
-
     from .core.config import ATCConfig, DATCConfig
     from .core.encoders import encode_batch
     from .core.events import EventStream
@@ -213,14 +214,6 @@ def _bench_rx(args: argparse.Namespace) -> int:
     signals = np.stack([p.emg for p in patterns])
     references = np.stack([p.ground_truth_envelope() for p in patterns])
     chunk_s = args.chunk / fs
-
-    def best_of(fn) -> "tuple[float, object]":
-        best, out = float("inf"), None
-        for _ in range(args.repeats):
-            t0 = perf_counter()
-            out = fn()
-            best = min(best, perf_counter() - t0)
-        return best, out
 
     def split(stream: "EventStream") -> "list[EventStream]":
         bounds = np.arange(0.0, stream.duration_s, chunk_s)[1:]
@@ -270,7 +263,7 @@ def _bench_rx(args: argparse.Namespace) -> int:
         print(f"\n[{scheme}] reconstruction\n{header}\n" + "-" * len(header))
         base_t, base_recons = None, None
         for name, fn in rows:
-            t, recons = best_of(fn)
+            t, recons = _best_of(fn, args.repeats)
             if base_t is None:
                 base_t, base_recons = t, recons
             elif not all(
@@ -287,14 +280,16 @@ def _bench_rx(args: argparse.Namespace) -> int:
         # Decode + correlation, for context: scoring runs on the 50 k
         # reference grid and is memory-bound, so the end-to-end gain is
         # smaller than the reconstruction-stage gain.
-        loop_t, loop_corrs = best_of(
+        loop_t, loop_corrs = _best_of(
             lambda: [
                 aligned_correlation_percent(recon, ref)
                 for recon, ref in zip(run_loop(), references)
-            ]
+            ],
+            args.repeats,
         )
-        batch_t, batch_corrs = best_of(
-            lambda: aligned_correlation_percent_batch(run_batched(), references)
+        batch_t, batch_corrs = _best_of(
+            lambda: aligned_correlation_percent_batch(run_batched(), references),
+            args.repeats,
         )
         if not np.array_equal(np.asarray(loop_corrs), batch_corrs):
             raise AssertionError("batched correlations diverged from the loop")
@@ -302,6 +297,92 @@ def _bench_rx(args: argparse.Namespace) -> int:
             f"with correlation: loop {loop_t * 1e3:.1f} ms, "
             f"batched {batch_t * 1e3:.1f} ms ({loop_t / batch_t:.1f}x)"
         )
+    return 0
+
+
+def _bench_link(args: argparse.Namespace) -> int:
+    """Link throughput: per-stream loop demod vs vectorised vs batched."""
+    from .core.config import ATCConfig, DATCConfig
+    from .core.encoders import encode_batch
+    from .signals.dataset import DatasetSpec
+    from .uwb.channel import UWBChannel
+    from .uwb.link import LinkConfig, _link_result, simulate_link, simulate_link_batch
+    from .uwb.modulation import (
+        _ook_demodulate_loop,
+        _ppm_demodulate_loop,
+        ook_modulate,
+        ppm_modulate,
+    )
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    patterns = [dataset.pattern(i) for i in range(args.signals)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+
+    schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    link_cfg = LinkConfig()
+    modulate = ook_modulate if link_cfg.modulation == "ook" else ppm_modulate
+    demod_loop = (
+        _ook_demodulate_loop if link_cfg.modulation == "ook" else _ppm_demodulate_loop
+    )
+    print(
+        f"link throughput: {args.signals} streams x {args.duration:g} s, "
+        f"{link_cfg.modulation.upper()} @ {link_cfg.symbol_period_s:g} s/slot, "
+        f"ideal channel, best of {args.repeats}"
+    )
+    header = f"{'path':<22}{'time (ms)':>11}{'streams/s':>14}{'speedup':>9}"
+    ideal = UWBChannel()
+    for scheme in schemes:
+        config = ATCConfig() if scheme == "atc" else DATCConfig()
+        streams = [s for s, _ in encode_batch(signals, fs, config)]
+
+        # All three rows do the same work (modulate, ideal-channel
+        # transmit, demodulate, match/score); only the demodulation and
+        # batching strategy differs.
+        def run_loop() -> "list":
+            out = []
+            for s in streams:
+                bits = s.symbols_per_event - 1
+                train = modulate(s, link_cfg.symbol_period_s, bits)
+                rx = demod_loop(
+                    ideal.transmit(train), s.duration_s,
+                    link_cfg.symbol_period_s, bits, clock_hz=s.clock_hz,
+                )
+                out.append(_link_result(s, rx, train, link_cfg, ideal))
+            return [r.rx_stream for r in out]
+
+        def run_vectorised() -> "list":
+            return [simulate_link(s, link_cfg).rx_stream for s in streams]
+
+        def run_batched() -> "list":
+            return [r.rx_stream for r in simulate_link_batch(streams, link_cfg)]
+
+        rows = [
+            ("per-stream loop", run_loop),
+            ("per-stream vectorised", run_vectorised),
+            ("batched", run_batched),
+        ]
+        print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
+        base_t, base_out = None, None
+        for name, fn in rows:
+            t, out = _best_of(fn, args.repeats)
+            if base_t is None:
+                base_t, base_out = t, out
+            elif not all(
+                np.array_equal(r.times, b.times)
+                and (
+                    (r.levels is None and b.levels is None)
+                    or np.array_equal(r.levels, b.levels)
+                )
+                for r, b in zip(out, base_out)
+            ):
+                raise AssertionError(f"{name} demodulation diverged from the loop")
+            print(
+                f"{name:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
+                f"{base_t / t:>8.1f}x"
+            )
     return 0
 
 
@@ -396,12 +477,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser(
-        "bench", help="encoder/receiver throughput: one-shot vs chunked vs batched"
+        "bench",
+        help="encoder/receiver/link throughput: one-shot vs chunked vs batched",
     )
-    p.add_argument(
+    stage = p.add_mutually_exclusive_group()
+    stage.add_argument(
         "--rx",
         action="store_true",
         help="benchmark the receiver (decode + correlation) instead of the encoder",
+    )
+    stage.add_argument(
+        "--link",
+        action="store_true",
+        help="benchmark the IR-UWB link (modulate + demodulate) instead of the encoder",
     )
     p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
     p.add_argument("--signals", type=_positive_int, default=16, help="batch rows")

@@ -1,8 +1,14 @@
 """IR-UWB link substrate: pulses, modulation, AER, packets, channel, RX."""
 
 from .aer import AERConfig, aer_decode, aer_encode
-from .channel import UWBChannel, friis_path_loss_db, received_energy_j
-from .link import LinkConfig, LinkResult, packet_baseline_accounting, simulate_link
+from .channel import UWBChannel, friis_path_loss_db, received_energy_j, transmit_batch
+from .link import (
+    LinkConfig,
+    LinkResult,
+    packet_baseline_accounting,
+    simulate_link,
+    simulate_link_batch,
+)
 from .modulation import (
     PulseTrain,
     ook_demodulate,
@@ -11,6 +17,7 @@ from .modulation import (
     ppm_modulate,
 )
 from .packets import (
+    DepacketizeResult,
     PacketFormat,
     crc8,
     depacketize,
@@ -34,15 +41,18 @@ __all__ = [
     "UWBChannel",
     "friis_path_loss_db",
     "received_energy_j",
+    "transmit_batch",
     "LinkConfig",
     "LinkResult",
     "packet_baseline_accounting",
     "simulate_link",
+    "simulate_link_batch",
     "PulseTrain",
     "ook_demodulate",
     "ook_modulate",
     "ppm_demodulate",
     "ppm_modulate",
+    "DepacketizeResult",
     "PacketFormat",
     "crc8",
     "depacketize",

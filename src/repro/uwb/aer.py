@@ -65,7 +65,10 @@ def aer_encode(
     too-close) events are queued and re-timestamped at least that far
     apart — required when the downstream modulator needs whole symbol
     bursts per event.  Events the queue cannot fit before the end of the
-    observation window are dropped (arbiter overflow).
+    observation window are dropped (arbiter overflow).  Serialisation is
+    computed in closed form (one running max); for non-dyadic
+    times/spacing the re-timestamps can differ from the sequential queue
+    by float-rounding ulps.
     """
     if min_spacing_s < 0:
         raise ValueError(f"min_spacing_s must be non-negative, got {min_spacing_s}")
@@ -98,11 +101,13 @@ def aer_encode(
     merged_words = all_words[order]
 
     if min_spacing_s > 0 and merged_times.size:
-        serialized = np.empty_like(merged_times)
-        last = -np.inf
-        for i, t in enumerate(merged_times):
-            last = max(t, last + min_spacing_s)
-            serialized[i] = last
+        # The arbiter recurrence ``last = max(t, last + s)`` unrolls to
+        # ``serialized_i = s*i + max_{j<=i}(t_j - s*j)`` — one running max.
+        # Algebraically identical to the sequential queue; float rounding
+        # can differ by ulps from iterated ``last + s`` additions (exact,
+        # and therefore bit-identical, when times/spacing are dyadic).
+        slack = np.arange(merged_times.size) * min_spacing_s
+        serialized = slack + np.maximum.accumulate(merged_times - slack)
         keep = serialized <= duration
         merged_times = serialized[keep]
         merged_words = merged_words[keep]

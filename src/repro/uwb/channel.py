@@ -19,7 +19,7 @@ import numpy as np
 
 from .modulation import PulseTrain
 
-__all__ = ["friis_path_loss_db", "received_energy_j", "UWBChannel"]
+__all__ = ["friis_path_loss_db", "received_energy_j", "UWBChannel", "transmit_batch"]
 
 _C_M_PER_S = 299_792_458.0
 
@@ -116,3 +116,74 @@ class UWBChannel:
             times = np.concatenate([times, rng.uniform(0, train.duration_s, n_false)])
         times = np.clip(times, 0.0, train.duration_s)
         return np.sort(times)
+
+    def transmit_batch(
+        self, trains: "list[PulseTrain]", rng: "np.random.Generator | None" = None
+    ) -> "list[np.ndarray]":
+        """Transmit many trains through this channel with batched draws."""
+        return transmit_batch(trains, [self] * len(trains), rng=rng)
+
+
+def transmit_batch(
+    trains: "list[PulseTrain]",
+    channels: "list[UWBChannel]",
+    rng: "np.random.Generator | None" = None,
+) -> "list[np.ndarray]":
+    """Received pulse times for many trains, one channel each.
+
+    The whole batch is realised from *one* RNG with whole-array draws:
+    one uniform draw decides every erasure, one normal draw jitters every
+    surviving pulse, one Poisson draw sizes every train's false-pulse
+    count, and one sort/split hands the per-train times back.  Channels
+    may differ per train (e.g. an erasure-probability sweep); ideal
+    channels ride along for free (their pulses always survive the shared
+    draws unchanged).
+    """
+    if len(trains) != len(channels):
+        raise ValueError(
+            f"got {len(trains)} trains but {len(channels)} channels"
+        )
+    if not trains:
+        return []
+    if all(c.is_ideal for c in channels):
+        return [np.asarray(t.pulse_times, dtype=float).copy() for t in trains]
+    if rng is None:
+        raise ValueError("a non-ideal channel requires an rng")
+
+    n_streams = len(trains)
+    sizes = np.array([t.pulse_times.size for t in trains], dtype=np.int64)
+    durations = np.array([t.duration_s for t in trains], dtype=float)
+    times = (
+        np.concatenate([np.asarray(t.pulse_times, dtype=float) for t in trains])
+        if sizes.sum()
+        else np.zeros(0)
+    )
+    segment = np.repeat(np.arange(n_streams), sizes)
+
+    erasure = np.array([c.erasure_prob for c in channels])
+    jitter = np.array([c.jitter_rms_s for c in channels])
+    false_rate = np.array([c.false_pulse_rate_hz for c in channels])
+
+    if np.any(erasure > 0):
+        keep = rng.random(times.size) >= erasure[segment]
+        times = times[keep]
+        segment = segment[keep]
+    if np.any(jitter > 0):
+        times = times + jitter[segment] * rng.standard_normal(times.size)
+    if np.any(false_rate > 0):
+        n_false = rng.poisson(false_rate * durations)
+        false_segment = np.repeat(np.arange(n_streams), n_false)
+        false_times = rng.random(int(n_false.sum())) * durations[false_segment]
+        times = np.concatenate([times, false_times])
+        segment = np.concatenate([segment, false_segment])
+    # Per-train semantics match `transmit`: an ideal train passes through
+    # untouched (no clipping — payload pulses may legitimately trail past
+    # duration_s), a noisy train is clipped to the observation window.
+    clip_row = np.array([not c.is_ideal for c in channels])[segment]
+    times = np.where(clip_row, np.clip(times, 0.0, durations[segment]), times)
+
+    order = np.lexsort((times, segment))
+    times = times[order]
+    segment = segment[order]
+    bounds = np.searchsorted(segment, np.arange(1, n_streams))
+    return np.split(times, bounds)

@@ -110,6 +110,56 @@ def ook_modulate(
     )
 
 
+def _burst_start_mask(
+    pulse_times: np.ndarray, close_times: np.ndarray, side: str
+) -> np.ndarray:
+    """Greedy burst grouping, fully in numpy.
+
+    The demodulators' outer loop is the recurrence "the first pulse opens a
+    burst; every pulse up to that burst's close time joins it; the next
+    pulse opens a new burst".  ``close_times[i]`` is the close time of a
+    hypothetical burst opened by pulse ``i`` (``side='right'`` consumes
+    pulses with ``t <= close``, ``'left'`` with ``t < close``).  The burst
+    openers are the orbit of pulse 0 under ``nxt`` (the first pulse index
+    past each close time); the orbit is materialised in O(log n) rounds of
+    pointer doubling instead of a per-burst Python loop.
+    """
+    n = pulse_times.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    nxt = np.searchsorted(pulse_times, close_times, side=side)
+    # A burst always consumes at least its opening pulse, even if rounding
+    # makes close_times[i] collapse onto pulse_times[i].
+    nxt = np.maximum(nxt, np.arange(1, n + 1))
+    g = np.append(nxt, n)  # sentinel: the chain parks at n
+    mask = np.zeros(n + 1, dtype=bool)
+    mask[0] = True
+    count = 1
+    while True:
+        mask[g[np.flatnonzero(mask)]] = True
+        new_count = int(np.count_nonzero(mask))
+        if new_count == count:
+            break
+        count = new_count
+        g = g[g]
+    return mask[:n]
+
+
+def _pack_levels(
+    n_bursts: int,
+    bits_per_event: int,
+    burst_of_pulse: np.ndarray,
+    slot_of_pulse: np.ndarray,
+    hit: np.ndarray,
+) -> np.ndarray:
+    """OR the per-pulse hits into a (burst, slot) bit matrix, then pack
+    MSB-first levels with one shift-dot."""
+    bit_matrix = np.zeros((n_bursts, bits_per_event), dtype=np.int64)
+    bit_matrix[burst_of_pulse[hit], slot_of_pulse[hit]] = 1
+    weights = (1 << np.arange(bits_per_event - 1, -1, -1)).astype(np.int64)
+    return bit_matrix @ weights
+
+
 def ook_demodulate(
     pulse_times: np.ndarray,
     duration_s: float,
@@ -117,7 +167,7 @@ def ook_demodulate(
     bits_per_event: int,
     clock_hz: float = 0.0,
 ) -> EventStream:
-    """Greedy OOK demodulation back to an event stream.
+    """Greedy OOK demodulation back to an event stream (vectorised).
 
     The first pulse opens a burst: it is the marker, and the following
     ``bits_per_event`` slots are read as bits by checking whether a pulse
@@ -125,6 +175,64 @@ def ook_demodulate(
     window are consumed; the next pulse after the window opens a new
     burst.  Robust to erased payload pulses (read as '0', the OOK
     failure mode) and to spurious pulses (they open short fake bursts).
+
+    Whole-array implementation: bursts are found with searchsorted +
+    pointer doubling (:func:`_burst_start_mask`), every payload pulse is
+    assigned its slot with one slot-offset matrix comparison, and levels
+    are packed with a single shift-dot.  Bit-identical to the per-pulse
+    reference loop (:func:`_ook_demodulate_loop`) for every pulse pattern,
+    including erased, jittered, and spurious pulses.
+    """
+    pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
+    n = pulse_times.size
+    if bits_per_event == 0 or n == 0:
+        # Every pulse is its own single-slot event.
+        return EventStream(
+            times=pulse_times,
+            duration_s=duration_s,
+            levels=np.zeros(0, dtype=np.int64) if bits_per_event and n == 0 else None,
+            clock_hz=clock_hz,
+            symbols_per_event=1 + bits_per_event,
+        )
+    half = symbol_period_s / 2.0
+    # Close of a burst opened at t: centre of the last payload slot + half
+    # a slot, with the same float op order as the reference loop.
+    span = bits_per_event * symbol_period_s
+    close = (pulse_times + span) + half
+    start = _burst_start_mask(pulse_times, close, side="right")
+    burst_id = np.cumsum(start) - 1
+    marker_times = pulse_times[start]
+
+    payload = ~start
+    p_times = pulse_times[payload]
+    p_burst = burst_id[payload]
+    p_marker = marker_times[p_burst]
+    offsets = np.arange(1, bits_per_event + 1) * symbol_period_s
+    centres = p_marker[:, None] + offsets[None, :]
+    # Slot a pulse is consumed in: the first whose close it does not exceed.
+    slot = np.sum(p_times[:, None] > centres + half, axis=1)
+    hit = np.abs(p_times - (p_marker + offsets[slot])) <= half
+    levels = _pack_levels(marker_times.size, bits_per_event, p_burst, slot, hit)
+    return EventStream(
+        times=marker_times,
+        duration_s=duration_s,
+        levels=levels,
+        clock_hz=clock_hz,
+        symbols_per_event=1 + bits_per_event,
+    )
+
+
+def _ook_demodulate_loop(
+    pulse_times: np.ndarray,
+    duration_s: float,
+    symbol_period_s: float,
+    bits_per_event: int,
+    clock_hz: float = 0.0,
+) -> EventStream:
+    """Per-pulse reference implementation of :func:`ook_demodulate`.
+
+    Kept as the ground truth the vectorised demodulator is asserted
+    bit-identical to (property tests and the link throughput bench).
     """
     pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
     half = symbol_period_s / 2.0
@@ -199,7 +307,57 @@ def ppm_demodulate(
     bits_per_event: int,
     clock_hz: float = 0.0,
 ) -> EventStream:
-    """Greedy PPM demodulation (marker + positioned payload pulses)."""
+    """Greedy PPM demodulation (marker + positioned payload pulses).
+
+    Vectorised like :func:`ook_demodulate`; bit-identical to the reference
+    loop (:func:`_ppm_demodulate_loop`) for any pulse pattern.
+    """
+    pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
+    n = pulse_times.size
+    if bits_per_event == 0 or n == 0:
+        return EventStream(
+            times=pulse_times,
+            duration_s=duration_s,
+            levels=np.zeros(0, dtype=np.int64) if bits_per_event and n == 0 else None,
+            clock_hz=clock_hz,
+            symbols_per_event=1 + bits_per_event,
+        )
+    quarter = symbol_period_s / 4.0
+    half = symbol_period_s / 2.0
+    # A burst consumes pulses strictly before the end of its last slot.
+    span = bits_per_event * symbol_period_s
+    close = (pulse_times + span) + symbol_period_s
+    start = _burst_start_mask(pulse_times, close, side="left")
+    burst_id = np.cumsum(start) - 1
+    marker_times = pulse_times[start]
+
+    payload = ~start
+    p_times = pulse_times[payload]
+    p_burst = burst_id[payload]
+    p_marker = marker_times[p_burst]
+    offsets = np.arange(1, bits_per_event + 1) * symbol_period_s
+    slot_starts = p_marker[:, None] + offsets[None, :]
+    # Slot a pulse is consumed in: the first whose end it precedes.
+    slot = np.sum(p_times[:, None] >= slot_starts + symbol_period_s, axis=1)
+    hit = np.abs((p_times - (p_marker + offsets[slot])) - half) <= quarter
+    levels = _pack_levels(marker_times.size, bits_per_event, p_burst, slot, hit)
+    return EventStream(
+        times=marker_times,
+        duration_s=duration_s,
+        levels=levels,
+        clock_hz=clock_hz,
+        symbols_per_event=1 + bits_per_event,
+    )
+
+
+def _ppm_demodulate_loop(
+    pulse_times: np.ndarray,
+    duration_s: float,
+    symbol_period_s: float,
+    bits_per_event: int,
+    clock_hz: float = 0.0,
+) -> EventStream:
+    """Per-pulse reference implementation of :func:`ppm_demodulate`."""
     pulse_times = np.sort(np.asarray(pulse_times, dtype=float))
     quarter = symbol_period_s / 4.0
     events = []

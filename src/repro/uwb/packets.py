@@ -15,16 +15,75 @@ accountings are available.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
-__all__ = ["PacketFormat", "crc8", "packetize", "depacketize", "payload_symbol_count"]
+__all__ = [
+    "PacketFormat",
+    "DepacketizeResult",
+    "crc8",
+    "packetize",
+    "depacketize",
+    "payload_symbol_count",
+]
 
 _CRC8_POLY = 0x07  # CRC-8/ATM (x^8 + x^2 + x + 1)
 
+_CRC8_TABLES: "dict[int, np.ndarray]" = {}
+
+
+def _crc8_table(poly: int) -> np.ndarray:
+    """The 256-entry byte-update table for ``poly`` (built once, cached)."""
+    table = _CRC8_TABLES.get(poly)
+    if table is None:
+        t = np.arange(256, dtype=np.int64)
+        for _ in range(8):
+            t = np.where(t & 0x80, (t << 1) ^ poly, t << 1) & 0xFF
+        table = t.astype(np.uint8)
+        table.setflags(write=False)
+        _CRC8_TABLES[poly] = table
+    return table
+
+
+def _crc8_rows(bits: np.ndarray, poly: int, init: int) -> np.ndarray:
+    """CRC-8 of every row of a ``(n_rows, n_bits)`` bit matrix.
+
+    Whole bytes go through the precomputed table (``np.packbits`` packs
+    eight bit columns per lookup round); a non-byte-aligned tail falls back
+    to the bit recurrence, still vectorised across rows.
+    """
+    n_rows, n_bits = bits.shape
+    crc = np.full(n_rows, init, dtype=np.uint8)
+    n_bytes, tail = divmod(n_bits, 8)
+    if n_bytes:
+        table = _crc8_table(poly)
+        packed = np.packbits(bits[:, : n_bytes * 8], axis=1)
+        for k in range(n_bytes):
+            crc = table[crc ^ packed[:, k]]
+    if tail:
+        acc = crc.astype(np.int64)
+        for column in bits[:, n_bytes * 8 :].T:
+            acc ^= column.astype(np.int64) << 7
+            acc = np.where(acc & 0x80, (acc << 1) ^ poly, acc << 1) & 0xFF
+        crc = acc.astype(np.uint8)
+    return crc
+
 
 def crc8(bits: np.ndarray, poly: int = _CRC8_POLY, init: int = 0x00) -> int:
-    """CRC-8 over a bit array (MSB-first)."""
+    """CRC-8 over a bit array (MSB-first), table-driven.
+
+    Identical to the bit-serial recurrence (:func:`_crc8_bitwise`) for any
+    bit count, polynomial and initial value.
+    """
+    bits = np.asarray(bits).astype(np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"bits must be 1-D, got shape {bits.shape}")
+    return int(_crc8_rows(bits[None, :], poly, init)[0])
+
+
+def _crc8_bitwise(bits: np.ndarray, poly: int = _CRC8_POLY, init: int = 0x00) -> int:
+    """Bit-serial CRC-8 reference the table-driven path is tested against."""
     bits = np.asarray(bits).astype(np.uint8)
     crc = init
     for bit in bits:
@@ -110,7 +169,10 @@ def packetize(codes: np.ndarray, fmt: "PacketFormat | None" = None, node_id: int
     """Frame ADC codes into the full packet bit stream.
 
     The stream is the concatenation of packets: header (0xAA), SFD (0x7E),
-    node ID, payload codes MSB-first, CRC-8 over ID+payload.
+    node ID, payload codes MSB-first, CRC-8 over ID+payload.  Fully
+    vectorised: the whole stream is assembled as one
+    ``(n_packets, packet_bits)`` matrix and the per-packet CRCs are
+    computed table-driven across all packets at once.
     """
     fmt = fmt if fmt is not None else PacketFormat()
     codes = np.asarray(codes, dtype=np.int64)
@@ -119,53 +181,86 @@ def packetize(codes: np.ndarray, fmt: "PacketFormat | None" = None, node_id: int
     if not 0 <= node_id < (1 << fmt.id_bits) and fmt.id_bits:
         raise ValueError(f"node_id exceeds {fmt.id_bits} bits")
     n_packets = fmt.n_packets(codes.size)
+    if n_packets == 0:
+        return np.zeros(0, dtype=np.uint8)
     padded = np.zeros(n_packets * fmt.samples_per_packet, dtype=np.int64)
     padded[: codes.size] = codes
 
-    out = []
-    header = _int_to_bits(0xAA & ((1 << fmt.header_bits) - 1), fmt.header_bits)
-    sfd = _int_to_bits(0x7E & ((1 << fmt.sfd_bits) - 1), fmt.sfd_bits)
-    ident = _int_to_bits(node_id, fmt.id_bits)
-    for p in range(n_packets):
-        chunk = padded[p * fmt.samples_per_packet : (p + 1) * fmt.samples_per_packet]
-        payload = np.concatenate([_int_to_bits(int(c), fmt.adc_bits) for c in chunk])
-        body = np.concatenate([ident, payload])
-        crc = _int_to_bits(crc8(body), fmt.crc_bits) if fmt.crc_bits else np.zeros(0, np.uint8)
-        out.append(np.concatenate([header, sfd, body, crc]))
-    return np.concatenate(out) if out else np.zeros(0, dtype=np.uint8)
+    adc_shifts = np.arange(fmt.adc_bits - 1, -1, -1)
+    payload = (
+        (padded.reshape(n_packets, fmt.samples_per_packet, 1) >> adc_shifts) & 1
+    ).astype(np.uint8).reshape(n_packets, fmt.payload_bits)
+    ident = np.broadcast_to(
+        _int_to_bits(node_id, fmt.id_bits), (n_packets, fmt.id_bits)
+    )
+    body = np.concatenate([ident, payload], axis=1)
+    header = np.broadcast_to(
+        _int_to_bits(0xAA & ((1 << fmt.header_bits) - 1), fmt.header_bits),
+        (n_packets, fmt.header_bits),
+    )
+    sfd = np.broadcast_to(
+        _int_to_bits(0x7E & ((1 << fmt.sfd_bits) - 1), fmt.sfd_bits),
+        (n_packets, fmt.sfd_bits),
+    )
+    if fmt.crc_bits:
+        crc = _crc8_rows(body, _CRC8_POLY, 0x00).astype(np.int64)
+        crc_shifts = np.arange(fmt.crc_bits - 1, -1, -1)
+        crc_bits = ((crc[:, None] >> crc_shifts) & 1).astype(np.uint8)
+    else:
+        crc_bits = np.zeros((n_packets, 0), dtype=np.uint8)
+    return np.concatenate([header, sfd, body, crc_bits], axis=1).reshape(-1)
+
+
+class DepacketizeResult(NamedTuple):
+    """Outcome of :func:`depacketize`.
+
+    Attributes
+    ----------
+    codes:
+        ADC codes of every packet that passed CRC, in stream order.
+    n_crc_errors:
+        Packets dropped for a CRC mismatch.
+    n_truncated_bits:
+        Trailing bits that did not fill a whole packet and were discarded
+        — needed for exact loss accounting on a cut-off stream.
+    """
+
+    codes: np.ndarray
+    n_crc_errors: int
+    n_truncated_bits: int
 
 
 def depacketize(
     bits: np.ndarray, fmt: "PacketFormat | None" = None
-) -> "tuple[np.ndarray, int]":
+) -> DepacketizeResult:
     """Parse a packet bit stream back into ADC codes.
 
-    Returns ``(codes, n_crc_errors)``; packets failing CRC are dropped.
-    Assumes slot-aligned packets (the link model preserves slot timing).
+    Returns :class:`DepacketizeResult`; packets failing CRC are dropped
+    and counted, and a trailing partial packet is reported via
+    ``n_truncated_bits`` instead of being silently lost.  Assumes
+    slot-aligned packets (the link model preserves slot timing).
+    Vectorised: one reshape to ``(n_packets, packet_bits)``, table-driven
+    CRCs across all packets, and a single shift-dot to rebuild the codes.
     """
     fmt = fmt if fmt is not None else PacketFormat()
     bits = np.asarray(bits).astype(np.uint8)
-    if bits.size % fmt.packet_bits:
-        raise ValueError(
-            f"bit stream length {bits.size} is not a multiple of the "
-            f"packet size {fmt.packet_bits}"
-        )
-    codes = []
-    n_crc_errors = 0
-    for p in range(bits.size // fmt.packet_bits):
-        pkt = bits[p * fmt.packet_bits : (p + 1) * fmt.packet_bits]
-        body = pkt[fmt.header_bits + fmt.sfd_bits : fmt.packet_bits - fmt.crc_bits]
-        if fmt.crc_bits:
-            rx_crc = 0
-            for b in pkt[fmt.packet_bits - fmt.crc_bits :]:
-                rx_crc = (rx_crc << 1) | int(b)
-            if crc8(body) != rx_crc:
-                n_crc_errors += 1
-                continue
-        payload = body[fmt.id_bits :]
-        for s in range(fmt.samples_per_packet):
-            code = 0
-            for b in payload[s * fmt.adc_bits : (s + 1) * fmt.adc_bits]:
-                code = (code << 1) | int(b)
-            codes.append(code)
-    return np.asarray(codes, dtype=np.int64), n_crc_errors
+    n_packets, n_truncated = divmod(bits.size, fmt.packet_bits)
+    if n_packets == 0:
+        return DepacketizeResult(np.zeros(0, dtype=np.int64), 0, int(n_truncated))
+    matrix = bits[: n_packets * fmt.packet_bits].reshape(n_packets, fmt.packet_bits)
+    body = matrix[:, fmt.header_bits + fmt.sfd_bits : fmt.packet_bits - fmt.crc_bits]
+    if fmt.crc_bits:
+        crc_field = matrix[:, fmt.packet_bits - fmt.crc_bits :].astype(np.int64)
+        rx_crc = crc_field @ (1 << np.arange(fmt.crc_bits - 1, -1, -1))
+        good = _crc8_rows(body, _CRC8_POLY, 0x00).astype(np.int64) == rx_crc
+        n_crc_errors = int(np.count_nonzero(~good))
+    else:
+        good = np.ones(n_packets, dtype=bool)
+        n_crc_errors = 0
+    payload = body[good][:, fmt.id_bits :].astype(np.int64)
+    codes = payload.reshape(-1, fmt.adc_bits) @ (
+        1 << np.arange(fmt.adc_bits - 1, -1, -1)
+    )
+    return DepacketizeResult(
+        codes.astype(np.int64), n_crc_errors, int(n_truncated)
+    )

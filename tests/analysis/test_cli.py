@@ -90,3 +90,20 @@ class TestCommands:
         out = capsys.readouterr().out
         for needle in ("one-shot loop", "chunked", "batched 2-D", "[atc]", "[datc]"):
             assert needle in out
+
+    def test_bench_link_prints_all_paths(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--link", "--scheme", "datc", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for needle in (
+            "link throughput", "per-stream loop", "per-stream vectorised",
+            "batched", "[datc]",
+        ):
+            assert needle in out

@@ -8,6 +8,7 @@ from repro.analysis.sweeps import (
     dac_resolution_sweep,
     dataset_sweep,
     frame_size_sweep,
+    link_erasure_sweep,
     pulse_loss_sweep,
     weight_sweep,
 )
@@ -121,6 +122,43 @@ class TestPulseLossSweep:
         """Sweep grids are often np.linspace arrays, not lists."""
         points = pulse_loss_sweep(mid_pattern, np.linspace(0.0, 0.3, 3))
         assert [p.parameter for p in points] == [0.0, 0.15, 0.3]
+
+
+class TestLinkErasureSweep:
+    @pytest.fixture(scope="class")
+    def stream(self, mid_pattern):
+        from repro.core.datc import datc_encode
+
+        stream, _ = datc_encode(mid_pattern.emg, mid_pattern.fs)
+        return stream
+
+    def test_clean_point_is_perfect(self, stream):
+        points = link_erasure_sweep(stream, (0.0, 0.3))
+        assert points[0].event_delivery_ratio == 1.0
+        assert points[0].level_error_ratio == 0.0
+
+    def test_delivery_degrades(self, stream):
+        points = link_erasure_sweep(stream, (0.0, 0.5))
+        assert points[1].event_delivery_ratio < points[0].event_delivery_ratio
+
+    def test_grid_order_and_fields(self, stream):
+        probs = (0.2, 0.0, 0.1)
+        points = link_erasure_sweep(stream, probs)
+        assert [p.erasure_prob for p in points] == list(probs)
+        assert all(p.n_pulses == points[0].n_pulses for p in points)
+        assert points[0].tx_energy_j > 0
+
+    def test_deterministic_for_seed(self, stream):
+        a = link_erasure_sweep(stream, (0.3,), seed=5)
+        b = link_erasure_sweep(stream, (0.3,), seed=5)
+        assert a == b
+
+    def test_invalid_probability(self, stream):
+        with pytest.raises(ValueError):
+            link_erasure_sweep(stream, (1.5,))
+
+    def test_empty_grid(self, stream):
+        assert link_erasure_sweep(stream, ()) == []
 
 
 class TestSnrSweep:

@@ -6,12 +6,20 @@ from hypothesis import strategies as st
 
 from repro.core.events import EventStream
 from repro.uwb.modulation import (
+    _ook_demodulate_loop,
+    _ppm_demodulate_loop,
     ook_demodulate,
     ook_modulate,
     ppm_demodulate,
     ppm_modulate,
 )
-from repro.uwb.packets import PacketFormat, crc8, depacketize, packetize
+from repro.uwb.packets import (
+    PacketFormat,
+    _crc8_bitwise,
+    crc8,
+    depacketize,
+    packetize,
+)
 
 
 def _stream_from(draw_times, draw_levels, duration=10.0):
@@ -66,15 +74,146 @@ class TestModulationRoundtrip:
         assert ook.n_symbols == ppm.n_symbols == 5 * stream.n_events
 
 
+class TestVectorisedDemodulators:
+    """The vectorised demodulators == the per-pulse reference loops,
+    bit for bit, on *arbitrary* pulse trains — which subsumes erasures,
+    jitter, spurious pulses and overlapping fake bursts."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=9.999), min_size=0, max_size=150
+        ),
+        bits=st.integers(0, 8),
+        period=st.sampled_from([1e-5, 3.7e-5, 2e-4]),
+    )
+    def test_ook_vectorised_equals_loop(self, times, bits, period):
+        pulses = np.sort(np.asarray(times, dtype=float))
+        vec = ook_demodulate(pulses, 10.0, period, bits)
+        loop = _ook_demodulate_loop(pulses, 10.0, period, bits)
+        assert np.array_equal(vec.times, loop.times)
+        assert (vec.levels is None) == (loop.levels is None)
+        if vec.levels is not None:
+            assert np.array_equal(vec.levels, loop.levels)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=9.999), min_size=0, max_size=150
+        ),
+        bits=st.integers(0, 8),
+        period=st.sampled_from([1e-5, 3.7e-5, 2e-4]),
+    )
+    def test_ppm_vectorised_equals_loop(self, times, bits, period):
+        pulses = np.sort(np.asarray(times, dtype=float))
+        vec = ppm_demodulate(pulses, 10.0, period, bits)
+        loop = _ppm_demodulate_loop(pulses, 10.0, period, bits)
+        assert np.array_equal(vec.times, loop.times)
+        if vec.levels is not None:
+            assert np.array_equal(vec.levels, loop.levels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=event_streams, seed=st.integers(0, 2**32 - 1))
+    def test_corrupted_train_equivalence(self, stream, seed):
+        """Modulate, erase/jitter/inject, then demodulate both ways."""
+        rng = np.random.default_rng(seed)
+        train = ook_modulate(stream, symbol_period_s=1e-5)
+        kept = train.pulse_times[rng.random(train.n_pulses) >= 0.3]
+        kept = kept + 3e-6 * rng.standard_normal(kept.size)
+        spurious = rng.uniform(0, stream.duration_s, rng.integers(0, 20))
+        pulses = np.sort(
+            np.clip(np.concatenate([kept, spurious]), 0, stream.duration_s)
+        )
+        vec = ook_demodulate(pulses, stream.duration_s, 1e-5, 4)
+        loop = _ook_demodulate_loop(pulses, stream.duration_s, 1e-5, 4)
+        assert np.array_equal(vec.times, loop.times)
+        assert np.array_equal(vec.levels, loop.levels)
+
+
+class TestAerSerialisation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        raw=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=80),
+        spacing_num=st.integers(1, 64),
+    )
+    def test_arbiter_equals_sequential_queue(self, raw, spacing_num):
+        """Closed-form serialisation == the last = max(t, last+s) loop.
+
+        Dyadic inputs keep both forms exact in float64, so equality is
+        bit-level.
+        """
+        from repro.uwb.aer import AERConfig, aer_encode
+
+        times = np.sort(np.asarray(raw, dtype=float)) / 1024.0
+        spacing = spacing_num / 1024.0
+        duration = 17.0
+        stream = EventStream(
+            times=times,
+            duration_s=duration,
+            levels=np.zeros(times.size, dtype=np.int64),
+            symbols_per_event=5,
+        )
+        merged = aer_encode(
+            [stream], AERConfig(n_channels=1, level_bits=4), min_spacing_s=spacing
+        )
+        last = -np.inf
+        expected = []
+        for t in times:
+            last = max(t, last + spacing)
+            if last <= duration:
+                expected.append(last)
+        assert np.array_equal(merged.times, np.asarray(expected))
+
+
 class TestPacketProperties:
     @settings(max_examples=40)
     @given(codes=st.lists(st.integers(0, 4095), min_size=1, max_size=64))
     def test_packetize_roundtrip(self, codes):
         fmt = PacketFormat()
         arr = np.asarray(codes, dtype=np.int64)
-        decoded, errors = depacketize(packetize(arr, fmt), fmt)
+        decoded, errors, truncated = depacketize(packetize(arr, fmt), fmt)
         assert errors == 0
+        assert truncated == 0
         assert np.array_equal(decoded[: arr.size], arr)
+
+    @settings(max_examples=40)
+    @given(
+        codes=st.lists(st.integers(0, 4095), min_size=1, max_size=32),
+        flip=st.data(),
+    )
+    def test_crc_protected_flip_drops_exactly_one_packet(self, codes, flip):
+        """Any single flip in a packet's CRC-protected region (ID +
+        payload + CRC field) drops that packet and only that packet."""
+        fmt = PacketFormat()
+        arr = np.asarray(codes, dtype=np.int64)
+        bits = packetize(arr, fmt).copy()
+        n_packets = fmt.n_packets(arr.size)
+        packet = flip.draw(st.integers(0, n_packets - 1))
+        offset = flip.draw(
+            st.integers(fmt.header_bits + fmt.sfd_bits, fmt.packet_bits - 1)
+        )
+        bits[packet * fmt.packet_bits + offset] ^= 1
+        decoded, errors, truncated = depacketize(bits, fmt)
+        assert errors == 1
+        assert truncated == 0
+        assert decoded.size == (n_packets - 1) * fmt.samples_per_packet
+        survivors = np.delete(
+            np.pad(arr, (0, n_packets * fmt.samples_per_packet - arr.size))
+            .reshape(n_packets, fmt.samples_per_packet),
+            packet,
+            axis=0,
+        )
+        assert np.array_equal(decoded, survivors.reshape(-1))
+
+    @settings(max_examples=40)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=0, max_size=80),
+        poly=st.integers(1, 255),
+        init=st.integers(0, 255),
+    )
+    def test_table_crc_equals_bit_serial(self, bits, poly, init):
+        arr = np.asarray(bits, dtype=np.uint8)
+        assert crc8(arr, poly, init) == _crc8_bitwise(arr, poly, init)
 
     @settings(max_examples=40)
     @given(

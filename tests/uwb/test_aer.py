@@ -102,6 +102,24 @@ class TestEncodeDecode:
         merged = aer_encode([s], config, min_spacing_s=1e-3)
         assert merged.n_events < 10
 
+    def test_serialisation_matches_reference_loop(self, rng):
+        """The closed-form arbiter (running max) == the sequential queue."""
+        config = AERConfig(n_channels=1, level_bits=4)
+        # Dyadic times/spacing keep both forms exact in float64, so the
+        # comparison is bit-level, not toleranced.
+        times = np.sort(rng.integers(0, 1 << 14, 60)).astype(float) / 1024.0
+        spacing = 1.0 / 64.0
+        s = channel_stream(times, rng.integers(0, 16, 60), duration=17.0)
+        merged = aer_encode([s], config, min_spacing_s=spacing)
+
+        last = -np.inf
+        expected = []
+        for t in times:
+            last = max(t, last + spacing)
+            if last <= 17.0:
+                expected.append(last)
+        assert np.array_equal(merged.times, np.asarray(expected))
+
     def test_negative_spacing_rejected(self):
         config = AERConfig(n_channels=1, level_bits=4)
         with pytest.raises(ValueError):

@@ -108,3 +108,51 @@ class TestUWBChannel:
     def test_invalid_params(self, kwargs):
         with pytest.raises(ValueError):
             UWBChannel(**kwargs)
+
+
+class TestTransmitBatch:
+    def test_ideal_batch_passthrough(self):
+        trains = [make_train(n=50), make_train(n=80)]
+        out = UWBChannel().transmit_batch(trains)
+        for received, train in zip(out, trains):
+            assert np.array_equal(received, train.pulse_times)
+
+    def test_method_matches_module_function(self, rng):
+        from repro.uwb.channel import transmit_batch
+
+        trains = [make_train(n=200), make_train(n=300)]
+        ch = UWBChannel(erasure_prob=0.2, jitter_rms_s=1e-6)
+        method = ch.transmit_batch(trains, rng=np.random.default_rng(3))
+        function = transmit_batch(trains, [ch, ch], rng=np.random.default_rng(3))
+        for a, b in zip(method, function):
+            assert np.array_equal(a, b)
+
+    def test_per_train_channels(self, rng):
+        trains = [make_train(n=400), make_train(n=400)]
+        from repro.uwb.channel import transmit_batch
+
+        clean, lossy = transmit_batch(
+            trains, [UWBChannel(), UWBChannel(erasure_prob=0.5)], rng=rng
+        )
+        assert np.array_equal(clean, trains[0].pulse_times)
+        assert lossy.size < trains[1].pulse_times.size
+
+    def test_count_mismatch_rejected(self):
+        from repro.uwb.channel import transmit_batch
+
+        with pytest.raises(ValueError):
+            transmit_batch([make_train()], [UWBChannel(), UWBChannel()])
+
+    def test_empty_batch(self):
+        assert UWBChannel().transmit_batch([]) == []
+
+    def test_noisy_requires_rng(self):
+        with pytest.raises(ValueError):
+            UWBChannel(erasure_prob=0.1).transmit_batch([make_train()])
+
+    def test_output_sorted_and_noisy_rows_bounded(self, rng):
+        trains = [make_train(n=300)]
+        ch = UWBChannel(erasure_prob=0.1, jitter_rms_s=1e-6, false_pulse_rate_hz=10.0)
+        (out,) = ch.transmit_batch(trains, rng=rng)
+        assert np.all(np.diff(out) >= 0)
+        assert out.min() >= 0.0 and out.max() <= trains[0].duration_s

@@ -7,8 +7,10 @@ from repro.core.events import EventStream
 from repro.uwb.channel import UWBChannel
 from repro.uwb.link import (
     LinkConfig,
+    _match_levels,
     packet_baseline_accounting,
     simulate_link,
+    simulate_link_batch,
 )
 from repro.uwb.receiver import EnergyDetector
 
@@ -97,6 +99,140 @@ class TestSimulateLink:
         s = datc_stream()
         r = simulate_link(s, detector=EnergyDetector(), rng=rng)
         assert r.event_delivery_ratio > 0.99
+
+
+class TestMatchLevels:
+    def stream(self, times, levels, duration=10.0):
+        return EventStream(
+            times=np.asarray(times, dtype=float),
+            duration_s=duration,
+            levels=np.asarray(levels, dtype=np.int64),
+            symbols_per_event=5,
+        )
+
+    def test_exact_match(self):
+        tx = self.stream([1.0, 2.0], [3, 7])
+        delivered, errors = _match_levels(tx, tx, tol_s=1e-5)
+        assert (delivered, errors) == (2, 0)
+
+    def test_level_error_counted(self):
+        tx = self.stream([1.0, 2.0], [3, 7])
+        rx = self.stream([1.0, 2.0], [3, 8])
+        assert _match_levels(tx, rx, tol_s=1e-5) == (2, 1)
+
+    def test_out_of_tolerance_not_delivered(self):
+        tx = self.stream([1.0], [3])
+        rx = self.stream([1.1], [3])
+        assert _match_levels(tx, rx, tol_s=1e-3) == (0, 0)
+
+    def test_one_to_one_no_double_counting(self):
+        """Regression: two RX events near one TX event used to both count
+        as delivered; matching is now one-to-one (first claimant wins)."""
+        tx = self.stream([1.0], [3])
+        rx = self.stream([1.000001, 1.000004], [3, 0])
+        delivered, errors = _match_levels(tx, rx, tol_s=1e-5)
+        assert delivered == 1
+        assert errors == 0  # the earlier (correct-level) claimant won
+
+    def test_one_to_one_later_claimant_unmatched(self):
+        """The losing claimant does not steal a farther TX event either."""
+        tx = self.stream([1.0, 5.0], [3, 9])
+        rx = self.stream([1.000001, 1.000004, 5.0], [3, 9, 9])
+        delivered, errors = _match_levels(tx, rx, tol_s=1e-5)
+        assert delivered == 2
+        assert errors == 0
+
+    def test_empty_streams(self):
+        tx = self.stream([1.0], [3])
+        empty = EventStream(
+            times=np.zeros(0), duration_s=10.0,
+            levels=np.zeros(0, dtype=np.int64), symbols_per_event=5,
+        )
+        assert _match_levels(tx, empty, 1e-5) == (0, 0)
+        assert _match_levels(empty, tx, 1e-5) == (0, 0)
+
+
+class TestSimulateLinkBatch:
+    def test_ideal_batch_matches_per_stream_exactly(self):
+        streams = [datc_stream(seed=s) for s in range(4)]
+        cfg = LinkConfig()
+        batch = simulate_link_batch(streams, cfg)
+        for result, stream in zip(batch, streams):
+            one = simulate_link(stream, cfg)
+            assert np.array_equal(result.rx_stream.times, one.rx_stream.times)
+            assert np.array_equal(result.rx_stream.levels, one.rx_stream.levels)
+            assert result.n_pulses == one.n_pulses
+            assert result.n_symbols == one.n_symbols
+            assert result.tx_energy_j == one.tx_energy_j
+            assert result.event_delivery_ratio == 1.0
+            assert result.level_error_ratio == 0.0
+
+    def test_ppm_batch(self):
+        streams = [datc_stream(seed=s) for s in range(3)]
+        batch = simulate_link_batch(streams, LinkConfig(modulation="ppm"))
+        for result, stream in zip(batch, streams):
+            assert np.array_equal(result.rx_stream.levels, stream.levels)
+
+    def test_heterogeneous_symbols_per_event(self):
+        """ATC (1 slot) and D-ATC (5 slots) streams share one batch call."""
+        datc = datc_stream(seed=0)
+        atc = EventStream(
+            times=datc.times, duration_s=datc.duration_s, symbols_per_event=1
+        )
+        datc_link, atc_link = simulate_link_batch([datc, atc], LinkConfig())
+        assert datc_link.n_symbols == 5 * datc.n_events
+        assert atc_link.n_symbols == atc.n_events
+        assert atc_link.rx_stream.levels is None
+
+    def test_ideal_row_exact_in_mixed_batch(self, rng):
+        """Regression: an ideal stream batched next to a noisy one must
+        still match the per-stream ideal path bit for bit — its trailing
+        payload pulses (past duration_s) must not get clipped."""
+        stream = EventStream(
+            times=np.array([0.5, 0.99999]),
+            duration_s=1.0,
+            levels=np.array([7, 15]),
+            symbols_per_event=5,
+        )
+        one = simulate_link(stream, LinkConfig())
+        clean, _ = simulate_link_batch(
+            [stream, stream],
+            channel=[UWBChannel(), UWBChannel(erasure_prob=0.5)],
+            rng=rng,
+        )
+        assert np.array_equal(clean.rx_stream.times, one.rx_stream.times)
+        assert np.array_equal(clean.rx_stream.levels, one.rx_stream.levels)
+        assert clean.level_error_ratio == 0.0
+
+    def test_per_stream_channels(self, rng):
+        stream = datc_stream(500)
+        channels = [UWBChannel(), UWBChannel(erasure_prob=0.4)]
+        clean, lossy = simulate_link_batch(
+            [stream, stream], channel=channels, rng=rng
+        )
+        assert clean.event_delivery_ratio == 1.0
+        assert lossy.event_delivery_ratio < 1.0
+
+    def test_channel_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_link_batch([datc_stream()], channel=[UWBChannel()] * 2)
+
+    def test_noisy_batch_requires_rng(self):
+        with pytest.raises(ValueError):
+            simulate_link_batch(
+                [datc_stream()], channel=UWBChannel(erasure_prob=0.1)
+            )
+
+    def test_empty_batch(self):
+        assert simulate_link_batch([]) == []
+
+    def test_detector_derived_channel(self, rng):
+        results = simulate_link_batch(
+            [datc_stream(seed=s) for s in range(2)],
+            detector=EnergyDetector(),
+            rng=rng,
+        )
+        assert all(r.event_delivery_ratio > 0.99 for r in results)
 
 
 class TestPacketBaseline:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.uwb.packets import (
     PacketFormat,
+    _crc8_bitwise,
     crc8,
     depacketize,
     packetize,
@@ -28,6 +29,28 @@ class TestCrc8:
     def test_known_vector(self):
         # CRC-8/ATM of 0x00 is 0x00; of a known byte pattern, stable.
         assert crc8(np.zeros(8, dtype=np.uint8)) == 0
+
+    def test_standard_check_value(self):
+        """The canonical CRC-8 (poly 0x07) check: crc8("123456789") = 0xF4."""
+        bits = np.unpackbits(np.frombuffer(b"123456789", dtype=np.uint8))
+        assert crc8(bits) == 0xF4
+
+    def test_table_matches_bit_serial(self, rng):
+        """Table-driven CRC == the bit-serial recurrence, any length/poly/init."""
+        for _ in range(50):
+            bits = rng.integers(0, 2, int(rng.integers(0, 70))).astype(np.uint8)
+            poly = int(rng.integers(1, 256))
+            init = int(rng.integers(0, 256))
+            assert crc8(bits, poly, init) == _crc8_bitwise(bits, poly, init)
+
+    def test_non_byte_aligned_tail(self):
+        """Lengths that are not byte multiples use the tail recurrence."""
+        bits = np.array([1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0], dtype=np.uint8)
+        assert crc8(bits) == _crc8_bitwise(bits)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            crc8(np.zeros((2, 8), dtype=np.uint8))
 
     def test_detects_single_bit_flips(self, rng):
         bits = rng.integers(0, 2, 64).astype(np.uint8)
@@ -79,14 +102,15 @@ class TestPacketizeRoundtrip:
         fmt = PacketFormat()
         codes = rng.integers(0, 4096, 64)
         bits = packetize(codes, fmt)
-        decoded, errors = depacketize(bits, fmt)
-        assert errors == 0
-        assert np.array_equal(decoded[: codes.size], codes)
+        result = depacketize(bits, fmt)
+        assert result.n_crc_errors == 0
+        assert result.n_truncated_bits == 0
+        assert np.array_equal(result.codes[: codes.size], codes)
 
     def test_padding_zeros(self):
         fmt = PacketFormat(samples_per_packet=4)
         codes = np.array([1, 2, 3, 4, 5])
-        decoded, _ = depacketize(packetize(codes, fmt), fmt)
+        decoded, _, _ = depacketize(packetize(codes, fmt), fmt)
         assert decoded.size == 8
         assert np.array_equal(decoded[5:], [0, 0, 0])
 
@@ -97,14 +121,42 @@ class TestPacketizeRoundtrip:
         bits = bits.copy()
         # Flip a payload bit in the first packet.
         bits[fmt.header_bits + fmt.sfd_bits + fmt.id_bits + 3] ^= 1
-        decoded, errors = depacketize(bits, fmt)
-        assert errors == 1
-        assert decoded.size == fmt.samples_per_packet  # only packet 2 kept
+        result = depacketize(bits, fmt)
+        assert result.n_crc_errors == 1
+        assert result.codes.size == fmt.samples_per_packet  # only packet 2 kept
 
     def test_codes_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             packetize(np.array([4096]), PacketFormat())
 
-    def test_misaligned_stream_rejected(self):
-        with pytest.raises(ValueError):
-            depacketize(np.zeros(100, dtype=np.uint8), PacketFormat())
+    def test_empty_codes(self):
+        fmt = PacketFormat()
+        assert packetize(np.zeros(0, dtype=np.int64), fmt).size == 0
+        result = depacketize(np.zeros(0, dtype=np.uint8), fmt)
+        assert result.codes.size == 0
+        assert result.n_truncated_bits == 0
+
+    def test_truncated_tail_reported(self, rng):
+        """A cut-off stream reports the discarded bits instead of hiding
+        them — exact loss accounting for the packet baseline."""
+        fmt = PacketFormat()
+        codes = rng.integers(0, 4096, 16)
+        bits = packetize(codes, fmt)
+        result = depacketize(bits[:-37], fmt)
+        assert result.n_truncated_bits == fmt.packet_bits - 37
+        assert result.n_crc_errors == 0
+        assert result.codes.size == fmt.samples_per_packet  # first packet only
+
+    def test_shorter_than_one_packet(self):
+        result = depacketize(np.zeros(100, dtype=np.uint8), PacketFormat())
+        assert result.codes.size == 0
+        assert result.n_truncated_bits == 100
+
+    def test_crc_disabled_keeps_everything(self, rng):
+        fmt = PacketFormat(crc_bits=0)
+        codes = rng.integers(0, 4096, 16)
+        bits = packetize(codes, fmt).copy()
+        bits[fmt.header_bits + fmt.sfd_bits + fmt.id_bits] ^= 1  # corrupt freely
+        result = depacketize(bits, fmt)
+        assert result.n_crc_errors == 0
+        assert result.codes.size == codes.size
