@@ -1,0 +1,90 @@
+"""Microbenchmarks: sharded multi-process dataset-sweep throughput.
+
+The acceptance gates of the execution runtime (`repro.runtime`):
+
+* A process-sharded dataset sweep over a multi-pattern corpus (32 full
+  20 s patterns: synthesis + encode + decode + score per shard) must beat
+  the serial single-shard sweep by >= 2x, with the per-pattern results
+  element-wise identical.
+* Element-wise identity of every backend's results is asserted
+  unconditionally — including on single-core machines, where only the
+  wall-clock gate is skipped (no second core means no parallel speedup
+  to measure, only pool overhead).
+
+Wall-clock ratios collapse on contended shared runners, so CI lowers the
+bar via SWEEP_SPEEDUP_MIN (like LINK_SPEEDUP_MIN / RX_SPEEDUP_MIN).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import dataset_sweep
+from repro.signals.dataset import DatasetSpec
+
+N_PATTERNS = 32
+JOBS = min(4, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    """A 32-pattern corpus at the paper's full 20 s pattern length."""
+    return DatasetSpec(n_patterns=N_PATTERNS, duration_s=20.0, seed=2015)
+
+
+def best_of(fn, repeats=2):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def assert_sweeps_identical(reference, other, label):
+    assert np.array_equal(reference.pattern_ids, other.pattern_ids), label
+    assert np.array_equal(reference.correlations_pct, other.correlations_pct), label
+    assert np.array_equal(reference.n_events, other.n_events), label
+
+
+def test_backends_element_wise_identical():
+    """Every backend and shard size reproduces the serial sweep exactly."""
+    dataset = DatasetSpec(n_patterns=8, duration_s=4.0, seed=2015)
+    serial = dataset_sweep(dataset, "datc")
+    for backend in ("thread", "process"):
+        for shard_size in (None, 1, 3):
+            sharded = dataset_sweep(
+                dataset, "datc", jobs=2, backend=backend, shard_size=shard_size
+            )
+            assert_sweeps_identical(serial, sharded, (backend, shard_size))
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="process-vs-serial wall-clock gate needs >= 2 cores "
+    "(a single core can only measure pool overhead)",
+)
+def test_process_sweep_speedup_over_serial(sweep_dataset):
+    """Acceptance: process-sharded sweep >= 2x serial on the dataset sweep."""
+    minimum = float(os.environ.get("SWEEP_SPEEDUP_MIN", "2.0"))
+    # Wall-clock ratios collapse under CPU contention (co-tenant runs,
+    # frequency scaling); retry a few times before calling it a failure.
+    for attempt in range(3):
+        serial_t, serial = best_of(lambda: dataset_sweep(sweep_dataset, "datc"))
+        proc_t, sharded = best_of(
+            lambda: dataset_sweep(
+                sweep_dataset, "datc", jobs=JOBS, backend="process"
+            )
+        )
+        speedup = serial_t / proc_t
+        print(
+            f"\nsharded sweep (attempt {attempt + 1}): "
+            f"serial {serial_t * 1e3:.1f} ms, "
+            f"process x{JOBS} {proc_t * 1e3:.1f} ms -> {speedup:.1f}x"
+        )
+        if speedup >= minimum:
+            break
+    assert_sweeps_identical(serial, sharded, "process")
+    assert speedup >= minimum

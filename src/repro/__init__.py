@@ -38,6 +38,7 @@ from .core import (
     run_batch,
     run_datc,
 )
+from .runtime import AsyncStreamingPipeline, map_jobs
 from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
 from .uwb import LinkConfig, simulate_link, simulate_link_batch
@@ -65,6 +66,8 @@ __all__ = [
     "run_atc",
     "run_batch",
     "run_datc",
+    "AsyncStreamingPipeline",
+    "map_jobs",
     "StreamingDecoder",
     "reconstruct_batch",
     "LinkConfig",

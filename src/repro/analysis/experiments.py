@@ -275,18 +275,23 @@ def run_fig5(
     vth: float = 0.3,
     dataset: "DatasetSpec | None" = None,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5 (full dataset unless ``n_patterns`` limits it).
 
-    Both schemes run through the batched encoder paths; ``jobs`` adds
-    worker threads for pattern generation and receiver-side scoring.
+    Both schemes run through the batched encoder paths; ``jobs`` and
+    ``backend`` shard the sweep across the execution runtime's workers
+    (``backend="process"`` is the many-core path).
     """
     dataset = dataset if dataset is not None else default_dataset()
     return Fig5Result(
         atc=dataset_sweep(
-            dataset, "atc", atc_config=ATCConfig(vth=vth), limit=n_patterns, jobs=jobs
+            dataset, "atc", atc_config=ATCConfig(vth=vth), limit=n_patterns,
+            jobs=jobs, backend=backend,
         ),
-        datc=dataset_sweep(dataset, "datc", limit=n_patterns, jobs=jobs),
+        datc=dataset_sweep(
+            dataset, "datc", limit=n_patterns, jobs=jobs, backend=backend
+        ),
     )
 
 
@@ -388,17 +393,21 @@ def run_fig7(
     vths: "tuple[float, ...]" = (0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6),
     dataset: "DatasetSpec | None" = None,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> Fig7Result:
     """Regenerate Fig. 7 on four (fixed-seed "random") patterns.
 
-    ``jobs`` parallelises the per-pattern threshold sweeps.
+    ``jobs``/``backend`` parallelise the per-pattern threshold sweeps on
+    the execution runtime.
     """
     dataset = dataset if dataset is not None else default_dataset()
     atc_sweeps = {}
     datc_points = {}
     for pid in pattern_ids:
         pattern = dataset.pattern(pid)
-        atc_sweeps[pid] = atc_threshold_sweep(pattern, list(vths), jobs=jobs)
+        atc_sweeps[pid] = atc_threshold_sweep(
+            pattern, list(vths), jobs=jobs, backend=backend
+        )
         d = run_datc(pattern)
         datc_points[pid] = SweepPoint(
             parameter=-1.0,

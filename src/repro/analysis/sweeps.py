@@ -6,18 +6,26 @@ best trade-off between accuracy and complexity" and that artifact pulses
 act "similar to pulse missing" — both studies are reproduced here).
 
 Execution model: each sweep declares its operating-point grid, encodes
-every point (fanning out over an opt-in ``jobs`` thread pool), and — since
-all of a sweep's streams share the pattern's observation window — decodes
-and scores the whole grid through the batched receiver engine
+every point through the execution runtime
+(:mod:`repro.runtime.executors` — opt-in ``jobs`` workers on the
+``serial``/``thread``/``process`` backend of choice), and — since all of
+a sweep's streams share the pattern's observation window — decodes and
+scores the whole grid through the batched receiver engine
 (:func:`repro.rx.decoders.reconstruct_batch` + one stacked correlation
-call).  The dataset sweep rides :func:`repro.core.pipeline.run_batch`,
-which batches both sides.  Grid order is preserved and results are
-bit-identical to the sequential per-stream run.
+call).  The dataset sweep shards its pattern grid into contiguous chunks
+(:func:`repro.runtime.executors.plan_shards`) and runs
+:func:`repro.core.pipeline.run_batch` per shard, so a multi-process run
+ships only the per-pattern summary arrays back over IPC.  Grid order is
+preserved and results are element-wise bit-identical to the sequential
+per-stream run on every backend (the grid workers are module-level
+functions bound with :func:`functools.partial`, so they pickle under the
+``spawn`` start method too).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -29,10 +37,10 @@ from ..core.pipeline import (
     DEFAULT_FS_OUT,
     DEFAULT_WINDOW_S,
     PipelineResult,
-    map_jobs,
     run_batch,
     run_datc,
 )
+from ..runtime.executors import default_jobs, map_jobs, plan_shards, resolve_backend
 from ..rx.correlation import aligned_correlation_percent_batch
 from ..rx.decoders import reconstruct_batch
 from ..signals.dataset import DatasetSpec, Pattern
@@ -59,6 +67,86 @@ def _sweep_point(parameter: float, result: PipelineResult) -> SweepPoint:
         correlation_pct=result.correlation_pct,
         n_events=result.n_events,
         n_symbols=result.n_symbols,
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid workers.  Module-level (bound with functools.partial) so every
+# sweep's fan-out pickles under the process backend's spawn start method.
+# ----------------------------------------------------------------------
+def _encode_atc_at_vth(vth: float, emg: np.ndarray, fs: float) -> EventStream:
+    """One ATC threshold-sweep point: encode at a fixed ``vth``."""
+    return atc_encode(emg, fs, ATCConfig(vth=vth))[0]
+
+
+def _encode_datc_config(
+    config: DATCConfig, emg: np.ndarray, fs: float
+) -> EventStream:
+    """One D-ATC sweep point: encode under ``config``."""
+    return datc_encode(emg, fs, config)[0]
+
+
+def _drop_events_point(
+    item: "tuple[int, float]", stream: EventStream, seed: int
+) -> EventStream:
+    """One pulse-loss point: erase events with probability ``item[1]``."""
+    i, p = item
+    rng = np.random.default_rng((seed, i))
+    keep = rng.random(stream.n_events) >= p
+    return stream.drop_events(keep)
+
+
+def _encode_noisy_point(
+    item: "tuple[int, float]",
+    emg: np.ndarray,
+    fs: float,
+    scheme: str,
+    config: "ATCConfig | DATCConfig",
+    signal_power: float,
+    seed: int,
+) -> EventStream:
+    """One SNR point: add white noise at ``item[1]`` dB, then encode."""
+    i, snr_db = item
+    rng = np.random.default_rng((seed, i))
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    noisy = emg + np.sqrt(noise_power) * rng.standard_normal(emg.size)
+    encode = atc_encode if scheme == "atc" else datc_encode
+    return encode(noisy, fs, config)[0]
+
+
+def _evaluate_dac_bits(bits: int, pattern: Pattern) -> SweepPoint:
+    """One DAC-resolution point (per-stream decode: point-specific bits)."""
+    n_levels = 1 << bits
+    config = DATCConfig(
+        dac_bits=bits,
+        n_levels=n_levels,
+        interval_step=0.48 / n_levels,
+        min_level=1,
+        initial_level=n_levels // 2,
+    )
+    return _sweep_point(bits, run_datc(pattern, config))
+
+
+def _dataset_shard(
+    ids: np.ndarray,
+    dataset: DatasetSpec,
+    scheme: str,
+    config: "ATCConfig | DATCConfig | None",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Evaluate one contiguous shard of dataset patterns end to end.
+
+    Generates the shard's patterns, runs the batched pipeline, and
+    returns only the per-pattern summary arrays (correlation %, event
+    counts) — the IPC payload of a multi-process dataset sweep stays a
+    few hundred bytes per shard instead of full traces/reconstructions.
+    Per-row results are bit-identical whatever the shard boundaries,
+    because every batched stage is bit-identical per row.
+    """
+    patterns = [dataset.pattern(int(i)) for i in ids]
+    results = run_batch(patterns, scheme, config)
+    return (
+        np.array([r.correlation_pct for r in results]),
+        np.array([r.n_events for r in results], dtype=np.int64),
     )
 
 
@@ -91,20 +179,21 @@ def _batched_sweep(
     config,
     reference: np.ndarray,
     jobs: "int | None",
+    backend: "str | None" = None,
     fs_out: float = DEFAULT_FS_OUT,
     window_s: float = DEFAULT_WINDOW_S,
 ) -> "list[SweepPoint]":
     """The shared shape of a batched-receiver sweep.
 
-    Produce one stream per grid item (``encode`` fans out over ``jobs``),
-    run the receiver side once via :func:`_batched_scores`, and assemble
-    the points in grid order; ``parameter`` maps an item to the value the
-    point reports.
+    Produce one stream per grid item (``encode`` fans out over ``jobs``
+    workers on the selected runtime ``backend``), run the receiver side
+    once via :func:`_batched_scores`, and assemble the points in grid
+    order; ``parameter`` maps an item to the value the point reports.
     """
     items = list(items)
     if not items:
         return []
-    streams = map_jobs(encode, items, jobs)
+    streams = map_jobs(encode, items, jobs, backend=backend)
     corrs = _batched_scores(
         streams, scheme, config, reference, fs_out=fs_out, window_s=window_s
     )
@@ -130,21 +219,26 @@ class SweepPoint:
 
 
 def atc_threshold_sweep(
-    pattern: Pattern, vths: "np.ndarray | list[float]", jobs: "int | None" = None
+    pattern: Pattern,
+    vths: "np.ndarray | list[float]",
+    jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[SweepPoint]":
     """ATC correlation/events across fixed threshold voltages (Fig. 7).
 
-    Encoding fans out over ``jobs``; the receiver side (reconstruction +
-    correlation) runs once, batched across all thresholds.
+    Encoding fans out over ``jobs`` workers on the selected ``backend``;
+    the receiver side (reconstruction + correlation) runs once, batched
+    across all thresholds.
     """
     return _batched_sweep(
         (float(v) for v in vths),
-        lambda vth: atc_encode(pattern.emg, pattern.fs, ATCConfig(vth=vth))[0],
+        partial(_encode_atc_at_vth, emg=pattern.emg, fs=pattern.fs),
         lambda vth: vth,
         "atc",
         None,
         pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
         jobs,
+        backend,
     )
 
 
@@ -186,22 +280,45 @@ def dataset_sweep(
     datc_config: "DATCConfig | None" = None,
     limit: "int | None" = None,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
+    shard_size: "int | None" = None,
 ) -> DatasetSweepResult:
     """Run one scheme over (a prefix of) the dataset.
 
-    All patterns are encoded in one batched call (the patterns of a
-    dataset share rate and length); ``jobs`` parallelises pattern
-    generation and the receiver-side scoring.
+    The pattern grid is split into contiguous shards
+    (:func:`repro.runtime.executors.plan_shards`); each shard generates
+    its patterns and runs the fully batched pipeline
+    (:func:`repro.core.pipeline.run_batch`) in one worker task, returning
+    only the per-pattern summary arrays.  ``backend="process"`` is the
+    many-core path (pattern synthesis, encode, and decode all leave the
+    parent process); ``serial``/``jobs=None`` is one shard — the whole
+    grid in a single batched call.  Results are element-wise
+    bit-identical across backends and shard sizes.
     """
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
     n = dataset.n_patterns if limit is None else min(limit, dataset.n_patterns)
     ids = np.arange(n)
-    patterns = map_jobs(lambda i: dataset.pattern(int(i)), ids, jobs)
     config = atc_config if scheme == "atc" else datc_config
-    results = run_batch(patterns, scheme, config, jobs=jobs)
-    corr = np.array([r.correlation_pct for r in results])
-    events = np.array([r.n_events for r in results], dtype=np.int64)
+    if resolve_backend(backend, jobs) == "serial":
+        shards = [slice(0, n)] if n else []
+    else:
+        shards = plan_shards(n, jobs if jobs is not None else default_jobs(), shard_size)
+    parts = map_jobs(
+        partial(_dataset_shard, dataset=dataset, scheme=scheme, config=config),
+        [ids[s] for s in shards],
+        jobs,
+        backend=backend,
+        shard_size=1,  # the pattern grid is already sharded; one task each
+    )
+    corr = (
+        np.concatenate([p[0] for p in parts]) if parts else np.zeros(0)
+    )
+    events = (
+        np.concatenate([p[1] for p in parts])
+        if parts
+        else np.zeros(0, dtype=np.int64)
+    )
     return DatasetSweepResult(
         scheme=scheme, pattern_ids=ids, correlations_pct=corr, n_events=events
     )
@@ -211,6 +328,7 @@ def frame_size_sweep(
     pattern: Pattern,
     selectors: "tuple[int, ...]" = (0, 1, 2, 3),
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[SweepPoint]":
     """D-ATC across the four legal frame sizes (ablation).
 
@@ -221,12 +339,13 @@ def frame_size_sweep(
     configs = [DATCConfig(frame_selector=int(sel)) for sel in selectors]
     return _batched_sweep(
         configs,
-        lambda config: datc_encode(pattern.emg, pattern.fs, config)[0],
+        partial(_encode_datc_config, emg=pattern.emg, fs=pattern.fs),
         lambda config: config.frame_size,
         "datc",
         configs[0] if configs else None,
         pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
         jobs,
+        backend,
     )
 
 
@@ -234,6 +353,7 @@ def dac_resolution_sweep(
     pattern: Pattern,
     bits_list: "tuple[int, ...]" = (2, 3, 4, 5, 6),
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[SweepPoint]":
     """D-ATC across DAC resolutions (the paper's accuracy/complexity study).
 
@@ -245,19 +365,9 @@ def dac_resolution_sweep(
     with a *different* ``dac_bits``, which the batched engine (one shared
     decode config per call) does not cover.
     """
-
-    def evaluate(bits: int) -> SweepPoint:
-        n_levels = 1 << bits
-        config = DATCConfig(
-            dac_bits=bits,
-            n_levels=n_levels,
-            interval_step=0.48 / n_levels,
-            min_level=1,
-            initial_level=n_levels // 2,
-        )
-        return _sweep_point(bits, run_datc(pattern, config))
-
-    return map_jobs(evaluate, bits_list, jobs)
+    return map_jobs(
+        partial(_evaluate_dac_bits, pattern=pattern), bits_list, jobs, backend=backend
+    )
 
 
 def pulse_loss_sweep(
@@ -267,6 +377,7 @@ def pulse_loss_sweep(
     seed: int = 7,
     window_s: float = DEFAULT_WINDOW_S,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[SweepPoint]":
     """D-ATC correlation under event erasures (artifact-robustness study).
 
@@ -283,20 +394,15 @@ def pulse_loss_sweep(
         return []
     base = run_datc(pattern, config)
 
-    def drop(item: "tuple[int, float]") -> EventStream:
-        i, p = item
-        rng = np.random.default_rng((seed, i))
-        keep = rng.random(base.stream.n_events) >= p
-        return base.stream.drop_events(keep)
-
     return _batched_sweep(
         enumerate(loss_probs),
-        drop,
+        partial(_drop_events_point, stream=base.stream, seed=seed),
         lambda item: item[1],
         "datc",
         config,
         pattern.ground_truth_envelope(window_s=window_s),
         jobs,
+        backend,
         fs_out=base.fs_out,
         window_s=window_s,
     )
@@ -359,6 +465,7 @@ def snr_sweep(
     scheme: str = "datc",
     seed: int = 11,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[SweepPoint]":
     """Correlation vs. additive input noise (robustness to signal quality).
 
@@ -371,27 +478,26 @@ def snr_sweep(
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
     signal_power = float(np.mean(pattern.emg ** 2))
     config = ATCConfig() if scheme == "atc" else DATCConfig()
-    encode = atc_encode if scheme == "atc" else datc_encode
-
-    def encode_noisy(item: "tuple[int, float]") -> EventStream:
-        i, snr_db = item
-        rng = np.random.default_rng((seed, i))
-        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
-        noisy = pattern.emg + np.sqrt(noise_power) * rng.standard_normal(
-            pattern.emg.size
-        )
-        return encode(noisy, pattern.fs, config)[0]
 
     # Score against the CLEAN recording's envelope: the question is how
     # much of the true signal survives the noisy front-end.
     return _batched_sweep(
         enumerate(float(s) for s in snr_dbs),
-        encode_noisy,
+        partial(
+            _encode_noisy_point,
+            emg=pattern.emg,
+            fs=pattern.fs,
+            scheme=scheme,
+            config=config,
+            signal_power=signal_power,
+            seed=seed,
+        ),
         lambda item: item[1],
         scheme,
         config,
         pattern.ground_truth_envelope(),
         jobs,
+        backend,
     )
 
 
@@ -404,6 +510,7 @@ def weight_sweep(
         (0.1, 0.3, 1.6),    # strongly recency-weighted
     ),
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[tuple[tuple[float, float, float], SweepPoint]]":
     """Sensitivity of D-ATC to the predictor weights (ablation).
 
@@ -421,11 +528,12 @@ def weight_sweep(
         configs.append(DATCConfig(weights=scaled))
     points = _batched_sweep(
         configs,
-        lambda config: datc_encode(pattern.emg, pattern.fs, config)[0],
+        partial(_encode_datc_config, emg=pattern.emg, fs=pattern.fs),
         lambda config: config.weights[2],
         "datc",
         configs[0] if configs else None,
         pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
         jobs,
+        backend,
     )
     return list(zip(weight_sets, points))

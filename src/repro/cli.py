@@ -10,7 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro vcd -o dtc.vcd       # waveform dump of a real pattern
     python -m repro report --quick       # regenerate EXPERIMENTS.md
     python -m repro bench                # one-shot vs chunked vs batched
-    python -m repro fig5 --jobs 4        # sweep with 4 worker threads
+    python -m repro bench --sweep        # dataset sweep across backends
+    python -m repro fig5 --jobs 4 --backend process   # sharded sweep
 """
 
 from __future__ import annotations
@@ -51,7 +52,11 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig5
 
-    print(run_fig5(n_patterns=args.patterns, jobs=args.jobs).format_table())
+    print(
+        run_fig5(
+            n_patterns=args.patterns, jobs=args.jobs, backend=args.backend
+        ).format_table()
+    )
     return 0
 
 
@@ -65,7 +70,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig7
 
-    print(run_fig7(jobs=args.jobs).format_table())
+    print(run_fig7(jobs=args.jobs, backend=args.backend).format_table())
     return 0
 
 
@@ -131,6 +136,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_link(args)
     if args.rx:
         return _bench_rx(args)
+    if args.sweep:
+        return _bench_sweep(args)
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -300,6 +307,56 @@ def _bench_rx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_sweep(args: argparse.Namespace) -> int:
+    """Sweep throughput: serial vs thread vs process-sharded dataset sweep."""
+    import numpy as np
+
+    from .analysis.sweeps import dataset_sweep
+    from .runtime.executors import BACKENDS, default_jobs
+    from .signals.dataset import DatasetSpec
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    print(
+        f"sweep throughput: {args.signals} patterns x {args.duration:g} s "
+        f"dataset sweep, jobs={jobs}, best of {args.repeats}"
+    )
+    header = (
+        f"{'backend':<22}{'time (ms)':>11}{'patterns/s':>14}{'speedup':>9}"
+        f"{'identical':>11}"
+    )
+    for scheme in schemes:
+        print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
+        base_t, base = None, None
+        for backend in BACKENDS:
+            t, result = _best_of(
+                lambda b=backend: dataset_sweep(
+                    dataset, scheme, jobs=jobs, backend=b
+                ),
+                args.repeats,
+            )
+            if base is None:
+                base_t, base = t, result
+                identical = "baseline"
+            else:
+                same = np.array_equal(
+                    result.correlations_pct, base.correlations_pct
+                ) and np.array_equal(result.n_events, base.n_events)
+                if not same:
+                    raise AssertionError(
+                        f"{backend} sweep diverged from the serial results"
+                    )
+                identical = "yes"
+            print(
+                f"{backend:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
+                f"{base_t / t:>8.1f}x{identical:>11}"
+            )
+    return 0
+
+
 def _bench_link(args: argparse.Namespace) -> int:
     """Link throughput: per-stream loop demod vs vectorised vs batched."""
     from .core.config import ATCConfig, DATCConfig
@@ -434,7 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig5", help="Fig. 5 dataset sweep")
     p.add_argument("--patterns", type=int, default=None, help="limit pattern count")
-    p.add_argument("--jobs", type=int, default=None, help="worker threads")
+    p.add_argument("--jobs", type=int, default=None, help="parallel workers")
+    p.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the sweep workers",
+    )
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig6", help="Fig. 6 iso-correlation comparison")
@@ -442,7 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("fig7", help="Fig. 7 trade-off curves")
-    p.add_argument("--jobs", type=int, default=None, help="worker threads")
+    p.add_argument("--jobs", type=int, default=None, help="parallel workers")
+    p.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the sweep workers",
+    )
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("symbols", help="Sec. III-B symbol accounting")
@@ -491,7 +560,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark the IR-UWB link (modulate + demodulate) instead of the encoder",
     )
+    stage.add_argument(
+        "--sweep",
+        action="store_true",
+        help="benchmark the dataset sweep across execution backends",
+    )
     p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="sweep workers (--sweep; default: CPU count)",
+    )
     p.add_argument("--signals", type=_positive_int, default=16, help="batch rows")
     p.add_argument(
         "--duration", type=_positive_float, default=20.0, help="seconds per signal"

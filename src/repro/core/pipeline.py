@@ -10,16 +10,20 @@ Batching: :func:`run_batch` evaluates many patterns through the
 frame-vectorised batch encoders (:mod:`repro.core.encoders`) *and* the
 batched receiver engine (:mod:`repro.rx.decoders`) — one vectorised
 decode + one stacked correlation call for the whole batch — the hot path
-of the dataset sweeps.  The opt-in thread pool covers the remaining
-per-pattern work (ground-truth envelopes, the ragged fallback).
+of the dataset sweeps.  The remaining per-pattern work (ground-truth
+envelopes, the ragged fallback) fans out over the pluggable execution
+runtime (:mod:`repro.runtime.executors`): opt-in ``jobs`` workers on the
+``serial``/``thread``/``process`` backend of choice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
+from ..runtime.executors import map_jobs
 from ..rx.correlation import (
     aligned_correlation_percent,
     aligned_correlation_percent_batch,
@@ -42,24 +46,6 @@ __all__ = [
     "DEFAULT_FS_OUT",
     "DEFAULT_WINDOW_S",
 ]
-
-
-def map_jobs(fn, items, jobs: "int | None"):
-    """Map ``fn`` over ``items``, optionally on a thread pool.
-
-    The shared fan-out primitive behind ``run_batch`` and the analysis
-    sweeps: order is preserved, ``jobs=None`` (or 1) is a plain loop, and
-    larger values use ``concurrent.futures.ThreadPoolExecutor`` — the
-    encoder and reconstruction hot loops are numpy, which releases the
-    GIL.
-    """
-    items = list(items)
-    if jobs is not None and jobs > 1:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=jobs) as executor:
-            return list(executor.map(fn, items))
-    return [fn(item) for item in items]
 
 DEFAULT_FS_OUT = 100.0  # reconstruction grid (Hz); force bandwidth is a few Hz
 DEFAULT_WINDOW_S = 0.25  # the receiver's smoothing window
@@ -159,6 +145,26 @@ def run_datc(
     return _receive_and_score("datc", stream, trace, pattern, config, fs_out, window_s)
 
 
+def _evaluate_pattern(
+    pattern: Pattern,
+    scheme: str,
+    config: "ATCConfig | DATCConfig",
+    fs_out: float,
+    window_s: float,
+) -> PipelineResult:
+    """One pattern end to end (module-level so process workers can run it)."""
+    encode = atc_encode if scheme == "atc" else datc_encode
+    stream, trace = encode(pattern.emg, pattern.fs, config)
+    return _receive_and_score(
+        scheme, stream, trace, pattern, config, fs_out, window_s
+    )
+
+
+def _pattern_envelope(pattern: Pattern, window_s: float) -> np.ndarray:
+    """Picklable ground-truth-envelope worker for the batch fan-out."""
+    return pattern.ground_truth_envelope(window_s=window_s)
+
+
 def run_batch(
     patterns: "list[Pattern]",
     scheme: str = "datc",
@@ -166,6 +172,7 @@ def run_batch(
     fs_out: float = DEFAULT_FS_OUT,
     window_s: float = DEFAULT_WINDOW_S,
     jobs: "int | None" = None,
+    backend: "str | None" = None,
 ) -> "list[PipelineResult]":
     """Evaluate many patterns end to end, in pattern order.
 
@@ -174,10 +181,10 @@ def run_batch(
     ``encode_batch`` call, one :func:`repro.rx.decoders.reconstruct_batch`
     decode of all streams, and one stacked-correlation call for the whole
     batch.  Ragged inputs fall back to the per-pattern path via
-    :func:`map_jobs`.  ``jobs`` enables a ``concurrent.futures`` thread
-    pool for the remaining per-pattern work (ground-truth envelopes, the
-    ragged fallback); ``None``/``1`` stays sequential.  Results are
-    bit-identical on every path.
+    :func:`repro.runtime.executors.map_jobs`.  ``jobs`` and ``backend``
+    select the execution runtime for the remaining per-pattern work
+    (ground-truth envelopes, the ragged fallback); ``None``/``1`` stays
+    sequential.  Results are bit-identical on every path and backend.
     """
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
@@ -197,15 +204,14 @@ def run_batch(
         p.fs == fs and p.n_samples == patterns[0].n_samples for p in patterns
     )
     if not homogeneous:
-        encode = atc_encode if scheme == "atc" else datc_encode
-
-        def evaluate(pattern: Pattern) -> PipelineResult:
-            stream, trace = encode(pattern.emg, pattern.fs, config)
-            return _receive_and_score(
-                scheme, stream, trace, pattern, config, fs_out, window_s
-            )
-
-        return map_jobs(evaluate, patterns, jobs)
+        evaluate = partial(
+            _evaluate_pattern,
+            scheme=scheme,
+            config=config,
+            fs_out=fs_out,
+            window_s=window_s,
+        )
+        return map_jobs(evaluate, patterns, jobs, backend=backend)
 
     emg = np.stack([p.emg for p in patterns])
     encoded = encode_batch(emg, fs, config)
@@ -215,7 +221,10 @@ def run_batch(
     )
     references = np.stack(
         map_jobs(
-            lambda p: p.ground_truth_envelope(window_s=window_s), patterns, jobs
+            partial(_pattern_envelope, window_s=window_s),
+            patterns,
+            jobs,
+            backend=backend,
         )
     )
     corrs = aligned_correlation_percent_batch(recons, references)

@@ -1,0 +1,27 @@
+"""Execution runtime: sharded sweep backends + async streaming ingestion.
+
+``executors`` puts pluggable serial/thread/process backends behind the
+library-wide :func:`map_jobs` fan-out contract; ``ingest`` drives the
+streaming encoder/decoder pair from async chunk sources.  See
+``docs/SCALING.md``.
+"""
+
+from .executors import (
+    BACKENDS,
+    RemoteTraceback,
+    default_jobs,
+    map_jobs,
+    plan_shards,
+    resolve_backend,
+)
+from .ingest import AsyncStreamingPipeline
+
+__all__ = [
+    "AsyncStreamingPipeline",
+    "BACKENDS",
+    "RemoteTraceback",
+    "default_jobs",
+    "map_jobs",
+    "plan_shards",
+    "resolve_backend",
+]

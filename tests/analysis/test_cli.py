@@ -107,3 +107,77 @@ class TestCommands:
             "batched", "[datc]",
         ):
             assert needle in out
+
+
+def parse_speedups(out: str) -> "list[float]":
+    """The 'N.Nx' speedup figures a bench table reports, in row order."""
+    return [
+        float(tok[:-1])
+        for line in out.splitlines()
+        for tok in line.split()
+        if tok.endswith("x") and tok[:-1].replace(".", "", 1).isdigit()
+    ]
+
+
+class TestBenchSubcommands:
+    """Smoke-run each `bench` stage and parse its speedup/equality report."""
+
+    def test_bench_rx_reports_speedups_and_equality(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--rx", "--scheme", "atc", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "receiver throughput" in out
+        assert "speedup" in out
+        # One speedup per table row; the loop baseline row is exactly 1.0x.
+        speedups = parse_speedups(out)
+        assert len(speedups) >= 3
+        assert speedups[0] == 1.0
+        # Equality is asserted inside the bench; with correlation the run
+        # prints the loop-vs-batched comparison line.
+        assert "with correlation" in out
+
+    def test_bench_link_reports_speedups(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--link", "--scheme", "atc", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        speedups = parse_speedups(out)
+        assert len(speedups) == 3  # loop, vectorised, batched
+        assert speedups[0] == 1.0
+
+    def test_bench_sweep_reports_backends_and_equality(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--sweep", "--scheme", "datc", "--signals", "4",
+                    "--duration", "2", "--jobs", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep throughput" in out
+        for backend in ("serial", "thread", "process"):
+            assert backend in out
+        speedups = parse_speedups(out)
+        assert len(speedups) == 3  # one per backend
+        assert speedups[0] == 1.0  # serial is the baseline row
+        assert out.count("yes") == 2  # thread + process element-wise identical
+        assert "baseline" in out
+
+    def test_bench_sweep_rejects_bad_backend_combo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--sweep", "--rx"])

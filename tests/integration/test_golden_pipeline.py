@@ -1,0 +1,133 @@
+"""Golden end-to-end regression: the full TX -> link -> RX -> score chain.
+
+A seeded ``encode_batch -> simulate_link_batch -> reconstruct_batch ->
+aligned_correlation_percent_batch`` run over a small deterministic
+dataset, checked against committed golden summary values.  These numbers
+are the repo's fingerprint of the paper's figure chain: any refactor of
+the encoders, link, decoders, or scoring that silently drifts the
+figures fails here first.
+
+Event/pulse/symbol counts are integers and must match **exactly**.
+Correlations are float summaries of BLAS-backed dot products, so they
+get a tight-but-not-exact tolerance (1e-5 percentage points — far below
+any behavioural change, above cross-library last-ulp noise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.encoders import encode_batch
+from repro.rx.correlation import aligned_correlation_percent_batch
+from repro.rx.decoders import reconstruct_batch
+from repro.signals.dataset import DatasetSpec
+from repro.uwb.channel import UWBChannel
+from repro.uwb.link import LinkConfig, simulate_link_batch
+
+N_PATTERNS = 6
+CORR_ATOL = 1e-5
+
+# Committed golden summaries (generated at the introduction of this test;
+# regenerate CONSCIOUSLY — a diff here is a behaviour change, not noise).
+GOLDEN_ATC_IDEAL = {
+    # Pattern 0 is the paper's fixed-threshold failure case: the weak
+    # subject never crosses 0.3 V, so zero events and zero correlation.
+    "corr": [0.0, 75.529468, 97.357503, 98.57391, 75.36607, 67.558846],
+    "events": [0, 19, 211, 340, 6, 2],
+    "pulses": [0, 19, 211, 340, 6, 2],
+    "symbols": [0, 19, 211, 340, 6, 2],
+}
+GOLDEN_DATC_IDEAL = {
+    "corr": [93.277777, 93.180637, 96.75145, 95.215141, 93.883909, 81.335542],
+    "events": [272, 254, 372, 462, 239, 213],
+    "pulses": [555, 550, 878, 1153, 496, 428],
+    "symbols": [1360, 1270, 1860, 2310, 1195, 1065],
+}
+GOLDEN_DATC_NOISY = {
+    "corr": [88.080646, 93.478981, 96.430752, 94.387244, 89.989678, 83.364704],
+    "rx_events": [271, 250, 367, 458, 238, 212],
+    "delivery": [0.996324, 0.984252, 0.986559, 0.991342, 0.995816, 0.995305],
+    "level_errors": [0.089796, 0.126638, 0.098837, 0.152174, 0.088372, 0.08377],
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    dataset = DatasetSpec(n_patterns=N_PATTERNS, duration_s=4.0, seed=2015)
+    patterns = [dataset.pattern(i) for i in range(N_PATTERNS)]
+    signals = np.stack([p.emg for p in patterns])
+    references = np.stack([p.ground_truth_envelope() for p in patterns])
+    return patterns[0].fs, signals, references
+
+
+def _chain(signals, fs, references, scheme, config, channel=None, rng=None):
+    streams = [s for s, _ in encode_batch(signals, fs, config)]
+    links = simulate_link_batch(streams, LinkConfig(), channel=channel, rng=rng)
+    recons = reconstruct_batch(
+        [r.rx_stream for r in links], scheme, config
+    )
+    corrs = aligned_correlation_percent_batch(recons, references)
+    return streams, links, corrs
+
+
+@pytest.mark.parametrize(
+    "scheme, config, golden",
+    [
+        ("atc", ATCConfig(), GOLDEN_ATC_IDEAL),
+        ("datc", DATCConfig(), GOLDEN_DATC_IDEAL),
+    ],
+    ids=["atc", "datc"],
+)
+def test_ideal_link_chain_matches_golden(corpus, scheme, config, golden):
+    fs, signals, references = corpus
+    streams, links, corrs = _chain(signals, fs, references, scheme, config)
+    assert [s.n_events for s in streams] == golden["events"]
+    assert [r.n_pulses for r in links] == golden["pulses"]
+    assert [r.n_symbols for r in links] == golden["symbols"]
+    # The ideal channel delivers everything it was given.
+    assert all(
+        r.event_delivery_ratio == (1.0 if s.n_events else 0.0)
+        for r, s in zip(links, streams)
+    )
+    np.testing.assert_allclose(corrs, golden["corr"], rtol=0, atol=CORR_ATOL)
+
+
+def test_noisy_link_chain_matches_golden(corpus):
+    fs, signals, references = corpus
+    channel = UWBChannel(erasure_prob=0.1, jitter_rms_s=1e-6)
+    rng = np.random.default_rng(2015)
+    _, links, corrs = _chain(
+        signals, fs, references, "datc", DATCConfig(), channel=channel, rng=rng
+    )
+    assert [r.rx_stream.n_events for r in links] == GOLDEN_DATC_NOISY["rx_events"]
+    np.testing.assert_allclose(
+        [r.event_delivery_ratio for r in links],
+        GOLDEN_DATC_NOISY["delivery"],
+        rtol=0,
+        atol=1e-6,
+    )
+    np.testing.assert_allclose(
+        [r.level_error_ratio for r in links],
+        GOLDEN_DATC_NOISY["level_errors"],
+        rtol=0,
+        atol=1e-6,
+    )
+    np.testing.assert_allclose(
+        corrs, GOLDEN_DATC_NOISY["corr"], rtol=0, atol=CORR_ATOL
+    )
+
+
+def test_chain_is_deterministic(corpus):
+    """Two seeded runs of the noisy chain are bit-identical to each other."""
+    fs, signals, references = corpus
+    runs = []
+    for _ in range(2):
+        channel = UWBChannel(erasure_prob=0.1, jitter_rms_s=1e-6)
+        rng = np.random.default_rng(2015)
+        runs.append(
+            _chain(
+                signals, fs, references, "datc", DATCConfig(),
+                channel=channel, rng=rng,
+            )[2]
+        )
+    assert np.array_equal(runs[0], runs[1])

@@ -1,0 +1,158 @@
+"""Tests for the pluggable execution backends (`repro.runtime.executors`).
+
+The regression suite behind the runtime contract: order determinism,
+exception transparency (first failing item in item order, original
+traceback preserved across the process boundary), shard planning, and
+spawn safety.
+"""
+
+import operator
+from functools import partial
+
+import pytest
+
+from repro.runtime.executors import (
+    BACKENDS,
+    RemoteTraceback,
+    map_jobs,
+    plan_shards,
+    resolve_backend,
+)
+
+ADD_SEVEN = partial(operator.add, 7)  # importable under any start method
+
+
+def record_order(item, log):
+    log.append(item)
+    return item
+
+
+def boom_on_multiples_of_three(item):
+    if item % 3 == 0:
+        raise ValueError(f"boom at item {item}")
+    return item * 10
+
+
+class TestResolveBackend:
+    def test_historical_default(self):
+        assert resolve_backend(None, None) == "serial"
+        assert resolve_backend(None, 1) == "serial"
+        assert resolve_backend(None, 4) == "thread"
+
+    def test_explicit_backends(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend, 2) == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("mpi", 2)
+
+
+class TestPlanShards:
+    def test_partitions_in_order(self):
+        shards = plan_shards(10, 2, shard_size=3)
+        covered = [i for s in shards for i in range(s.start, s.stop)]
+        assert covered == list(range(10))
+
+    def test_default_targets_four_shards_per_worker(self):
+        shards = plan_shards(100, 2)
+        assert len(shards) == 8
+        assert all(s.stop - s.start <= 13 for s in shards)
+
+    def test_empty_grid(self):
+        assert plan_shards(0, 4) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(5, 0)
+        with pytest.raises(ValueError):
+            plan_shards(5, 2, shard_size=0)
+
+
+class TestOrderDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_item_order(self, backend):
+        items = list(range(23))
+        expected = [7 + x for x in items]
+        assert map_jobs(ADD_SEVEN, items, 2, backend=backend) == expected
+
+    @pytest.mark.parametrize("shard_size", [None, 1, 2, 7, 100])
+    def test_process_shard_size_invariant(self, shard_size):
+        items = list(range(17))
+        got = map_jobs(
+            ADD_SEVEN, items, 2, backend="process", shard_size=shard_size
+        )
+        assert got == [7 + x for x in items]
+
+    def test_serial_is_a_plain_in_process_loop(self):
+        log = []
+        out = map_jobs(partial(record_order, log=log), [3, 1, 2], None)
+        assert out == [3, 1, 2]
+        assert log == [3, 1, 2]
+
+    def test_jobs_one_degenerates_to_serial(self):
+        log = []
+        out = map_jobs(
+            partial(record_order, log=log), [5, 4], 1, backend="process"
+        )
+        assert out == [5, 4]
+        assert log == [5, 4]  # ran in-process: the parent saw the appends
+
+    def test_empty_items(self):
+        for backend in BACKENDS:
+            assert map_jobs(ADD_SEVEN, [], 4, backend=backend) == []
+
+
+class TestExceptionTransparency:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_first_item_error_wins(self, backend):
+        # Items 3, 6, 9 all raise; the *first in item order* must surface,
+        # whatever the completion order.
+        with pytest.raises(ValueError, match="boom at item 3"):
+            map_jobs(
+                boom_on_multiples_of_three,
+                list(range(1, 12)),
+                2,
+                backend=backend,
+                shard_size=2,
+            )
+
+    def test_process_error_carries_worker_traceback(self):
+        with pytest.raises(ValueError, match="boom at item 3") as excinfo:
+            map_jobs(boom_on_multiples_of_three, [1, 3], 2, backend="process",
+                     shard_size=1)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        assert "boom_on_multiples_of_three" in str(cause)
+        assert "ValueError: boom at item 3" in str(cause)
+
+    def test_thread_error_keeps_genuine_traceback(self):
+        with pytest.raises(ValueError, match="boom at item 3") as excinfo:
+            map_jobs(boom_on_multiples_of_three, [1, 3, 5], 2, backend="thread")
+        assert any(
+            entry.name == "boom_on_multiples_of_three"
+            for entry in excinfo.traceback
+        )
+
+    def test_process_rejects_unpicklable_callables(self):
+        with pytest.raises(TypeError, match="picklable"):
+            map_jobs(lambda x: x, [1, 2, 3], 2, backend="process")
+
+    @pytest.mark.parametrize("items, jobs", [([1], 4), ([1, 2, 3], 1)])
+    def test_process_rejects_closures_even_when_degenerate(self, items, jobs):
+        # The serial shortcut (one item / one worker) must not let a
+        # closure *appear* process-safe on a small smoke input.
+        with pytest.raises(TypeError, match="picklable"):
+            map_jobs(lambda x: x, items, jobs, backend="process")
+
+
+class TestSpawnSafety:
+    def test_spawn_start_method(self):
+        # The slow path nothing may rely on fork-inherited state for: the
+        # callable and items must round-trip by pickle alone.
+        got = map_jobs(
+            ADD_SEVEN, [1, 2, 3, 4], 2, backend="process", mp_context="spawn"
+        )
+        assert got == [8, 9, 10, 11]
