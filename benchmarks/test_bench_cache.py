@@ -1,0 +1,99 @@
+"""Microbenchmarks: the content-addressed result store's warm-run payoff.
+
+Acceptance gates of the API redesign's caching layer:
+
+* A warm ``dataset_sweep`` (every pattern served from the store) must
+  beat the cold evaluation by >= 5x wall-clock.  In practice the gap is
+  orders of magnitude — a warm point is one ``np.load`` of a ~300-byte
+  archive vs synthesis + encode + decode + score of a 20 s pattern — so
+  5x is a conservative floor; CI lowers it further via CACHE_SPEEDUP_MIN
+  (shared-runner I/O jitter), like the other *_SPEEDUP_MIN knobs.
+* The warm results are **bit-identical** to the cold run, and the warm
+  run performs zero re-evaluations (hit-count asserted).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import Experiment, ExperimentSpec
+from repro.runtime.store import ResultStore
+from repro.signals.dataset import DatasetSpec
+
+N_PATTERNS = 8
+
+
+def best_of(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_warm_sweep_speedup_over_cold(tmp_path):
+    """Acceptance: warm cached dataset sweep >= 5x the cold evaluation."""
+    minimum = float(os.environ.get("CACHE_SPEEDUP_MIN", "5.0"))
+    dataset = DatasetSpec(n_patterns=N_PATTERNS, duration_s=20.0, seed=2015)
+    store = ResultStore(tmp_path / "cache")
+    experiment = Experiment(ExperimentSpec(), store=store)
+
+    t0 = time.perf_counter()
+    cold = experiment.dataset_sweep(dataset)
+    cold_t = time.perf_counter() - t0
+    assert store.stats()["stores"] == N_PATTERNS
+    assert store.hits == 0
+
+    warm_t, warm = best_of(lambda: experiment.dataset_sweep(dataset))
+    speedup = cold_t / warm_t
+    print(
+        f"\ncached sweep: cold {cold_t * 1e3:.1f} ms, "
+        f"warm {warm_t * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"({store.hits} hits)"
+    )
+
+    # Zero re-evaluations on the warm runs: every probe hit, nothing stored.
+    assert store.hits == 3 * N_PATTERNS  # best_of ran the warm sweep 3x
+    assert store.stats()["stores"] == N_PATTERNS
+    # Bit-identical warm results.
+    assert np.array_equal(warm.correlations_pct, cold.correlations_pct)
+    assert np.array_equal(warm.n_events, cold.n_events)
+    assert speedup >= minimum
+
+
+def test_warm_generic_sweep_skips_encode(tmp_path):
+    """The generic spec sweep is memoised per operating point too."""
+    minimum = float(os.environ.get("CACHE_SPEEDUP_MIN", "5.0"))
+    dataset = DatasetSpec(n_patterns=2, duration_s=20.0, seed=2015)
+    pattern = dataset.pattern(1)
+    store = ResultStore(tmp_path / "cache")
+    # D-ATC frame sizes: the slowest encoder in the library, so the cold
+    # pass is a fair stand-in for real sweep workloads.
+    from repro.core.config import DATCConfig
+
+    experiment = Experiment(ExperimentSpec(), store=store)
+    grid = [DATCConfig(frame_selector=s) for s in (0, 1, 2, 3)]
+
+    def frame_size(config):
+        return config.frame_size
+
+    t0 = time.perf_counter()
+    cold = experiment.sweep(
+        pattern, "encoder.config", grid, parameter=frame_size
+    )
+    cold_t = time.perf_counter() - t0
+
+    warm_t, warm = best_of(
+        lambda: experiment.sweep(
+            pattern, "encoder.config", grid, parameter=frame_size
+        )
+    )
+    print(
+        f"\ncached frame-size sweep: cold {cold_t * 1e3:.1f} ms, "
+        f"warm {warm_t * 1e3:.1f} ms -> {cold_t / warm_t:.1f}x"
+    )
+    assert warm == cold  # SweepPoint equality == bit identity of the floats
+    assert store.stats()["stores"] == len(grid)
+    assert cold_t / warm_t >= minimum

@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.analysis.sweeps import dataset_sweep
+from repro.api import Experiment, ExperimentSpec
 from repro.signals.dataset import DatasetSpec
 
 N_PATTERNS = 32
@@ -52,11 +52,12 @@ def assert_sweeps_identical(reference, other, label):
 def test_backends_element_wise_identical():
     """Every backend and shard size reproduces the serial sweep exactly."""
     dataset = DatasetSpec(n_patterns=8, duration_s=4.0, seed=2015)
-    serial = dataset_sweep(dataset, "datc")
+    experiment = Experiment(ExperimentSpec())
+    serial = experiment.dataset_sweep(dataset)
     for backend in ("thread", "process"):
         for shard_size in (None, 1, 3):
-            sharded = dataset_sweep(
-                dataset, "datc", jobs=2, backend=backend, shard_size=shard_size
+            sharded = experiment.dataset_sweep(
+                dataset, jobs=2, backend=backend, shard_size=shard_size
             )
             assert_sweeps_identical(serial, sharded, (backend, shard_size))
 
@@ -72,10 +73,11 @@ def test_process_sweep_speedup_over_serial(sweep_dataset):
     # Wall-clock ratios collapse under CPU contention (co-tenant runs,
     # frequency scaling); retry a few times before calling it a failure.
     for attempt in range(3):
-        serial_t, serial = best_of(lambda: dataset_sweep(sweep_dataset, "datc"))
+        experiment = Experiment(ExperimentSpec())
+        serial_t, serial = best_of(lambda: experiment.dataset_sweep(sweep_dataset))
         proc_t, sharded = best_of(
-            lambda: dataset_sweep(
-                sweep_dataset, "datc", jobs=JOBS, backend="process"
+            lambda: experiment.dataset_sweep(
+                sweep_dataset, jobs=JOBS, backend="process"
             )
         )
         speedup = serial_t / proc_t

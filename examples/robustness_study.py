@@ -14,9 +14,14 @@ Usage::
 
 import numpy as np
 
-from repro import DATCConfig, datc_encode, default_dataset
+from repro import (
+    DATCConfig,
+    Experiment,
+    ExperimentSpec,
+    datc_encode,
+    default_dataset,
+)
 from repro.analog.comparator import Comparator
-from repro.analysis.sweeps import pulse_loss_sweep
 from repro.rx.correlation import aligned_correlation_percent
 from repro.rx.reconstruction import reconstruct_hybrid
 from repro.signals import add_motion_artifacts, add_powerline, add_spike_artifacts
@@ -45,7 +50,9 @@ def main() -> None:
         print(f"  {name:<30} {corr:6.2f}%  (delta {corr - base:+.2f})")
 
     print("\npulse loss (channel erasures):")
-    for point in pulse_loss_sweep(pattern, (0.0, 0.1, 0.2, 0.3, 0.5)):
+    experiment = Experiment(ExperimentSpec())  # the paper's D-ATC operating point
+    for point in experiment.sweep(pattern, "stream.drop_prob",
+                                  (0.0, 0.1, 0.2, 0.3, 0.5)):
         print(f"  loss {point.parameter:4.0%}: {point.correlation_pct:6.2f}% "
               f"({point.n_events} events survive)")
 

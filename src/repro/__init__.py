@@ -8,12 +8,18 @@ the paper-vs-measured results.
 
 Quick start::
 
-    from repro import default_dataset, run_atc, run_datc
+    from repro import Experiment, ExperimentSpec, default_dataset
 
     pattern = default_dataset().pattern(0)
-    atc = run_atc(pattern)     # fixed 0.3 V threshold (baseline)
-    datc = run_datc(pattern)   # dynamic threshold (the paper's scheme)
+    datc = Experiment(ExperimentSpec()).run_one(pattern)   # paper scheme
+    atc = Experiment(ExperimentSpec.for_scheme("atc")).run_one(pattern)
     print(atc.correlation_pct, datc.correlation_pct)
+
+Every experiment is one declarative, hashable ``ExperimentSpec`` (see
+docs/API.md): serialise it with ``to_dict``/``to_json``, derive sweep
+grids with ``replace_at``, and attach a ``ResultStore`` to memoise
+repeated sweeps on disk.  ``run_atc``/``run_datc`` remain as one-line
+conveniences over the same path.
 """
 
 from .core import (
@@ -38,12 +44,20 @@ from .core import (
     run_batch,
     run_datc,
 )
-from .runtime import AsyncStreamingPipeline, map_jobs
+from .runtime import AsyncStreamingPipeline, ResultStore, map_jobs
 from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
 from .uwb import LinkConfig, simulate_link, simulate_link_batch
+from .api import (
+    DecoderSpec,
+    EncoderSpec,
+    Experiment,
+    ExperimentSpec,
+    LinkSpec,
+    ScoreSpec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ATCConfig",
@@ -67,7 +81,14 @@ __all__ = [
     "run_batch",
     "run_datc",
     "AsyncStreamingPipeline",
+    "ResultStore",
     "map_jobs",
+    "DecoderSpec",
+    "EncoderSpec",
+    "Experiment",
+    "ExperimentSpec",
+    "LinkSpec",
+    "ScoreSpec",
     "StreamingDecoder",
     "reconstruct_batch",
     "LinkConfig",

@@ -14,16 +14,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import (
+    DatasetSweepResult,
+    Experiment,
+    ExperimentSpec,
+    SweepPoint,
+)
 from ..core.config import ATCConfig, DATCConfig
 from ..core.datc import datc_encode
 from ..core.pipeline import PipelineResult, run_atc, run_datc
 from ..hardware.report import PAPER_TABLE1, TableOne, generate_table1
+from ..runtime.store import ResultStore
 from ..signals.dataset import DatasetSpec, Pattern, default_dataset
 from ..signals.emg import EMGModel, synthesize_emg
 from ..signals.force import concatenate_profiles, constant_profile
 from ..uwb.packets import payload_symbol_count
 from .metrics import Summary, summarize
-from .sweeps import DatasetSweepResult, SweepPoint, atc_threshold_sweep, dataset_sweep
 
 __all__ = [
     "FIG3_PATTERN_ID",
@@ -276,21 +282,27 @@ def run_fig5(
     dataset: "DatasetSpec | None" = None,
     jobs: "int | None" = None,
     backend: "str | None" = None,
+    store: "ResultStore | None" = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5 (full dataset unless ``n_patterns`` limits it).
 
-    Both schemes run through the batched encoder paths; ``jobs`` and
-    ``backend`` shard the sweep across the execution runtime's workers
-    (``backend="process"`` is the many-core path).
+    Both schemes run through the spec-driven batched pipeline
+    (:meth:`repro.api.Experiment.dataset_sweep`); ``jobs`` and ``backend``
+    shard the sweep across the execution runtime's workers
+    (``backend="process"`` is the many-core path).  With a ``store``, a
+    repeated run skips every already-evaluated pattern.
     """
     dataset = dataset if dataset is not None else default_dataset()
+    atc = Experiment(
+        ExperimentSpec.for_scheme("atc", ATCConfig(vth=vth)), store=store
+    )
+    datc = Experiment(ExperimentSpec.for_scheme("datc"), store=store)
     return Fig5Result(
-        atc=dataset_sweep(
-            dataset, "atc", atc_config=ATCConfig(vth=vth), limit=n_patterns,
-            jobs=jobs, backend=backend,
+        atc=atc.dataset_sweep(
+            dataset, limit=n_patterns, jobs=jobs, backend=backend
         ),
-        datc=dataset_sweep(
-            dataset, "datc", limit=n_patterns, jobs=jobs, backend=backend
+        datc=datc.dataset_sweep(
+            dataset, limit=n_patterns, jobs=jobs, backend=backend
         ),
     )
 
@@ -394,27 +406,30 @@ def run_fig7(
     dataset: "DatasetSpec | None" = None,
     jobs: "int | None" = None,
     backend: "str | None" = None,
+    store: "ResultStore | None" = None,
 ) -> Fig7Result:
     """Regenerate Fig. 7 on four (fixed-seed "random") patterns.
 
-    ``jobs``/``backend`` parallelise the per-pattern threshold sweeps on
-    the execution runtime.
+    Each pattern's threshold sweep is one generic spec-substitution sweep
+    (:meth:`repro.api.Experiment.sweep` on ``"encoder.config.vth"``);
+    ``jobs``/``backend`` parallelise it on the execution runtime and a
+    ``store`` memoises every operating point.
     """
     dataset = dataset if dataset is not None else default_dataset()
+    atc = Experiment(ExperimentSpec.for_scheme("atc"), store=store)
+    datc = Experiment(ExperimentSpec.for_scheme("datc"), store=store)
     atc_sweeps = {}
     datc_points = {}
     for pid in pattern_ids:
         pattern = dataset.pattern(pid)
-        atc_sweeps[pid] = atc_threshold_sweep(
-            pattern, list(vths), jobs=jobs, backend=backend
+        atc_sweeps[pid] = atc.sweep(
+            pattern,
+            "encoder.config.vth",
+            [float(v) for v in vths],
+            jobs=jobs,
+            backend=backend,
         )
-        d = run_datc(pattern)
-        datc_points[pid] = SweepPoint(
-            parameter=-1.0,
-            correlation_pct=d.correlation_pct,
-            n_events=d.n_events,
-            n_symbols=d.n_symbols,
-        )
+        datc_points[pid] = datc.evaluate(pattern, parameter=-1.0)
     return Fig7Result(
         pattern_ids=tuple(pattern_ids), atc_sweeps=atc_sweeps, datc_points=datc_points
     )

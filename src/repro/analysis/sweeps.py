@@ -5,47 +5,43 @@ paper states "different DAC resolution have been examined to determine the
 best trade-off between accuracy and complexity" and that artifact pulses
 act "similar to pulse missing" — both studies are reproduced here).
 
-Execution model: each sweep declares its operating-point grid, encodes
-every point through the execution runtime
-(:mod:`repro.runtime.executors` — opt-in ``jobs`` workers on the
-``serial``/``thread``/``process`` backend of choice), and — since all of
-a sweep's streams share the pattern's observation window — decodes and
-scores the whole grid through the batched receiver engine
-(:func:`repro.rx.decoders.reconstruct_batch` + one stacked correlation
-call).  The dataset sweep shards its pattern grid into contiguous chunks
-(:func:`repro.runtime.executors.plan_shards`) and runs
-:func:`repro.core.pipeline.run_batch` per shard, so a multi-process run
-ships only the per-pattern summary arrays back over IPC.  Grid order is
-preserved and results are element-wise bit-identical to the sequential
-per-stream run on every backend (the grid workers are module-level
-functions bound with :func:`functools.partial`, so they pickle under the
-``spawn`` start method too).
+**Deprecated module-level wrappers.**  Since the declarative API redesign
+every sweep is one :class:`repro.api.Experiment` call: the generic
+:meth:`~repro.api.Experiment.sweep` substitutes values into the spec tree
+(``"encoder.config.vth"``, whole ``DATCConfig`` objects, or the data axes
+``"input.snr_db"`` / ``"stream.drop_prob"``),
+:meth:`~repro.api.Experiment.dataset_sweep` shards the pattern grid over
+the execution runtime, and :meth:`~repro.api.Experiment.link_sweep`
+drives the batched physical link.  The functions below survive as thin
+wrappers — each emits one :class:`DeprecationWarning` and returns results
+bit-identical to the spec path (asserted by
+``tests/api/test_legacy_wrappers.py``).  Attach a
+:class:`~repro.runtime.store.ResultStore` to the :class:`Experiment` to
+memoise any of them; the wrappers always run cold.
+
+Execution model (unchanged): each sweep encodes its grid through
+:func:`repro.runtime.executors.map_jobs` and decodes + scores the whole
+grid through the batched receiver engine in one call — the DAC-resolution
+sweep now included, via per-row ``dac_bits`` in
+:func:`repro.rx.decoders.reconstruct_batch`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import partial
-
 import numpy as np
 
-from ..core.atc import atc_encode
-from ..core.config import ATCConfig, DATCConfig
-from ..core.datc import datc_encode
-from ..core.events import EventStream
-from ..core.pipeline import (
-    DEFAULT_FS_OUT,
-    DEFAULT_WINDOW_S,
-    PipelineResult,
-    run_batch,
-    run_datc,
+from ..api import (
+    DatasetSweepResult,
+    Experiment,
+    ExperimentSpec,
+    LinkSweepPoint,
+    SweepPoint,
 )
-from ..runtime.executors import default_jobs, map_jobs, plan_shards, resolve_backend
-from ..rx.correlation import aligned_correlation_percent_batch
-from ..rx.decoders import reconstruct_batch
+from ..core.config import ATCConfig, DATCConfig
+from ..core.events import EventStream
+from ..core.pipeline import DEFAULT_WINDOW_S, warn_legacy
 from ..signals.dataset import DatasetSpec, Pattern
-from ..uwb.channel import UWBChannel
-from ..uwb.link import LinkConfig, simulate_link_batch
+from ..uwb.link import LinkConfig
 
 __all__ = [
     "SweepPoint",
@@ -61,161 +57,19 @@ __all__ = [
 ]
 
 
-def _sweep_point(parameter: float, result: PipelineResult) -> SweepPoint:
-    return SweepPoint(
-        parameter=float(parameter),
-        correlation_pct=result.correlation_pct,
-        n_events=result.n_events,
-        n_symbols=result.n_symbols,
-    )
+def _frame_size_parameter(config: DATCConfig) -> float:
+    """Sweep-point parameter of a frame-size point: the frame length."""
+    return float(config.frame_size)
 
 
-# ----------------------------------------------------------------------
-# Grid workers.  Module-level (bound with functools.partial) so every
-# sweep's fan-out pickles under the process backend's spawn start method.
-# ----------------------------------------------------------------------
-def _encode_atc_at_vth(vth: float, emg: np.ndarray, fs: float) -> EventStream:
-    """One ATC threshold-sweep point: encode at a fixed ``vth``."""
-    return atc_encode(emg, fs, ATCConfig(vth=vth))[0]
+def _dac_bits_parameter(config: DATCConfig) -> float:
+    """Sweep-point parameter of a DAC-resolution point: the bit count."""
+    return float(config.dac_bits)
 
 
-def _encode_datc_config(
-    config: DATCConfig, emg: np.ndarray, fs: float
-) -> EventStream:
-    """One D-ATC sweep point: encode under ``config``."""
-    return datc_encode(emg, fs, config)[0]
-
-
-def _drop_events_point(
-    item: "tuple[int, float]", stream: EventStream, seed: int
-) -> EventStream:
-    """One pulse-loss point: erase events with probability ``item[1]``."""
-    i, p = item
-    rng = np.random.default_rng((seed, i))
-    keep = rng.random(stream.n_events) >= p
-    return stream.drop_events(keep)
-
-
-def _encode_noisy_point(
-    item: "tuple[int, float]",
-    emg: np.ndarray,
-    fs: float,
-    scheme: str,
-    config: "ATCConfig | DATCConfig",
-    signal_power: float,
-    seed: int,
-) -> EventStream:
-    """One SNR point: add white noise at ``item[1]`` dB, then encode."""
-    i, snr_db = item
-    rng = np.random.default_rng((seed, i))
-    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
-    noisy = emg + np.sqrt(noise_power) * rng.standard_normal(emg.size)
-    encode = atc_encode if scheme == "atc" else datc_encode
-    return encode(noisy, fs, config)[0]
-
-
-def _evaluate_dac_bits(bits: int, pattern: Pattern) -> SweepPoint:
-    """One DAC-resolution point (per-stream decode: point-specific bits)."""
-    n_levels = 1 << bits
-    config = DATCConfig(
-        dac_bits=bits,
-        n_levels=n_levels,
-        interval_step=0.48 / n_levels,
-        min_level=1,
-        initial_level=n_levels // 2,
-    )
-    return _sweep_point(bits, run_datc(pattern, config))
-
-
-def _dataset_shard(
-    ids: np.ndarray,
-    dataset: DatasetSpec,
-    scheme: str,
-    config: "ATCConfig | DATCConfig | None",
-) -> "tuple[np.ndarray, np.ndarray]":
-    """Evaluate one contiguous shard of dataset patterns end to end.
-
-    Generates the shard's patterns, runs the batched pipeline, and
-    returns only the per-pattern summary arrays (correlation %, event
-    counts) — the IPC payload of a multi-process dataset sweep stays a
-    few hundred bytes per shard instead of full traces/reconstructions.
-    Per-row results are bit-identical whatever the shard boundaries,
-    because every batched stage is bit-identical per row.
-    """
-    patterns = [dataset.pattern(int(i)) for i in ids]
-    results = run_batch(patterns, scheme, config)
-    return (
-        np.array([r.correlation_pct for r in results]),
-        np.array([r.n_events for r in results], dtype=np.int64),
-    )
-
-
-def _batched_scores(
-    streams: "list[EventStream]",
-    scheme: str,
-    config,
-    reference: np.ndarray,
-    fs_out: float = DEFAULT_FS_OUT,
-    window_s: float = DEFAULT_WINDOW_S,
-) -> np.ndarray:
-    """Decode + score a sweep's streams against one reference in two calls.
-
-    Every sweep evaluates many operating points of the *same* pattern, so
-    the streams share an observation window and the reference is common:
-    one batched reconstruction, one stacked correlation.
-    """
-    recons = reconstruct_batch(
-        streams, scheme, config, fs_out=fs_out, window_s=window_s
-    )
-    references = np.broadcast_to(reference, (len(streams), reference.size))
-    return aligned_correlation_percent_batch(recons, references)
-
-
-def _batched_sweep(
-    items,
-    encode,
-    parameter,
-    scheme: str,
-    config,
-    reference: np.ndarray,
-    jobs: "int | None",
-    backend: "str | None" = None,
-    fs_out: float = DEFAULT_FS_OUT,
-    window_s: float = DEFAULT_WINDOW_S,
-) -> "list[SweepPoint]":
-    """The shared shape of a batched-receiver sweep.
-
-    Produce one stream per grid item (``encode`` fans out over ``jobs``
-    workers on the selected runtime ``backend``), run the receiver side
-    once via :func:`_batched_scores`, and assemble the points in grid
-    order; ``parameter`` maps an item to the value the point reports.
-    """
-    items = list(items)
-    if not items:
-        return []
-    streams = map_jobs(encode, items, jobs, backend=backend)
-    corrs = _batched_scores(
-        streams, scheme, config, reference, fs_out=fs_out, window_s=window_s
-    )
-    return [
-        SweepPoint(
-            parameter=float(parameter(item)),
-            correlation_pct=float(corr),
-            n_events=stream.n_events,
-            n_symbols=stream.n_symbols,
-        )
-        for item, corr, stream in zip(items, corrs, streams)
-    ]
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One operating point of a sweep: parameter, correlation, events."""
-
-    parameter: float
-    correlation_pct: float
-    n_events: int
-    n_symbols: int
+def _last_weight_parameter(config: DATCConfig) -> float:
+    """Sweep-point parameter of a weight point: the newest-frame weight."""
+    return float(config.weights[2])
 
 
 def atc_threshold_sweep(
@@ -224,53 +78,22 @@ def atc_threshold_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[SweepPoint]":
-    """ATC correlation/events across fixed threshold voltages (Fig. 7).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "encoder.config.vth", vths)``.
 
-    Encoding fans out over ``jobs`` workers on the selected ``backend``;
-    the receiver side (reconstruction + correlation) runs once, batched
-    across all thresholds.
+    ATC correlation/events across fixed threshold voltages (Fig. 7).
     """
-    return _batched_sweep(
-        (float(v) for v in vths),
-        partial(_encode_atc_at_vth, emg=pattern.emg, fs=pattern.fs),
-        lambda vth: vth,
-        "atc",
-        None,
-        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
-        jobs,
-        backend,
+    warn_legacy(
+        "atc_threshold_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "encoder.config.vth", vths)',
     )
-
-
-@dataclass(frozen=True)
-class DatasetSweepResult:
-    """Per-pattern metrics of one scheme across the dataset (Fig. 5)."""
-
-    scheme: str
-    pattern_ids: np.ndarray
-    correlations_pct: np.ndarray
-    n_events: np.ndarray
-
-    @property
-    def correlation_range(self) -> "tuple[float, float]":
-        """(min, max) correlation across patterns."""
-        return float(self.correlations_pct.min()), float(self.correlations_pct.max())
-
-    @property
-    def correlation_mean(self) -> float:
-        """Mean correlation across patterns."""
-        return float(self.correlations_pct.mean())
-
-    @property
-    def event_spread(self) -> float:
-        """Coefficient of variation of the event counts (stability metric).
-
-        The paper: "the dynamic thresholding technique is even stable as a
-        function of the number of transmitted events for different
-        patterns while in the constant thresholding it is not".
-        """
-        mean = self.n_events.mean()
-        return float(self.n_events.std() / mean) if mean > 0 else float("inf")
+    experiment = Experiment(ExperimentSpec.for_scheme("atc"))
+    return experiment.sweep(
+        pattern,
+        "encoder.config.vth",
+        [float(v) for v in vths],
+        jobs=jobs,
+        backend=backend,
+    )
 
 
 def dataset_sweep(
@@ -283,44 +106,21 @@ def dataset_sweep(
     backend: "str | None" = None,
     shard_size: "int | None" = None,
 ) -> DatasetSweepResult:
-    """Run one scheme over (a prefix of) the dataset.
+    """Deprecated: ``Experiment(spec).dataset_sweep(dataset, ...)``.
 
-    The pattern grid is split into contiguous shards
-    (:func:`repro.runtime.executors.plan_shards`); each shard generates
-    its patterns and runs the fully batched pipeline
-    (:func:`repro.core.pipeline.run_batch`) in one worker task, returning
-    only the per-pattern summary arrays.  ``backend="process"`` is the
-    many-core path (pattern synthesis, encode, and decode all leave the
-    parent process); ``serial``/``jobs=None`` is one shard — the whole
-    grid in a single batched call.  Results are element-wise
-    bit-identical across backends and shard sizes.
+    Run one scheme over (a prefix of) the dataset, sharded over the
+    execution runtime.
     """
+    warn_legacy(
+        "dataset_sweep",
+        "repro.api.Experiment(spec).dataset_sweep(dataset, ...)",
+    )
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
-    n = dataset.n_patterns if limit is None else min(limit, dataset.n_patterns)
-    ids = np.arange(n)
     config = atc_config if scheme == "atc" else datc_config
-    if resolve_backend(backend, jobs) == "serial":
-        shards = [slice(0, n)] if n else []
-    else:
-        shards = plan_shards(n, jobs if jobs is not None else default_jobs(), shard_size)
-    parts = map_jobs(
-        partial(_dataset_shard, dataset=dataset, scheme=scheme, config=config),
-        [ids[s] for s in shards],
-        jobs,
-        backend=backend,
-        shard_size=1,  # the pattern grid is already sharded; one task each
-    )
-    corr = (
-        np.concatenate([p[0] for p in parts]) if parts else np.zeros(0)
-    )
-    events = (
-        np.concatenate([p[1] for p in parts])
-        if parts
-        else np.zeros(0, dtype=np.int64)
-    )
-    return DatasetSweepResult(
-        scheme=scheme, pattern_ids=ids, correlations_pct=corr, n_events=events
+    experiment = Experiment(ExperimentSpec.for_scheme(scheme, config))
+    return experiment.dataset_sweep(
+        dataset, limit=limit, jobs=jobs, backend=backend, shard_size=shard_size
     )
 
 
@@ -330,22 +130,40 @@ def frame_size_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[SweepPoint]":
-    """D-ATC across the four legal frame sizes (ablation).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "encoder.config", configs)``.
 
-    The frame size only affects the *encoder*; the decode parameters
-    (``vref``, ``dac_bits``) are common, so the receiver side runs once,
-    batched across the grid.
+    D-ATC across the four legal frame sizes (ablation).
     """
+    warn_legacy(
+        "frame_size_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "encoder.config", configs)',
+    )
     configs = [DATCConfig(frame_selector=int(sel)) for sel in selectors]
-    return _batched_sweep(
+    experiment = Experiment(ExperimentSpec.for_scheme("datc"))
+    return experiment.sweep(
+        pattern,
+        "encoder.config",
         configs,
-        partial(_encode_datc_config, emg=pattern.emg, fs=pattern.fs),
-        lambda config: config.frame_size,
-        "datc",
-        configs[0] if configs else None,
-        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
-        jobs,
-        backend,
+        jobs=jobs,
+        backend=backend,
+        parameter=_frame_size_parameter,
+    )
+
+
+def dac_resolution_config(bits: int) -> DATCConfig:
+    """The D-ATC operating point of one DAC-resolution sweep point.
+
+    The interval ladder keeps the same top fraction (0.48 of the frame) at
+    every resolution, so only the quantisation granularity changes; the
+    symbol cost per event is ``1 + bits``.
+    """
+    n_levels = 1 << int(bits)
+    return DATCConfig(
+        dac_bits=int(bits),
+        n_levels=n_levels,
+        interval_step=0.48 / n_levels,
+        min_level=1,
+        initial_level=n_levels // 2,
     )
 
 
@@ -355,18 +173,26 @@ def dac_resolution_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[SweepPoint]":
-    """D-ATC across DAC resolutions (the paper's accuracy/complexity study).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "encoder.config", configs)``.
 
-    The interval ladder keeps the same top fraction (0.48 of the frame) at
-    every resolution, so only the quantisation granularity changes; the
-    symbol cost per event is ``1 + bits``.
-
-    This sweep stays on the per-stream receiver path: each point decodes
-    with a *different* ``dac_bits``, which the batched engine (one shared
-    decode config per call) does not cover.
+    D-ATC across DAC resolutions (the paper's accuracy/complexity study).
+    Rides the batched decode path via per-row ``dac_bits``: every point
+    decodes at its own resolution inside one ``reconstruct_batch`` call.
     """
-    return map_jobs(
-        partial(_evaluate_dac_bits, pattern=pattern), bits_list, jobs, backend=backend
+    warn_legacy(
+        "dac_resolution_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "encoder.config", '
+        "[dac_resolution_config(b) for b in bits])",
+    )
+    configs = [dac_resolution_config(b) for b in bits_list]
+    experiment = Experiment(ExperimentSpec.for_scheme("datc"))
+    return experiment.sweep(
+        pattern,
+        "encoder.config",
+        configs,
+        jobs=jobs,
+        backend=backend,
+        parameter=_dac_bits_parameter,
     )
 
 
@@ -379,44 +205,25 @@ def pulse_loss_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[SweepPoint]":
-    """D-ATC correlation under event erasures (artifact-robustness study).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "stream.drop_prob", probs)``.
 
-    Drops whole events with probability p (the dominant OOK failure is
-    losing the marker pulse, which erases the event) and re-runs the
-    receiver — all loss points decoded and scored in one batched call.
+    D-ATC correlation under event erasures (artifact-robustness study):
+    whole events are dropped with probability p (the dominant OOK failure
+    is losing the marker pulse, which erases the event).
     """
-    config = config if config is not None else DATCConfig()
-    loss_probs = [float(p) for p in loss_probs]
-    for p in loss_probs:
-        if not 0.0 <= p < 1.0:
-            raise ValueError(f"loss probability must be in [0, 1), got {p}")
-    if not loss_probs:
-        return []
-    base = run_datc(pattern, config)
-
-    return _batched_sweep(
-        enumerate(loss_probs),
-        partial(_drop_events_point, stream=base.stream, seed=seed),
-        lambda item: item[1],
-        "datc",
-        config,
-        pattern.ground_truth_envelope(window_s=window_s),
-        jobs,
-        backend,
-        fs_out=base.fs_out,
-        window_s=window_s,
+    warn_legacy(
+        "pulse_loss_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "stream.drop_prob", probs)',
     )
-
-
-@dataclass(frozen=True)
-class LinkSweepPoint:
-    """One operating point of a physical-link sweep."""
-
-    erasure_prob: float
-    event_delivery_ratio: float
-    level_error_ratio: float
-    n_pulses: int
-    tx_energy_j: float
+    spec = ExperimentSpec.for_scheme("datc", config, window_s=window_s)
+    return Experiment(spec).sweep(
+        pattern,
+        "stream.drop_prob",
+        [float(p) for p in loss_probs],
+        jobs=jobs,
+        backend=backend,
+        seed=seed,
+    )
 
 
 def link_erasure_sweep(
@@ -425,38 +232,18 @@ def link_erasure_sweep(
     config: "LinkConfig | None" = None,
     seed: int = 13,
 ) -> "list[LinkSweepPoint]":
-    """Event delivery and level integrity vs pulse-erasure probability.
+    """Deprecated: ``Experiment(spec).link_sweep(stream, erasure_probs)``.
 
-    The pulse-level companion of :func:`pulse_loss_sweep` (which drops
-    whole *events*): here individual radiated pulses are erased by the
-    channel, so lost markers shift bursts and lost payload pulses corrupt
-    levels — the paper's "artifacts effect is similar to pulse missing"
-    argument at the physical layer.  All operating points share one
-    batched link call (:func:`repro.uwb.link.simulate_link_batch`) with a
-    per-point channel and a single RNG.
+    Event delivery and level integrity vs pulse-erasure probability — the
+    pulse-level companion of :func:`pulse_loss_sweep`, batched through
+    :func:`repro.uwb.link.simulate_link_batch`.
     """
-    config = config if config is not None else LinkConfig()
-    erasure_probs = [float(p) for p in erasure_probs]
-    for p in erasure_probs:
-        if not 0.0 <= p <= 1.0:
-            raise ValueError(f"erasure probability must be in [0, 1], got {p}")
-    if not erasure_probs:
-        return []
-    channels = [UWBChannel(erasure_prob=p) for p in erasure_probs]
-    rng = np.random.default_rng(seed)
-    results = simulate_link_batch(
-        [stream] * len(channels), config, channel=channels, rng=rng
+    warn_legacy(
+        "link_erasure_sweep",
+        "repro.api.Experiment(spec).link_sweep(stream, erasure_probs)",
     )
-    return [
-        LinkSweepPoint(
-            erasure_prob=p,
-            event_delivery_ratio=r.event_delivery_ratio,
-            level_error_ratio=r.level_error_ratio,
-            n_pulses=r.n_pulses,
-            tx_energy_j=r.tx_energy_j,
-        )
-        for p, r in zip(erasure_probs, results)
-    ]
+    spec = ExperimentSpec.for_scheme("datc", link=config or LinkConfig())
+    return Experiment(spec).link_sweep(stream, erasure_probs, seed=seed)
 
 
 def snr_sweep(
@@ -467,37 +254,26 @@ def snr_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[SweepPoint]":
-    """Correlation vs. additive input noise (robustness to signal quality).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "input.snr_db", snr_dbs)``.
 
-    White Gaussian noise is added to the raw sEMG at the requested SNR
-    (relative to the *active* signal power, i.e. rectified-mean-square
-    over the recording) before encoding — the "robust w.r.t. the sEMG
-    signal variability" claim, made quantitative.
+    Correlation vs. additive input noise: white Gaussian noise is added to
+    the raw sEMG at the requested SNR before encoding, scored against the
+    *clean* recording's envelope.
     """
+    warn_legacy(
+        "snr_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "input.snr_db", snr_dbs)',
+    )
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
-    signal_power = float(np.mean(pattern.emg ** 2))
-    config = ATCConfig() if scheme == "atc" else DATCConfig()
-
-    # Score against the CLEAN recording's envelope: the question is how
-    # much of the true signal survives the noisy front-end.
-    return _batched_sweep(
-        enumerate(float(s) for s in snr_dbs),
-        partial(
-            _encode_noisy_point,
-            emg=pattern.emg,
-            fs=pattern.fs,
-            scheme=scheme,
-            config=config,
-            signal_power=signal_power,
-            seed=seed,
-        ),
-        lambda item: item[1],
-        scheme,
-        config,
-        pattern.ground_truth_envelope(),
-        jobs,
-        backend,
+    experiment = Experiment(ExperimentSpec.for_scheme(scheme))
+    return experiment.sweep(
+        pattern,
+        "input.snr_db",
+        [float(s) for s in snr_dbs],
+        jobs=jobs,
+        backend=backend,
+        seed=seed,
     )
 
 
@@ -512,12 +288,16 @@ def weight_sweep(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[tuple[tuple[float, float, float], SweepPoint]]":
-    """Sensitivity of D-ATC to the predictor weights (ablation).
+    """Deprecated: ``Experiment(spec).sweep(pattern, "encoder.config", configs)``.
 
-    Weight triples are normalised to sum to the paper's divisor (2) so
-    the interval ladder keeps its meaning.  The weights only steer the
-    encoder's predictor, so the receiver side runs once, batched.
+    Sensitivity of D-ATC to the predictor weights (ablation).  Weight
+    triples are normalised to sum to the paper's divisor (2) so the
+    interval ladder keeps its meaning.
     """
+    warn_legacy(
+        "weight_sweep",
+        'repro.api.Experiment(spec).sweep(pattern, "encoder.config", configs)',
+    )
     weight_sets = [tuple(w) for w in weight_sets]  # survive generator input
     configs = []
     for weights in weight_sets:
@@ -526,14 +306,13 @@ def weight_sweep(
             raise ValueError(f"weights must have positive sum, got {weights}")
         scaled = tuple(2.0 * w / total for w in weights)
         configs.append(DATCConfig(weights=scaled))
-    points = _batched_sweep(
+    experiment = Experiment(ExperimentSpec.for_scheme("datc"))
+    points = experiment.sweep(
+        pattern,
+        "encoder.config",
         configs,
-        partial(_encode_datc_config, emg=pattern.emg, fs=pattern.fs),
-        lambda config: config.weights[2],
-        "datc",
-        configs[0] if configs else None,
-        pattern.ground_truth_envelope(window_s=DEFAULT_WINDOW_S),
-        jobs,
-        backend,
+        jobs=jobs,
+        backend=backend,
+        parameter=_last_weight_parameter,
     )
     return list(zip(weight_sets, points))

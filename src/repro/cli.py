@@ -11,18 +11,58 @@ Usage (after ``pip install -e .``)::
     python -m repro report --quick       # regenerate EXPERIMENTS.md
     python -m repro bench                # one-shot vs chunked vs batched
     python -m repro bench --sweep        # dataset sweep across backends
+    python -m repro bench --cache        # cold vs warm cached dataset sweep
     python -m repro fig5 --jobs 4 --backend process   # sharded sweep
+
+Declarative experiment API (see docs/API.md)::
+
+    python -m repro run --pattern 22 --dump-spec spec.json
+    python -m repro run --spec spec.json --cache-dir ~/.cache/repro
+    python -m repro sweep --scheme atc --axis encoder.config.vth --values 0.1,0.2,0.3
+    python -m repro sweep --axis stream.drop_prob --values 0.0,0.2,0.4
+    python -m repro sweep --dataset --patterns 24 --cache-dir ./cache
+    python -m repro fig5 --patterns 24 --cache-dir ./cache   # warm re-runs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from time import perf_counter
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _load_spec(args: argparse.Namespace):
+    """The experiment spec an invocation selects (--spec wins over --scheme)."""
+    from .api import ExperimentSpec
+
+    if getattr(args, "spec", None):
+        with open(args.spec) as fh:
+            return ExperimentSpec.from_json(fh.read())
+    scheme = getattr(args, "scheme", None) or "datc"
+    return ExperimentSpec.for_scheme(scheme)
+
+
+def _open_store(args: argparse.Namespace):
+    """The result store behind ``--cache-dir`` (None when uncached)."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from .runtime.store import ResultStore
+
+    return ResultStore(args.cache_dir)
+
+
+def _print_store_stats(store) -> None:
+    if store is not None:
+        s = store.stats()
+        print(
+            f"cache: {s['hits']} hit(s), {s['misses']} miss(es), "
+            f"{s['stores']} store(s) -> {store.root}"
+        )
 
 
 def _best_of(fn, repeats: int) -> "tuple[float, object]":
@@ -52,11 +92,94 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig5
 
+    store = _open_store(args)
     print(
         run_fig5(
-            n_patterns=args.patterns, jobs=args.jobs, backend=args.backend
+            n_patterns=args.patterns,
+            jobs=args.jobs,
+            backend=args.backend,
+            store=store,
         ).format_table()
     )
+    _print_store_stats(store)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import Experiment
+    from .signals.dataset import default_dataset
+
+    spec = _load_spec(args)
+    if args.dump_spec:
+        with open(args.dump_spec, "w") as fh:
+            fh.write(spec.to_json() + "\n")
+        print(f"wrote {args.dump_spec}")
+    store = _open_store(args)
+    experiment = Experiment(spec, store=store)
+    pattern = default_dataset().pattern(args.pattern)
+    point = experiment.evaluate(pattern)
+    print(f"spec {spec.key()[:16]} ({spec.scheme}) on pattern {args.pattern}:")
+    print(
+        f"  correlation {point.correlation_pct:.2f}%  "
+        f"events {point.n_events}  symbols {point.n_symbols}"
+    )
+    _print_store_stats(store)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .api import Experiment
+    from .signals.dataset import default_dataset
+
+    spec = _load_spec(args)
+    store = _open_store(args)
+    experiment = Experiment(spec, store=store)
+    dataset = default_dataset()
+    if args.dataset:
+        result = experiment.dataset_sweep(
+            dataset, limit=args.patterns, jobs=args.jobs, backend=args.backend
+        )
+        lo, hi = result.correlation_range
+        print(
+            f"dataset sweep [{result.scheme}] over "
+            f"{result.pattern_ids.size} patterns "
+            f"(spec {spec.key()[:16]}):"
+        )
+        print(
+            f"  correlation {lo:.1f}-{hi:.1f}% "
+            f"(mean {result.correlation_mean:.1f}%), "
+            f"event spread {result.event_spread:.2f}"
+        )
+        _print_store_stats(store)
+        return 0
+    if not args.axis or not args.values:
+        raise SystemExit("sweep needs --axis and --values (or --dataset)")
+    values = [json.loads(tok) for tok in args.values.split(",")]
+    pattern = dataset.pattern(args.pattern)
+    try:
+        points = experiment.sweep(
+            pattern,
+            args.axis,
+            values,
+            jobs=args.jobs,
+            backend=args.backend,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        # e.g. an axis the selected scheme's config doesn't have
+        # ("encoder.config.vth" on the default datc spec needs --scheme atc).
+        raise SystemExit(f"sweep failed: {exc}")
+    print(
+        f"sweep of {args.axis} on pattern {args.pattern} "
+        f"(spec {spec.key()[:16]}):"
+    )
+    print(f"{'value':>12} {'corr %':>8} {'events':>8} {'symbols':>9}")
+    for point in points:
+        print(
+            f"{point.parameter:>12g} {point.correlation_pct:>8.2f} "
+            f"{point.n_events:>8d} {point.n_symbols:>9d}"
+        )
+    _print_store_stats(store)
     return 0
 
 
@@ -138,6 +261,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_rx(args)
     if args.sweep:
         return _bench_sweep(args)
+    if args.cache:
+        return _bench_cache(args)
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -311,7 +436,7 @@ def _bench_sweep(args: argparse.Namespace) -> int:
     """Sweep throughput: serial vs thread vs process-sharded dataset sweep."""
     import numpy as np
 
-    from .analysis.sweeps import dataset_sweep
+    from .api import Experiment, ExperimentSpec
     from .runtime.executors import BACKENDS, default_jobs
     from .signals.dataset import DatasetSpec
 
@@ -329,12 +454,13 @@ def _bench_sweep(args: argparse.Namespace) -> int:
         f"{'identical':>11}"
     )
     for scheme in schemes:
+        experiment = Experiment(ExperimentSpec.for_scheme(scheme))
         print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
         base_t, base = None, None
         for backend in BACKENDS:
             t, result = _best_of(
-                lambda b=backend: dataset_sweep(
-                    dataset, scheme, jobs=jobs, backend=b
+                lambda b=backend: experiment.dataset_sweep(
+                    dataset, jobs=jobs, backend=b
                 ),
                 args.repeats,
             )
@@ -354,6 +480,68 @@ def _bench_sweep(args: argparse.Namespace) -> int:
                 f"{backend:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
                 f"{base_t / t:>8.1f}x{identical:>11}"
             )
+    return 0
+
+
+def _bench_cache(args: argparse.Namespace) -> int:
+    """Cache throughput: cold vs warm dataset sweep through a ResultStore."""
+    import shutil
+    import tempfile
+
+    from .api import Experiment, ExperimentSpec
+    from .runtime.store import ResultStore
+    from .signals.dataset import DatasetSpec
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    root = args.cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+    cleanup = args.cache_dir is None
+    schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    print(
+        f"cache throughput: {args.signals} patterns x {args.duration:g} s "
+        f"dataset sweep, store at {root}"
+    )
+    header = (
+        f"{'path':<22}{'time (ms)':>11}{'patterns/s':>14}{'speedup':>9}"
+        f"{'identical':>11}"
+    )
+    try:
+        for scheme in schemes:
+            store = ResultStore(root)
+            experiment = Experiment(
+                ExperimentSpec.for_scheme(scheme), store=store
+            )
+            print(f"\n[{scheme}]\n{header}\n" + "-" * len(header))
+            t0 = perf_counter()
+            cold = experiment.dataset_sweep(dataset)
+            t_cold = perf_counter() - t0
+            print(
+                f"{'cold (evaluate+put)':<22}{t_cold * 1e3:>11.1f}"
+                f"{args.signals / t_cold:>14.3g}{1.0:>8.1f}x"
+                f"{'baseline':>11}"
+            )
+            t_warm, warm = _best_of(
+                lambda: experiment.dataset_sweep(dataset), args.repeats
+            )
+            same = np.array_equal(
+                warm.correlations_pct, cold.correlations_pct
+            ) and np.array_equal(warm.n_events, cold.n_events)
+            if not same:
+                raise AssertionError("warm sweep diverged from the cold run")
+            print(
+                f"{'warm (store hits)':<22}{t_warm * 1e3:>11.1f}"
+                f"{args.signals / t_warm:>14.3g}{t_cold / t_warm:>8.1f}x"
+                f"{'yes':>11}"
+            )
+            print(
+                f"store: {store.stats()['hits']} hits / "
+                f"{store.stats()['misses']} misses / "
+                f"{store.stats()['stores']} stores"
+            )
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
     return 0
 
 
@@ -498,7 +686,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend for the sweep workers",
     )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result store; a repeated run skips cached patterns",
+    )
     p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser(
+        "run", help="evaluate one pattern under a declarative ExperimentSpec"
+    )
+    p.add_argument("--pattern", type=int, default=22)
+    p.add_argument("--scheme", choices=("atc", "datc"), default="datc")
+    p.add_argument("--spec", default=None, help="spec JSON file (overrides --scheme)")
+    p.add_argument("--dump-spec", default=None, help="write the spec JSON here")
+    p.add_argument("--cache-dir", default=None, help="persistent result store")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep", help="generic spec-substitution sweep (or --dataset)"
+    )
+    p.add_argument("--pattern", type=int, default=22)
+    p.add_argument("--scheme", choices=("atc", "datc"), default="datc")
+    p.add_argument("--spec", default=None, help="spec JSON file (overrides --scheme)")
+    p.add_argument(
+        "--axis",
+        default=None,
+        help='spec path ("encoder.config.vth") or data axis '
+        '("input.snr_db", "stream.drop_prob")',
+    )
+    p.add_argument(
+        "--values", default=None, help="comma-separated sweep values (JSON scalars)"
+    )
+    p.add_argument(
+        "--dataset",
+        action="store_true",
+        help="sweep the dataset's patterns instead of a spec axis",
+    )
+    p.add_argument("--patterns", type=int, default=None, help="dataset limit")
+    p.add_argument("--seed", type=int, default=None, help="data-axis RNG seed")
+    p.add_argument("--jobs", type=int, default=None, help="parallel workers")
+    p.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the sweep workers",
+    )
+    p.add_argument("--cache-dir", default=None, help="persistent result store")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("fig6", help="Fig. 6 iso-correlation comparison")
     p.add_argument("--pattern", type=int, default=22)
@@ -565,7 +800,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark the dataset sweep across execution backends",
     )
+    stage.add_argument(
+        "--cache",
+        action="store_true",
+        help="benchmark a cold vs warm dataset sweep through the result store",
+    )
     p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="store location for --cache (default: fresh temp dir, removed)",
+    )
     p.add_argument(
         "--jobs", type=_positive_int, default=None,
         help="sweep workers (--sweep; default: CPU count)",

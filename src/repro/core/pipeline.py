@@ -6,35 +6,29 @@ way: encode the sEMG into events, reconstruct the envelope at the receiver,
 and score the reconstruction against the pattern's ground-truth ARV
 envelope (the paper's "% correlation w.r.t. raw muscle force").
 
-Batching: :func:`run_batch` evaluates many patterns through the
-frame-vectorised batch encoders (:mod:`repro.core.encoders`) *and* the
-batched receiver engine (:mod:`repro.rx.decoders`) — one vectorised
-decode + one stacked correlation call for the whole batch — the hot path
-of the dataset sweeps.  The remaining per-pattern work (ground-truth
-envelopes, the ragged fallback) fans out over the pluggable execution
-runtime (:mod:`repro.runtime.executors`): opt-in ``jobs`` workers on the
-``serial``/``thread``/``process`` backend of choice.
+Since the declarative API redesign the canonical way to describe and run
+an evaluation is :mod:`repro.api` (:class:`~repro.api.ExperimentSpec` +
+:class:`~repro.api.Experiment`): the helpers here are thin views onto it.
+:func:`run_atc` / :func:`run_datc` stay as the supported single-pattern
+conveniences; :func:`run_batch` is a **deprecated** wrapper kept for
+backwards compatibility, bit-identical to
+``Experiment(spec).run(patterns)``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from functools import partial
 
 import numpy as np
 
 from ..runtime.executors import map_jobs
-from ..rx.correlation import (
-    aligned_correlation_percent,
-    aligned_correlation_percent_batch,
-)
-from ..rx.decoders import reconstruct_batch
+from ..rx.correlation import aligned_correlation_percent
 from ..rx.reconstruction import reconstruct_hybrid, reconstruct_rate
 from ..signals.dataset import Pattern
 from .atc import ATCTrace, atc_encode
 from .config import ATCConfig, DATCConfig
 from .datc import DATCTrace, datc_encode
-from .encoders import encode_batch
 from .events import EventStream
 
 __all__ = [
@@ -97,8 +91,14 @@ def _receive_and_score(
     config: "ATCConfig | DATCConfig",
     fs_out: float,
     window_s: float,
+    dac_bits: "int | None" = None,
 ) -> PipelineResult:
-    """Receiver side shared by the one-shot and batched paths."""
+    """Receiver side shared by the one-shot and batched paths.
+
+    ``dac_bits`` overrides the encoder config's DAC resolution on the
+    receiver (the :class:`repro.api.DecoderSpec` mismatched-receiver
+    study); ``None`` decodes at the encoder's resolution.
+    """
     if scheme == "atc":
         recon = reconstruct_rate(stream, fs_out=fs_out, window_s=window_s)
     else:
@@ -106,7 +106,7 @@ def _receive_and_score(
             stream,
             fs_out=fs_out,
             vref=config.vref,
-            dac_bits=config.dac_bits,
+            dac_bits=dac_bits if dac_bits is not None else config.dac_bits,
             smooth_window_s=window_s,
         )
     reference = pattern.ground_truth_envelope(window_s=window_s)
@@ -127,10 +127,13 @@ def run_atc(
     fs_out: float = DEFAULT_FS_OUT,
     window_s: float = DEFAULT_WINDOW_S,
 ) -> PipelineResult:
-    """Fixed-threshold ATC end to end on one pattern."""
-    config = config if config is not None else ATCConfig()
-    stream, trace = atc_encode(pattern.emg, pattern.fs, config)
-    return _receive_and_score("atc", stream, trace, pattern, config, fs_out, window_s)
+    """Fixed-threshold ATC end to end on one pattern (spec-path view)."""
+    from ..api import Experiment, ExperimentSpec
+
+    spec = ExperimentSpec.for_scheme(
+        "atc", config, fs_out=fs_out, window_s=window_s
+    )
+    return Experiment(spec).run_one(pattern)
 
 
 def run_datc(
@@ -139,10 +142,13 @@ def run_datc(
     fs_out: float = DEFAULT_FS_OUT,
     window_s: float = DEFAULT_WINDOW_S,
 ) -> PipelineResult:
-    """D-ATC end to end on one pattern."""
-    config = config if config is not None else DATCConfig()
-    stream, trace = datc_encode(pattern.emg, pattern.fs, config)
-    return _receive_and_score("datc", stream, trace, pattern, config, fs_out, window_s)
+    """D-ATC end to end on one pattern (spec-path view)."""
+    from ..api import Experiment, ExperimentSpec
+
+    spec = ExperimentSpec.for_scheme(
+        "datc", config, fs_out=fs_out, window_s=window_s
+    )
+    return Experiment(spec).run_one(pattern)
 
 
 def _evaluate_pattern(
@@ -151,18 +157,28 @@ def _evaluate_pattern(
     config: "ATCConfig | DATCConfig",
     fs_out: float,
     window_s: float,
+    dac_bits: "int | None" = None,
 ) -> PipelineResult:
     """One pattern end to end (module-level so process workers can run it)."""
     encode = atc_encode if scheme == "atc" else datc_encode
     stream, trace = encode(pattern.emg, pattern.fs, config)
     return _receive_and_score(
-        scheme, stream, trace, pattern, config, fs_out, window_s
+        scheme, stream, trace, pattern, config, fs_out, window_s, dac_bits
     )
 
 
 def _pattern_envelope(pattern: Pattern, window_s: float) -> np.ndarray:
     """Picklable ground-truth-envelope worker for the batch fan-out."""
     return pattern.ground_truth_envelope(window_s=window_s)
+
+
+def warn_legacy(name: str, replacement: str) -> None:
+    """Emit the one DeprecationWarning every legacy wrapper owes its caller."""
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_batch(
@@ -174,68 +190,18 @@ def run_batch(
     jobs: "int | None" = None,
     backend: "str | None" = None,
 ) -> "list[PipelineResult]":
-    """Evaluate many patterns end to end, in pattern order.
+    """Deprecated: use ``Experiment(ExperimentSpec(...)).run(patterns)``.
 
-    Both sides run through the batched 2-D engines when every pattern
-    shares the same sampling rate and length (a dataset's always do): one
-    ``encode_batch`` call, one :func:`repro.rx.decoders.reconstruct_batch`
-    decode of all streams, and one stacked-correlation call for the whole
-    batch.  Ragged inputs fall back to the per-pattern path via
-    :func:`repro.runtime.executors.map_jobs`.  ``jobs`` and ``backend``
-    select the execution runtime for the remaining per-pattern work
-    (ground-truth envelopes, the ragged fallback); ``None``/``1`` stays
-    sequential.  Results are bit-identical on every path and backend.
+    Thin wrapper over the spec path — bit-identical to it (the engine
+    simply moved to :mod:`repro.api`); kept so pre-redesign callers keep
+    working.
     """
-    if scheme not in ("atc", "datc"):
-        raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
-    if config is None:
-        config = ATCConfig() if scheme == "atc" else DATCConfig()
-    expected = ATCConfig if scheme == "atc" else DATCConfig
-    if not isinstance(config, expected):
-        raise TypeError(
-            f"scheme {scheme!r} needs a {expected.__name__}, "
-            f"got {type(config).__name__}"
-        )
-    if not patterns:
-        return []
+    from ..api import Experiment, ExperimentSpec
 
-    fs = patterns[0].fs
-    homogeneous = all(
-        p.fs == fs and p.n_samples == patterns[0].n_samples for p in patterns
+    warn_legacy(
+        "run_batch", "repro.api.Experiment(ExperimentSpec(...)).run(patterns)"
     )
-    if not homogeneous:
-        evaluate = partial(
-            _evaluate_pattern,
-            scheme=scheme,
-            config=config,
-            fs_out=fs_out,
-            window_s=window_s,
-        )
-        return map_jobs(evaluate, patterns, jobs, backend=backend)
-
-    emg = np.stack([p.emg for p in patterns])
-    encoded = encode_batch(emg, fs, config)
-    streams = [stream for stream, _ in encoded]
-    recons = reconstruct_batch(
-        streams, scheme, config, fs_out=fs_out, window_s=window_s
+    spec = ExperimentSpec.for_scheme(
+        scheme, config, fs_out=fs_out, window_s=window_s
     )
-    references = np.stack(
-        map_jobs(
-            partial(_pattern_envelope, window_s=window_s),
-            patterns,
-            jobs,
-            backend=backend,
-        )
-    )
-    corrs = aligned_correlation_percent_batch(recons, references)
-    return [
-        PipelineResult(
-            scheme=scheme,
-            stream=stream,
-            reconstruction=recons[i],
-            fs_out=fs_out,
-            correlation_pct=float(corrs[i]),
-            trace=trace,
-        )
-        for i, (stream, trace) in enumerate(encoded)
-    ]
+    return Experiment(spec).run(patterns, jobs=jobs, backend=backend)

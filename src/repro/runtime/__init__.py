@@ -15,12 +15,16 @@ from .executors import (
     resolve_backend,
 )
 from .ingest import AsyncStreamingPipeline
+from .store import ResultStore, fingerprint_arrays, fingerprint_value
 
 __all__ = [
     "AsyncStreamingPipeline",
     "BACKENDS",
     "RemoteTraceback",
+    "ResultStore",
     "default_jobs",
+    "fingerprint_arrays",
+    "fingerprint_value",
     "map_jobs",
     "plan_shards",
     "resolve_backend",

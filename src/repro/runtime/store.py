@@ -1,0 +1,238 @@
+"""Content-addressed on-disk result store for repeated experiments.
+
+The sweeps and figure drivers evaluate deterministic functions of
+``(experiment spec, input data)``: the same :class:`repro.api.ExperimentSpec`
+on the same pattern always produces the same correlation / event counts.
+:class:`ResultStore` memoises those evaluations on disk, keyed by the pair
+
+* ``spec_key`` — the experiment's stable content hash
+  (:meth:`repro.api.ExperimentSpec.key`), identical across processes,
+  Python versions and spawn-mode workers, and
+* ``fingerprint`` — a content hash of the input data (a raw signal's
+  bytes, or a dataset spec + pattern id for lazily generated patterns).
+
+Entries are ``.npz`` archives of plain numpy arrays, written atomically
+(temp file + ``os.replace``) so a crashed or concurrent run never leaves a
+half-written entry behind, and sharded into 256 two-hex-digit
+subdirectories so a large cache never piles every entry into one
+directory.  A corrupt entry (truncated file, bad zip, wrong arrays) is
+deleted and treated as a miss — the store self-heals and the caller simply
+re-evaluates.
+
+Hit/miss accounting lives on the instance (``hits`` / ``misses`` /
+``stores`` / ``corrupt``), so a warm re-run can *assert* that it
+re-evaluated nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ENGINE_REVISION",
+    "ResultStore",
+    "fingerprint_arrays",
+    "fingerprint_value",
+]
+
+# Revision of the *evaluation engine's numerics*, folded into every entry
+# address.  Bump it whenever a change alters what an experiment computes
+# for the same spec (decoder arithmetic, scoring formula, RNG layout):
+# old caches then miss cleanly instead of silently serving stale numbers.
+# Spec *format* changes are versioned separately (repro.api's
+# SPEC_FORMAT_VERSION, part of the hashed spec itself).
+ENGINE_REVISION = 1
+
+
+def _hash_update_array(h, arr: np.ndarray) -> None:
+    """Fold one array (dtype + shape + bytes) into a running hash."""
+    arr = np.ascontiguousarray(arr)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def fingerprint_arrays(*arrays) -> str:
+    """Content hash of one or more numpy arrays (dtype + shape + bytes)."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        _hash_update_array(h, np.asarray(arr))
+    return h.hexdigest()
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of a fingerprint payload."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__array_sha256__": fingerprint_arrays(value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot fingerprint a {type(value).__name__}: {value!r}")
+
+
+def fingerprint_value(value) -> str:
+    """Stable content hash of a JSON-able structure (dataclasses allowed).
+
+    Used for inputs that are cheap to *describe* but expensive to
+    *materialise* — e.g. ``(DatasetSpec, pattern_id)`` fingerprints let a
+    warm dataset sweep skip pattern synthesis entirely.  Large arrays are
+    folded in by content hash, so mixed payloads are fine.
+    """
+    payload = json.dumps(
+        _jsonable(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultStore:
+    """On-disk content-addressed cache of experiment results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache (created if missing).  A store is
+        cheap to construct and safe to share across runs; concurrent
+        writers are safe because entries are immutable and written
+        atomically.
+
+    Usage::
+
+        store = ResultStore("~/.cache/repro")
+        arrays = store.get(spec.key(), fingerprint)
+        if arrays is None:
+            arrays = expensive_evaluation()
+            store.put(spec.key(), fingerprint, arrays)
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_id(spec_key: str, fingerprint: str) -> str:
+        """The content address of a ``(spec, data)`` pair.
+
+        Includes :data:`ENGINE_REVISION`, so results computed by an older
+        engine revision can never satisfy a newer one's lookup.
+        """
+        return hashlib.sha256(
+            f"engine{ENGINE_REVISION}\x00{spec_key}\x00{fingerprint}".encode()
+        ).hexdigest()
+
+    def path_for(self, spec_key: str, fingerprint: str) -> Path:
+        """Where the entry for ``(spec_key, fingerprint)`` lives on disk."""
+        entry = self.entry_id(spec_key, fingerprint)
+        return self.root / entry[:2] / f"{entry}.npz"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, spec_key: str, fingerprint: str) -> "dict[str, np.ndarray] | None":
+        """Fetch a cached result, or ``None`` on miss.
+
+        A corrupt entry (unreadable archive) is deleted, counted in
+        ``corrupt``, and reported as a miss — the store self-heals.
+        """
+        path = self.path_for(spec_key, fingerprint)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                out = {name: archive[name] for name in archive.files}
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return out
+
+    def put(
+        self, spec_key: str, fingerprint: str, arrays: "dict[str, np.ndarray]"
+    ) -> Path:
+        """Persist one result atomically; returns the entry path."""
+        if not arrays:
+            raise ValueError("refusing to store an empty result")
+        path = self.path_for(spec_key, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **{k: np.asarray(v) for k, v in arrays.items()})
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.root.glob("??/*.npz"))
+
+    def stats(self) -> "dict[str, int]":
+        """This instance's access counters (not persisted)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("??/*.npz"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

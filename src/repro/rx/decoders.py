@@ -165,11 +165,24 @@ def event_rate_batch(
     return moving_average(counts.astype(float), window, axis=-1) * fs_out
 
 
+def _per_row(value, n_streams: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or per-stream sequence to one value per row."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.broadcast_to(arr, (n_streams,))
+    if arr.shape != (n_streams,):
+        raise ValueError(
+            f"{name} must be a scalar or one value per stream "
+            f"({n_streams}), got shape {arr.shape}"
+        )
+    return arr
+
+
 def level_zoh_batch(
     streams,
     fs_out: float = 100.0,
-    vref: float = 1.0,
-    dac_bits: int = 4,
+    vref=1.0,
+    dac_bits=4,
     silence_timeout_s: float = 0.5,
     decay_tau_s: float = 0.5,
 ) -> np.ndarray:
@@ -178,9 +191,17 @@ def level_zoh_batch(
     The per-row latest-event lookup stays a ``searchsorted`` per stream
     (rows have ragged event counts), but the hold/decay arithmetic runs on
     the whole ``(n_streams, n_bins)`` matrix in single numpy ops.
+
+    ``vref`` and ``dac_bits`` may be scalars (one decode config for the
+    whole batch) or per-stream sequences of length ``n_streams`` — the
+    hook that lets heterogeneous-DAC sweeps (each row decoded at its own
+    resolution) share one batched call.  Rows stay bit-identical to the
+    per-stream decoder either way.
     """
     streams, n = _batch_grid(streams, fs_out)
     n_streams = len(streams)
+    vref = _per_row(vref, n_streams, "vref")
+    dac_bits = _per_row(dac_bits, n_streams, "dac_bits")
     t = grid_centers(n, fs_out)
     if not any(s.n_events for s in streams):
         return np.zeros((n_streams, n))
@@ -194,10 +215,10 @@ def level_zoh_batch(
     times_all = np.concatenate([s.times for s in streams])
     volts_all = np.concatenate(
         [
-            s.level_voltages(vref=vref, dac_bits=dac_bits)
+            s.level_voltages(vref=float(vref[r]), dac_bits=int(dac_bits[r]))
             if s.n_events
             else np.zeros(0)
-            for s in streams
+            for r, s in enumerate(streams)
         ]
     )
     offsets = np.concatenate(
@@ -224,6 +245,8 @@ def reconstruct_batch(
     window_s: float = 0.25,
     silence_timeout_s: float = 0.5,
     rate_weight: float = 0.7,
+    vref=None,
+    dac_bits=None,
 ) -> np.ndarray:
     """Decode a homogeneous batch of streams to an envelope matrix.
 
@@ -233,6 +256,11 @@ def reconstruct_batch(
     (:func:`~repro.rx.reconstruction.reconstruct_hybrid`) with
     ``config``'s ``vref`` / ``dac_bits``.  Returns ``(n_streams, n_bins)``
     with every row bit-identical to the per-stream decoder.
+
+    ``vref`` / ``dac_bits`` override ``config``'s values when given, and
+    may be per-stream sequences (see :func:`level_zoh_batch`), so a batch
+    whose rows decode at *different* DAC operating points — the
+    DAC-resolution sweep — still runs through one call.
     """
     if scheme not in ("atc", "datc"):
         raise ValueError(f"scheme must be 'atc' or 'datc', got {scheme!r}")
@@ -244,8 +272,8 @@ def reconstruct_batch(
     level = level_zoh_batch(
         streams,
         fs_out,
-        vref=config.vref,
-        dac_bits=config.dac_bits,
+        vref=vref if vref is not None else config.vref,
+        dac_bits=dac_bits if dac_bits is not None else config.dac_bits,
         silence_timeout_s=silence_timeout_s,
     )
     rate = event_rate_batch(streams, fs_out, window_s=window_s)

@@ -16,7 +16,7 @@ class TestParser:
         for command in (
             ["fig2"], ["fig3"], ["fig5"], ["fig6"], ["fig7"], ["symbols"],
             ["table1"], ["timing"], ["verilog"], ["vcd"], ["report"], ["encode"],
-            ["bench"],
+            ["bench"], ["run"], ["sweep"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -181,3 +181,99 @@ class TestBenchSubcommands:
     def test_bench_sweep_rejects_bad_backend_combo(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--sweep", "--rx"])
+
+    def test_bench_cache_exclusive_with_other_stages(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--cache", "--sweep"])
+
+    def test_bench_cache_cold_vs_warm(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--cache", "--scheme", "datc", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                    "--cache-dir", str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache throughput" in out
+        assert "cold (evaluate+put)" in out
+        assert "warm (store hits)" in out
+        assert "2 hits / 2 misses / 2 stores" in out
+
+
+class TestSpecCommands:
+    """The declarative `run`/`sweep` subcommands and their cache plumbing."""
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--pattern", "2", "--scheme", "atc"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation" in out and "events" in out
+        assert "on pattern 2" in out
+
+    def test_run_dump_and_reload_spec(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        assert main(
+            ["run", "--pattern", "2", "--dump-spec", spec_path]
+        ) == 0
+        first = capsys.readouterr().out
+        assert f"wrote {spec_path}" in first
+        # Re-running from the dumped spec reproduces the same summary line.
+        assert main(["run", "--pattern", "2", "--spec", spec_path]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_run_cache_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["run", "--pattern", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 miss(es), 1 store(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hit(s), 0 miss(es)" in warm
+        # Identical numbers on the warm path.
+        assert cold.splitlines()[1] == warm.splitlines()[1]
+
+    def test_sweep_axis_table(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "--scheme", "atc", "--pattern", "2",
+                    "--axis", "encoder.config.vth", "--values", "0.2,0.4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep of encoder.config.vth" in out
+        assert out.count("\n") >= 4  # header + 2 value rows
+
+    def test_sweep_requires_axis_or_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--pattern", "2"])
+
+    def test_sweep_dataset_cached_warm_run_all_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--dataset", "--patterns", "2", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "2 miss(es), 2 store(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es), 0 store(s)" in warm
+        assert cold.splitlines()[1] == warm.splitlines()[1]
+
+    def test_fig5_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["fig5", "--patterns", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        assert "cache:" in capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        # Both schemes' sweeps fully served from the store on the re-run.
+        assert "4 hit(s), 0 miss(es), 0 store(s)" in warm

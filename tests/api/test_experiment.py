@@ -1,0 +1,398 @@
+"""Tests for the Experiment facade: execution, sweeps, caching, spawn keys."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DATA_AXES,
+    DecoderSpec,
+    EncoderSpec,
+    Experiment,
+    ExperimentSpec,
+    LinkSpec,
+    SweepPoint,
+    _spec_key_worker,
+    dataset_point_fingerprint,
+    pattern_fingerprint,
+)
+from repro.core.config import ATCConfig, DATCConfig
+from repro.runtime.store import ResultStore
+from repro.rx.reconstruction import reconstruct_hybrid
+from repro.signals.dataset import DatasetSpec
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRun:
+    def test_matches_one_shot_per_pattern(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(3)]
+        experiment = Experiment(ExperimentSpec())
+        batch = experiment.run(patterns)
+        for pattern, result in zip(patterns, batch):
+            single = experiment.run_one(pattern)
+            assert result.correlation_pct == single.correlation_pct
+            assert np.array_equal(result.stream.times, single.stream.times)
+            assert np.array_equal(result.reconstruction, single.reconstruction)
+
+    def test_empty(self):
+        assert Experiment(ExperimentSpec()).run([]) == []
+
+    def test_spec_type_checked(self):
+        with pytest.raises(TypeError):
+            Experiment("datc")
+
+    def test_decoder_dac_bits_override_changes_decode(self, mid_pattern):
+        base = Experiment(ExperimentSpec()).run_one(mid_pattern)
+        coarse_spec = ExperimentSpec(decoder=DecoderSpec(dac_bits=2))
+        coarse = Experiment(coarse_spec).run([mid_pattern])[0]
+        # Same events (encoder untouched), different reconstruction.
+        assert np.array_equal(coarse.stream.times, base.stream.times)
+        assert not np.array_equal(coarse.reconstruction, base.reconstruction)
+        # And it matches the per-stream decoder at the override resolution.
+        expected = reconstruct_hybrid(
+            coarse.stream, fs_out=100.0, vref=1.0, dac_bits=2,
+            smooth_window_s=0.25,
+        )
+        assert np.array_equal(coarse.reconstruction, expected)
+        # run_one honours the same override (batched == one-shot).
+        one = Experiment(coarse_spec).run_one(mid_pattern)
+        assert np.array_equal(one.reconstruction, coarse.reconstruction)
+        assert one.correlation_pct == coarse.correlation_pct
+
+
+class TestGenericSweep:
+    def test_spec_axis_values_substituted(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec.for_scheme("atc"))
+        points = experiment.sweep(
+            mid_pattern, "encoder.config.vth", [0.1, 0.3]
+        )
+        assert [p.parameter for p in points] == [0.1, 0.3]
+        assert points[0].n_events > points[1].n_events
+
+    def test_non_numeric_values_need_parameter(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec())
+        with pytest.raises(TypeError, match="parameter"):
+            experiment.sweep(
+                mid_pattern, "encoder.config", [DATCConfig()]
+            )
+
+    def test_empty_grid(self, mid_pattern):
+        assert Experiment(ExperimentSpec()).sweep(
+            mid_pattern, "encoder.config.vref", []
+        ) == []
+
+    def test_drop_prob_validation(self, mid_pattern):
+        with pytest.raises(ValueError):
+            Experiment(ExperimentSpec()).sweep(
+                mid_pattern, "stream.drop_prob", [1.0]
+            )
+
+    def test_data_axes_registered(self):
+        assert set(DATA_AXES) == {"input.snr_db", "stream.drop_prob"}
+
+    def test_decoder_axis_sweeps_decode_per_point(self, mid_pattern):
+        """Sweeping a decoder field must apply each point's decoder —
+        one batched decode per distinct (fs_out, window_s) group."""
+        from repro.core.pipeline import run_datc
+
+        experiment = Experiment(ExperimentSpec())
+        points = experiment.sweep(
+            mid_pattern, "decoder.window_s", [0.1, 0.25, 0.5]
+        )
+        corrs = [p.correlation_pct for p in points]
+        assert len(set(corrs)) == 3  # genuinely different operating points
+        for window_s, point in zip([0.1, 0.25, 0.5], points):
+            expected = run_datc(mid_pattern, window_s=window_s)
+            assert point.correlation_pct == expected.correlation_pct
+
+    def test_decoder_dac_bits_sweep_matches_override_runs(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec())
+        points = experiment.sweep(mid_pattern, "decoder.dac_bits", [2, 4])
+        for bits, point in zip([2, 4], points):
+            spec = ExperimentSpec(decoder=DecoderSpec(dac_bits=bits))
+            expected = Experiment(spec).run_one(mid_pattern)
+            assert point.correlation_pct == expected.correlation_pct
+
+    def test_jobs_identical_to_serial(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec.for_scheme("atc"))
+        grid = [0.1, 0.2, 0.3, 0.4]
+        serial = experiment.sweep(mid_pattern, "encoder.config.vth", grid)
+        threaded = experiment.sweep(
+            mid_pattern, "encoder.config.vth", grid, jobs=4, backend="thread"
+        )
+        assert serial == threaded
+
+
+class TestSweepCaching:
+    def test_warm_sweep_is_bit_identical_and_hits(self, mid_pattern, store):
+        experiment = Experiment(ExperimentSpec.for_scheme("atc"), store=store)
+        grid = [0.1, 0.2, 0.3]
+        cold = experiment.sweep(mid_pattern, "encoder.config.vth", grid)
+        assert store.stats()["stores"] == len(grid)
+        warm = experiment.sweep(mid_pattern, "encoder.config.vth", grid)
+        assert warm == cold  # dataclass equality == bit identity here
+        assert store.hits == len(grid)
+
+    def test_partial_warm_only_evaluates_missing(self, mid_pattern, store):
+        experiment = Experiment(ExperimentSpec.for_scheme("atc"), store=store)
+        first = experiment.sweep(mid_pattern, "encoder.config.vth", [0.2])
+        mixed = experiment.sweep(
+            mid_pattern, "encoder.config.vth", [0.1, 0.2, 0.3]
+        )
+        assert mixed[1] == first[0]
+        assert store.hits == 1
+        assert store.stats()["stores"] == 3  # 0.2 once, 0.1/0.3 on 2nd call
+        # And a fully-cold reference ordering is preserved.
+        cold = Experiment(ExperimentSpec.for_scheme("atc")).sweep(
+            mid_pattern, "encoder.config.vth", [0.1, 0.2, 0.3]
+        )
+        assert mixed == cold
+
+    def test_data_axis_cache_respects_grid_position(self, mid_pattern, store):
+        """The per-point RNG seeds with (seed, grid index), so a cached
+        value at one position must not answer for the same value at
+        another — the warm result must equal the cold re-run exactly."""
+        experiment = Experiment(ExperimentSpec(), store=store)
+        experiment.sweep(mid_pattern, "stream.drop_prob", [0.0, 0.3], seed=7)
+        warm = experiment.sweep(mid_pattern, "stream.drop_prob", [0.3], seed=7)
+        assert store.hits == 0  # 0.3 moved from index 1 to index 0
+        cold = Experiment(ExperimentSpec()).sweep(
+            mid_pattern, "stream.drop_prob", [0.3], seed=7
+        )
+        assert warm == cold
+
+    def test_data_axis_points_keyed_by_transform(self, mid_pattern, store):
+        experiment = Experiment(ExperimentSpec(), store=store)
+        a = experiment.sweep(mid_pattern, "stream.drop_prob", [0.2], seed=1)
+        b = experiment.sweep(mid_pattern, "stream.drop_prob", [0.2], seed=2)
+        assert store.hits == 0  # different seed -> different fingerprint
+        c = experiment.sweep(mid_pattern, "stream.drop_prob", [0.2], seed=1)
+        assert store.hits == 1
+        assert c == a
+        assert a != b  # different erasure realisation
+
+    def test_evaluate_cached(self, mid_pattern, store):
+        experiment = Experiment(ExperimentSpec(), store=store)
+        cold = experiment.evaluate(mid_pattern)
+        warm = experiment.evaluate(mid_pattern)
+        assert warm == cold
+        assert store.hits == 1 and store.stats()["stores"] == 1
+
+
+class TestDatasetSweepCaching:
+    def test_warm_run_zero_reevaluations(self, small_dataset, store):
+        """The acceptance contract: a repeated dataset sweep re-evaluates
+        nothing — every pattern is served from the store."""
+        experiment = Experiment(ExperimentSpec(), store=store)
+        cold = experiment.dataset_sweep(small_dataset, limit=4)
+        assert store.stats() == {
+            "hits": 0, "misses": 4, "stores": 4, "corrupt": 0,
+        }
+        warm = experiment.dataset_sweep(small_dataset, limit=4)
+        assert store.stats() == {
+            "hits": 4, "misses": 4, "stores": 4, "corrupt": 0,
+        }
+        assert np.array_equal(warm.correlations_pct, cold.correlations_pct)
+        assert np.array_equal(warm.n_events, cold.n_events)
+        assert warm.correlations_pct.dtype == cold.correlations_pct.dtype
+
+    def test_cached_matches_uncached(self, small_dataset, store):
+        cached = Experiment(ExperimentSpec(), store=store).dataset_sweep(
+            small_dataset, limit=4
+        )
+        plain = Experiment(ExperimentSpec()).dataset_sweep(
+            small_dataset, limit=4
+        )
+        assert np.array_equal(cached.correlations_pct, plain.correlations_pct)
+        assert np.array_equal(cached.n_events, plain.n_events)
+
+    def test_growing_limit_reuses_prefix(self, small_dataset, store):
+        experiment = Experiment(ExperimentSpec(), store=store)
+        experiment.dataset_sweep(small_dataset, limit=2)
+        out = experiment.dataset_sweep(small_dataset, limit=4)
+        assert store.hits == 2  # patterns 0-1 cached, 2-3 evaluated
+        assert out.pattern_ids.tolist() == [0, 1, 2, 3]
+
+    def test_different_spec_does_not_collide(self, small_dataset, store):
+        Experiment(ExperimentSpec(), store=store).dataset_sweep(
+            small_dataset, limit=2
+        )
+        atc = Experiment(
+            ExperimentSpec.for_scheme("atc"), store=store
+        ).dataset_sweep(small_dataset, limit=2)
+        assert store.hits == 0
+        assert atc.scheme == "atc"
+
+
+class TestFingerprints:
+    def test_pattern_fingerprint_content_based(self, small_dataset):
+        a = small_dataset.pattern(0)
+        b = small_dataset.pattern(0)
+        c = small_dataset.pattern(1)
+        assert pattern_fingerprint(a) == pattern_fingerprint(b)
+        assert pattern_fingerprint(a) != pattern_fingerprint(c)
+
+    def test_dataset_point_fingerprint_no_synthesis(self, small_dataset):
+        """Fingerprinting a dataset point must not synthesise the pattern
+        (that is the whole point of the warm fast path)."""
+        fp1 = dataset_point_fingerprint(small_dataset, 3)
+        fp2 = dataset_point_fingerprint(small_dataset, 3)
+        other = dataset_point_fingerprint(small_dataset, 4)
+        assert fp1 == fp2 != other
+        different = DatasetSpec(
+            n_patterns=small_dataset.n_patterns,
+            duration_s=small_dataset.duration_s,
+            seed=small_dataset.seed + 1,
+        )
+        assert dataset_point_fingerprint(different, 3) != fp1
+
+
+class TestSpawnKeyStability:
+    def test_spec_key_stable_across_spawn_workers(self):
+        """The acceptance contract: spec.key() computed in a spawn-started
+        worker process equals the parent's."""
+        from repro.runtime.executors import map_jobs
+
+        specs = [
+            ExperimentSpec(),
+            ExperimentSpec(
+                encoder=EncoderSpec("atc", ATCConfig(vth=0.2)),
+                link=LinkSpec(),
+                decoder=DecoderSpec(fs_out=50.0),
+            ),
+        ]
+        parent_keys = [s.key() for s in specs]
+        worker_keys = map_jobs(
+            _spec_key_worker,
+            [s.to_dict() for s in specs],
+            jobs=2,
+            backend="process",
+            mp_context="spawn",
+        )
+        assert worker_keys == parent_keys
+
+
+class TestLinkStage:
+    def test_link_spec_transports_in_run_one(self, mid_pattern, monkeypatch):
+        """A link-bearing spec must actually exercise the transport stage."""
+        import repro.api as api
+        from repro.uwb.link import LinkConfig, simulate_link
+
+        calls = []
+
+        def counting_link(stream, config, **kwargs):
+            calls.append(config)
+            return simulate_link(stream, config, **kwargs)
+
+        monkeypatch.setattr(api, "simulate_link", counting_link)
+        spec = ExperimentSpec.for_scheme("datc", link=LinkConfig())
+        linked = Experiment(spec).run_one(mid_pattern)
+        assert len(calls) == 1
+        # Ideal channel: the received events equal the transmitted ones,
+        # so the result matches the link-free spec bit-for-bit.
+        direct = Experiment(ExperimentSpec()).run_one(mid_pattern)
+        assert np.array_equal(linked.stream.times, direct.stream.times)
+        assert linked.correlation_pct == direct.correlation_pct
+
+    def test_link_spec_transports_in_batched_run(self, mid_pattern, monkeypatch):
+        import repro.api as api
+        from repro.uwb.link import LinkConfig, simulate_link_batch
+
+        calls = []
+
+        def counting_batch(streams, config, **kwargs):
+            calls.append(len(list(streams)))
+            return simulate_link_batch(streams, config, **kwargs)
+
+        monkeypatch.setattr(api, "simulate_link_batch", counting_batch)
+        spec = ExperimentSpec.for_scheme("datc", link=LinkConfig())
+        results = Experiment(spec).run([mid_pattern, mid_pattern])
+        assert calls == [2]  # one batched transport for the whole run
+        direct = Experiment(ExperimentSpec()).run([mid_pattern])[0]
+        assert results[0].correlation_pct == direct.correlation_pct
+
+    def test_scheme_axis_sweep_decodes_each_point_correctly(self, mid_pattern):
+        """Sweeping whole encoder specs across schemes must decode each
+        stream with its own scheme's decoder."""
+        from repro.api import EncoderSpec as ES
+
+        points = Experiment(ExperimentSpec()).sweep(
+            mid_pattern,
+            "encoder",
+            [ES("atc"), ES("datc")],
+            parameter=lambda e: 0.0 if e.scheme == "atc" else 1.0,
+        )
+        atc = Experiment(ExperimentSpec.for_scheme("atc")).run_one(mid_pattern)
+        datc = Experiment(ExperimentSpec()).run_one(mid_pattern)
+        assert points[0].correlation_pct == atc.correlation_pct
+        assert points[1].correlation_pct == datc.correlation_pct
+
+
+class TestLinkSweep:
+    def test_rides_spec_link(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec())
+        stream = experiment.run_one(mid_pattern).stream
+        points = Experiment(
+            ExperimentSpec.for_scheme("datc", link=None)
+        ).link_sweep(stream, (0.0, 0.4))
+        assert points[0].event_delivery_ratio == 1.0
+        assert points[1].event_delivery_ratio < 1.0
+
+    def test_invalid_probability(self, mid_pattern):
+        experiment = Experiment(ExperimentSpec())
+        stream = experiment.run_one(mid_pattern).stream
+        with pytest.raises(ValueError):
+            experiment.link_sweep(stream, (1.5,))
+
+
+class TestStreaming:
+    def test_pipeline_from_spec_matches_one_shot(self, mid_pattern):
+        import asyncio
+
+        spec = ExperimentSpec()
+        experiment = Experiment(spec)
+        one_shot = experiment.run_one(mid_pattern)
+        pipe = experiment.pipeline(mid_pattern.fs)
+        chunk = int(0.25 * mid_pattern.fs)
+        source = [
+            mid_pattern.emg[i : i + chunk]
+            for i in range(0, mid_pattern.n_samples, chunk)
+        ]
+        envelope = asyncio.run(pipe.run(source))
+        assert np.array_equal(envelope, one_shot.reconstruction)
+
+    def test_stream_yields_envelope_chunks(self, mid_pattern):
+        import asyncio
+
+        experiment = Experiment(ExperimentSpec.for_scheme("atc"))
+        chunk = int(0.5 * mid_pattern.fs)
+        source = [
+            mid_pattern.emg[i : i + chunk]
+            for i in range(0, mid_pattern.n_samples, chunk)
+        ]
+
+        async def collect():
+            chunks = []
+            async for out in experiment.stream(source, mid_pattern.fs):
+                chunks.append(out)
+            return chunks
+
+        chunks = asyncio.run(collect())
+        merged = np.concatenate(chunks)
+        assert np.array_equal(
+            merged, experiment.run_one(mid_pattern).reconstruction
+        )
+
+
+class TestPointStore:
+    def test_point_arrays_round_trip(self):
+        point = SweepPoint(
+            parameter=0.3, correlation_pct=96.414243, n_events=3724,
+            n_symbols=18620,
+        )
+        arrays = Experiment._point_arrays(point)
+        rebuilt = Experiment._point_from_arrays(0.3, arrays)
+        assert rebuilt == point

@@ -1,0 +1,178 @@
+"""Every legacy sweep/run wrapper: warns exactly once, bit-identical to spec path.
+
+The API redesign kept the pre-spec entry points as thin deprecated
+wrappers over :mod:`repro.api`.  Contract (satellite of the redesign):
+each wrapper emits exactly one :class:`DeprecationWarning` per call and
+returns results bit-identical to the equivalent ``Experiment`` call.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    atc_threshold_sweep,
+    dac_resolution_config,
+    dac_resolution_sweep,
+    dataset_sweep,
+    frame_size_sweep,
+    link_erasure_sweep,
+    pulse_loss_sweep,
+    snr_sweep,
+    weight_sweep,
+)
+from repro.api import Experiment, ExperimentSpec
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.pipeline import run_batch, run_datc
+from repro.uwb.link import LinkConfig
+
+
+def call_warns_once(fn, *args, **kwargs):
+    """Run ``fn``, assert exactly one DeprecationWarning, return its output."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = fn(*args, **kwargs)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"{fn.__name__} emitted {len(deprecations)} DeprecationWarnings, "
+        f"expected exactly 1: {[str(w.message) for w in deprecations]}"
+    )
+    assert fn.__name__ in str(deprecations[0].message)
+    return out
+
+
+class TestRunBatchWrapper:
+    def test_warns_once_and_bit_identical(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(3)]
+        legacy = call_warns_once(run_batch, patterns, "datc")
+        spec = Experiment(ExperimentSpec()).run(patterns)
+        for a, b in zip(legacy, spec):
+            assert a.correlation_pct == b.correlation_pct
+            assert np.array_equal(a.stream.times, b.stream.times)
+            assert np.array_equal(a.reconstruction, b.reconstruction)
+
+    def test_error_behaviour_preserved(self, small_dataset):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(ValueError):
+                run_batch([], scheme="adc")
+            with pytest.raises(TypeError):
+                run_batch([], scheme="atc", config=DATCConfig())
+
+
+class TestSweepWrappers:
+    def test_atc_threshold(self, mid_pattern):
+        vths = [0.1, 0.3]
+        legacy = call_warns_once(atc_threshold_sweep, mid_pattern, vths)
+        spec = Experiment(ExperimentSpec.for_scheme("atc")).sweep(
+            mid_pattern, "encoder.config.vth", vths
+        )
+        assert legacy == spec
+
+    def test_dataset(self, small_dataset):
+        legacy = call_warns_once(dataset_sweep, small_dataset, "datc", limit=3)
+        spec = Experiment(ExperimentSpec()).dataset_sweep(
+            small_dataset, limit=3
+        )
+        assert np.array_equal(legacy.correlations_pct, spec.correlations_pct)
+        assert np.array_equal(legacy.n_events, spec.n_events)
+
+    def test_frame_size(self, mid_pattern):
+        legacy = call_warns_once(frame_size_sweep, mid_pattern, (0, 1))
+        configs = [DATCConfig(frame_selector=s) for s in (0, 1)]
+        spec = Experiment(ExperimentSpec()).sweep(
+            mid_pattern,
+            "encoder.config",
+            configs,
+            parameter=lambda c: c.frame_size,
+        )
+        assert legacy == spec
+
+    def test_dac_resolution(self, mid_pattern):
+        legacy = call_warns_once(dac_resolution_sweep, mid_pattern, (2, 4))
+        configs = [dac_resolution_config(b) for b in (2, 4)]
+        spec = Experiment(ExperimentSpec()).sweep(
+            mid_pattern,
+            "encoder.config",
+            configs,
+            parameter=lambda c: c.dac_bits,
+        )
+        assert legacy == spec
+
+    def test_dac_resolution_matches_per_stream_path(self, mid_pattern):
+        """The per-row batched decode reproduces the old per-stream sweep."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            points = dac_resolution_sweep(mid_pattern, (2, 5))
+        for bits, point in zip((2, 5), points):
+            result = run_datc(mid_pattern, dac_resolution_config(bits))
+            assert point.correlation_pct == result.correlation_pct
+            assert point.n_events == result.n_events
+            assert point.n_symbols == result.n_symbols
+
+    def test_pulse_loss(self, mid_pattern):
+        probs = (0.0, 0.3)
+        legacy = call_warns_once(pulse_loss_sweep, mid_pattern, probs, seed=7)
+        spec = Experiment(ExperimentSpec()).sweep(
+            mid_pattern, "stream.drop_prob", probs, seed=7
+        )
+        assert legacy == spec
+
+    def test_snr(self, mid_pattern):
+        legacy = call_warns_once(snr_sweep, mid_pattern, (20.0,), seed=11)
+        spec = Experiment(ExperimentSpec()).sweep(
+            mid_pattern, "input.snr_db", (20.0,), seed=11
+        )
+        assert legacy == spec
+
+    def test_weight(self, mid_pattern):
+        sets = ((0.35, 0.65, 1.0), (1.0, 1.0, 1.0))
+        legacy = call_warns_once(weight_sweep, mid_pattern, sets)
+        configs = [
+            DATCConfig(weights=tuple(2.0 * w / sum(ws) for w in ws))
+            for ws in sets
+        ]
+        spec = Experiment(ExperimentSpec()).sweep(
+            mid_pattern,
+            "encoder.config",
+            configs,
+            parameter=lambda c: c.weights[2],
+        )
+        assert [p for _, p in legacy] == spec
+        assert [w for w, _ in legacy] == list(sets)
+
+    def test_link_erasure(self, mid_pattern):
+        stream = run_datc(mid_pattern).stream
+        legacy = call_warns_once(link_erasure_sweep, stream, (0.0, 0.3), seed=13)
+        spec = Experiment(
+            ExperimentSpec.for_scheme("datc", link=LinkConfig())
+        ).link_sweep(stream, (0.0, 0.3), seed=13)
+        assert legacy == spec
+
+    def test_wrapper_validation_still_first_class(self, small_dataset, mid_pattern):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(ValueError):
+                dataset_sweep(small_dataset, "adc")
+            with pytest.raises(ValueError):
+                pulse_loss_sweep(mid_pattern, (1.0,))
+            with pytest.raises(ValueError):
+                snr_sweep(mid_pattern, (10.0,), scheme="x")
+            with pytest.raises(ValueError):
+                weight_sweep(mid_pattern, ((0.0, 0.0, 0.0),))
+
+
+class TestFiguresRideTheSpecPath:
+    def test_fig_drivers_do_not_warn(self, small_dataset):
+        """The figure entry points were migrated off the deprecated
+        wrappers: regenerating them must raise no DeprecationWarning."""
+        from repro.analysis.experiments import run_fig3, run_fig5, run_fig7
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_fig3(pattern_id=2, dataset=small_dataset)
+            run_fig5(n_patterns=3, dataset=small_dataset)
+            run_fig7(pattern_ids=(1,), vths=(0.2, 0.4), dataset=small_dataset)

@@ -1,0 +1,196 @@
+"""Tests for the declarative spec tree (construction, round-trip, hashing)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    DecoderSpec,
+    EncoderSpec,
+    ExperimentSpec,
+    LinkSpec,
+    ScoreSpec,
+)
+from repro.core.config import ATCConfig, DATCConfig
+from repro.uwb.link import LinkConfig
+
+
+class TestEncoderSpec:
+    def test_defaults_by_scheme(self):
+        assert EncoderSpec("atc").config == ATCConfig()
+        assert EncoderSpec("datc").config == DATCConfig()
+        assert EncoderSpec().scheme == "datc"
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            EncoderSpec("adc")
+
+    def test_mismatched_config_rejected(self):
+        with pytest.raises(TypeError):
+            EncoderSpec("atc", DATCConfig())
+        with pytest.raises(TypeError):
+            EncoderSpec("datc", ATCConfig())
+
+
+class TestDecoderSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecoderSpec(fs_out=0.0)
+        with pytest.raises(ValueError):
+            DecoderSpec(window_s=-1.0)
+        with pytest.raises(ValueError):
+            DecoderSpec(dac_bits=0)
+
+    def test_dac_bits_override(self):
+        spec = ExperimentSpec(decoder=DecoderSpec(dac_bits=6))
+        assert spec.decode_dac_bits == 6
+        assert ExperimentSpec().decode_dac_bits == 4  # encoder's default
+
+
+class TestScoreSpec:
+    def test_only_correlation_supported(self):
+        with pytest.raises(ValueError):
+            ScoreSpec(metric="rmse")
+
+
+class TestRoundTrip:
+    SPECS = [
+        ExperimentSpec(),
+        ExperimentSpec(encoder=EncoderSpec("atc", ATCConfig(vth=0.2))),
+        ExperimentSpec(
+            encoder=EncoderSpec(
+                "datc", DATCConfig(frame_selector=2, quantized=True)
+            ),
+            link=LinkSpec(LinkConfig(modulation="ppm")),
+            decoder=DecoderSpec(fs_out=200.0, window_s=0.5, dac_bits=6),
+        ),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_to_dict_from_dict(self, spec):
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.key() == spec.key()
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_json_round_trip(self, spec):
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_is_plain_json(self):
+        text = json.dumps(self.SPECS[2].to_dict())
+        assert ExperimentSpec.from_dict(json.loads(text)) == self.SPECS[2]
+
+    def test_tuples_survive(self):
+        spec = ExperimentSpec(
+            encoder=EncoderSpec("datc", DATCConfig(weights=(0.2, 0.8, 1.0)))
+        )
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt.encoder.config.weights == (0.2, 0.8, 1.0)
+        assert isinstance(rebuilt.encoder.config.weights, tuple)
+
+    def test_unknown_version_rejected(self):
+        data = ExperimentSpec().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict(data)
+
+
+class TestKey:
+    def test_key_is_sha256_hex(self):
+        key = ExperimentSpec().key()
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_equal_specs_equal_keys(self):
+        assert ExperimentSpec().key() == ExperimentSpec().key()
+
+    def test_any_field_changes_the_key(self):
+        base = ExperimentSpec()
+        variants = [
+            base.replace_at(
+                "encoder.config", DATCConfig(dac_bits=5, n_levels=32)
+            ),
+            base.replace_at("decoder.fs_out", 50.0),
+            base.replace_at("decoder.dac_bits", 6),
+            base.replace(link=LinkSpec()),
+            base.replace(encoder=EncoderSpec("atc")),
+        ]
+        keys = {base.key(), *(v.key() for v in variants)}
+        assert len(keys) == len(variants) + 1
+
+    def test_int_and_float_field_values_share_a_key(self):
+        """Equal specs must hash equal even when a numeric field arrived
+        as an int (CLI json.loads) vs a float (library callers)."""
+        a = ExperimentSpec(decoder=DecoderSpec(fs_out=100))
+        b = ExperimentSpec(decoder=DecoderSpec(fs_out=100.0))
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_key_independent_of_hash_seed(self):
+        """The key must come from content hashing, not Python's hash()."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.api import ExperimentSpec;"
+            "print(ExperimentSpec().key())"
+        )
+        keys = set()
+        for seed in ("0", "1", "random"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+                check=True,
+            )
+            keys.add(out.stdout.strip())
+        assert len(keys) == 1
+
+
+class TestReplace:
+    def test_replace_top_level(self):
+        spec = ExperimentSpec().replace(decoder=DecoderSpec(fs_out=50.0))
+        assert spec.decoder.fs_out == 50.0
+        assert ExperimentSpec().decoder.fs_out == 100.0  # original untouched
+
+    def test_replace_at_nested(self):
+        spec = ExperimentSpec(encoder=EncoderSpec("atc"))
+        out = spec.replace_at("encoder.config.vth", 0.15)
+        assert out.encoder.config.vth == 0.15
+        assert spec.encoder.config.vth == 0.3
+
+    def test_replace_at_whole_config(self):
+        config = DATCConfig(frame_selector=3)
+        out = ExperimentSpec().replace_at("encoder.config", config)
+        assert out.encoder.config is config
+
+    def test_replace_at_bad_path(self):
+        with pytest.raises(ValueError, match="no field"):
+            ExperimentSpec().replace_at("encoder.config.nope", 1)
+        with pytest.raises(ValueError):
+            ExperimentSpec().replace_at("", 1)
+
+    def test_noop_replace_preserves_key(self):
+        spec = ExperimentSpec(encoder=EncoderSpec("atc"))
+        assert spec.replace().key() == spec.key()
+        assert (
+            spec.replace_at("encoder.config.vth", 0.3).key() == spec.key()
+        )  # same value -> same key
+
+
+class TestForScheme:
+    def test_matches_legacy_run_signature(self):
+        spec = ExperimentSpec.for_scheme(
+            "atc", ATCConfig(vth=0.2), fs_out=50.0, window_s=0.1
+        )
+        assert spec.scheme == "atc"
+        assert spec.encoder.config.vth == 0.2
+        assert spec.decoder.fs_out == 50.0
+        assert spec.decoder.window_s == 0.1
+        assert spec.link is None
+
+    def test_link_attached(self):
+        spec = ExperimentSpec.for_scheme("datc", link=LinkConfig())
+        assert spec.link is not None
+        assert spec.link.config == LinkConfig()

@@ -1,0 +1,190 @@
+"""Property suite for the declarative spec tree and the result store.
+
+Invariants (the satellite contract of the API redesign):
+
+* ``to_dict``/``from_dict`` round-trips every representable spec exactly,
+  through real JSON text included;
+* ``key()`` is a pure function of spec content — equal specs hash equal,
+  and the hash survives serialisation;
+* ``replace()``/``replace_at()`` with unchanged values is key-invariant,
+  and substituting a fresh value then restoring the original returns to
+  the original key;
+* the store round-trips arbitrary float64/int64 payloads bit-exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    DecoderSpec,
+    EncoderSpec,
+    ExperimentSpec,
+    LinkSpec,
+)
+from repro.core.config import ATCConfig, DATCConfig
+from repro.runtime.store import ResultStore, fingerprint_value
+from repro.uwb.link import LinkConfig
+
+finite = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def atc_configs(draw) -> ATCConfig:
+    return ATCConfig(
+        vth=draw(st.floats(min_value=0.0, max_value=2.0, allow_nan=False)),
+        clock_hz=draw(finite),
+        symbols_per_event=draw(st.integers(min_value=1, max_value=8)),
+    )
+
+
+@st.composite
+def datc_configs(draw) -> DATCConfig:
+    dac_bits = draw(st.integers(min_value=2, max_value=6))
+    n_levels = 1 << dac_bits
+    weights = tuple(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            )
+        )
+    )
+    return DATCConfig(
+        frame_selector=draw(st.integers(min_value=0, max_value=3)),
+        dac_bits=dac_bits,
+        n_levels=n_levels,
+        vref=draw(finite),
+        weights=weights,
+        interval_step=draw(
+            st.floats(min_value=1e-4, max_value=0.5, allow_nan=False)
+        ),
+        min_level=draw(st.integers(min_value=0, max_value=1)),
+        initial_level=draw(st.integers(min_value=1, max_value=n_levels - 1)),
+        quantized=draw(st.booleans()),
+    )
+
+
+@st.composite
+def encoder_specs(draw) -> EncoderSpec:
+    if draw(st.booleans()):
+        return EncoderSpec("atc", draw(atc_configs()))
+    return EncoderSpec("datc", draw(datc_configs()))
+
+
+@st.composite
+def link_specs(draw) -> "LinkSpec | None":
+    if draw(st.booleans()):
+        return None
+    return LinkSpec(
+        LinkConfig(
+            symbol_period_s=draw(
+                st.floats(min_value=1e-6, max_value=1e-3, allow_nan=False)
+            ),
+            pulse_energy_pj=draw(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+            ),
+            modulation=draw(st.sampled_from(["ook", "ppm"])),
+        )
+    )
+
+
+@st.composite
+def experiment_specs(draw) -> ExperimentSpec:
+    return ExperimentSpec(
+        encoder=draw(encoder_specs()),
+        link=draw(link_specs()),
+        decoder=DecoderSpec(
+            fs_out=draw(finite),
+            window_s=draw(finite),
+            dac_bits=draw(
+                st.one_of(st.none(), st.integers(min_value=1, max_value=8))
+            ),
+        ),
+    )
+
+
+class TestSpecProperties:
+    @given(spec=experiment_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip_exact(self, spec):
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.key() == spec.key()
+
+    @given(spec=experiment_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_exact(self, spec):
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=experiment_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_key_stable_and_content_derived(self, spec):
+        key = spec.key()
+        assert key == spec.key()  # deterministic
+        assert len(key) == 64
+        # A structurally equal spec built from the serialised form shares it.
+        assert ExperimentSpec.from_json(spec.to_json()).key() == key
+
+    @given(spec=experiment_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_replace_invariance(self, spec):
+        assert spec.replace() == spec
+        assert spec.replace().key() == spec.key()
+        # Re-substituting the current values is also key-invariant.
+        same = spec.replace_at("decoder.fs_out", spec.decoder.fs_out)
+        assert same.key() == spec.key()
+        same = spec.replace_at("encoder.config", spec.encoder.config)
+        assert same.key() == spec.key()
+
+    @given(spec=experiment_specs(), fs_out=finite)
+    @settings(max_examples=60, deadline=None)
+    def test_replace_then_restore_returns_to_key(self, spec, fs_out):
+        changed = spec.replace_at("decoder.fs_out", fs_out)
+        restored = changed.replace_at("decoder.fs_out", spec.decoder.fs_out)
+        assert restored.key() == spec.key()
+        if fs_out != spec.decoder.fs_out:
+            assert changed.key() != spec.key()
+
+    @given(a=experiment_specs(), b=experiment_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_key_equality_tracks_spec_equality(self, a, b):
+        if a == b:
+            assert a.key() == b.key()
+        else:
+            assert a.key() != b.key()
+
+    @given(spec=experiment_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_fingerprint_value_accepts_spec_dicts(self, spec):
+        assert fingerprint_value(spec.to_dict()) == fingerprint_value(
+            spec.to_dict()
+        )
+
+
+class TestStoreProperties:
+    @given(
+        corr=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=1,
+            max_size=32,
+        ),
+        events=st.lists(
+            st.integers(min_value=0, max_value=2**40), min_size=1, max_size=32
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_bit_exact(self, tmp_path_factory, corr, events):
+        store = ResultStore(tmp_path_factory.mktemp("store"))
+        payload = {
+            "corr": np.array(corr, dtype=np.float64),
+            "events": np.array(events, dtype=np.int64),
+        }
+        store.put("spec", "fp", payload)
+        got = store.get("spec", "fp")
+        assert np.array_equal(got["corr"], payload["corr"])
+        assert got["corr"].dtype == np.float64
+        assert np.array_equal(got["events"], payload["events"])

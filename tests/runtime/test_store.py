@@ -1,0 +1,105 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.store import ResultStore, fingerprint_arrays, fingerprint_value
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+class TestFingerprints:
+    def test_array_fingerprint_is_content_based(self):
+        a = np.arange(10.0)
+        assert fingerprint_arrays(a) == fingerprint_arrays(a.copy())
+        assert fingerprint_arrays(a) != fingerprint_arrays(a + 1)
+
+    def test_dtype_and_shape_matter(self):
+        a = np.zeros(4, dtype=np.float64)
+        assert fingerprint_arrays(a) != fingerprint_arrays(a.astype(np.float32))
+        assert fingerprint_arrays(a) != fingerprint_arrays(a.reshape(2, 2))
+
+    def test_value_fingerprint_handles_dataclasses(self):
+        from repro.signals.dataset import DatasetSpec
+
+        a = DatasetSpec(n_patterns=4, duration_s=3.0, seed=1)
+        b = DatasetSpec(n_patterns=4, duration_s=3.0, seed=1)
+        c = DatasetSpec(n_patterns=4, duration_s=3.0, seed=2)
+        assert fingerprint_value(a) == fingerprint_value(b)
+        assert fingerprint_value(a) != fingerprint_value(c)
+
+    def test_value_fingerprint_key_order_invariant(self):
+        assert fingerprint_value({"a": 1, "b": 2}) == fingerprint_value(
+            {"b": 2, "a": 1}
+        )
+
+    def test_unfingerprintable_value_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint_value({"fn": len})
+
+
+class TestResultStore:
+    def test_miss_then_hit_round_trip(self, store):
+        arrays = {"corr": np.float64(96.5), "events": np.int64(3724)}
+        assert store.get("spec", "data") is None
+        store.put("spec", "data", arrays)
+        got = store.get("spec", "data")
+        assert got is not None
+        # Bit-identical round trip: float64/int64 survive npz exactly.
+        assert float(got["corr"]) == 96.5
+        assert int(got["events"]) == 3724
+        assert store.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
+
+    def test_keys_are_independent(self, store):
+        store.put("spec-a", "data", {"x": np.float64(1.0)})
+        assert store.get("spec-b", "data") is None
+        assert store.get("spec-a", "other-data") is None
+        assert store.get("spec-a", "data") is not None
+
+    def test_len_counts_entries(self, store):
+        assert len(store) == 0
+        store.put("a", "1", {"x": np.float64(0.0)})
+        store.put("a", "2", {"x": np.float64(0.0)})
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_corruption_recovery(self, store):
+        """A truncated/garbage entry is deleted and treated as a miss."""
+        store.put("spec", "data", {"x": np.float64(42.0)})
+        path = store.path_for("spec", "data")
+        path.write_bytes(b"this is not an npz archive")
+        assert store.get("spec", "data") is None
+        assert store.corrupt == 1
+        assert not path.exists()  # self-healed
+        # A fresh put works and reads back cleanly afterwards.
+        store.put("spec", "data", {"x": np.float64(43.0)})
+        got = store.get("spec", "data")
+        assert float(got["x"]) == 43.0
+
+    def test_empty_result_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("spec", "data", {})
+
+    def test_entry_id_stable(self):
+        a = ResultStore.entry_id("spec", "data")
+        assert a == ResultStore.entry_id("spec", "data")
+        assert a != ResultStore.entry_id("data", "spec")  # order matters
+
+    def test_warm_results_bit_identical_to_cold(self, store):
+        """The satellite contract: a warm fetch returns the cold bytes."""
+        rng = np.random.default_rng(7)
+        cold = {
+            "corr": rng.random(16),
+            "events": rng.integers(0, 1000, 16),
+        }
+        store.put("spec", "data", cold)
+        warm = store.get("spec", "data")
+        assert np.array_equal(warm["corr"], cold["corr"])
+        assert warm["corr"].dtype == cold["corr"].dtype
+        assert np.array_equal(warm["events"], cold["events"])

@@ -126,6 +126,39 @@ class TestBatchedDecoders:
         with pytest.raises(ValueError, match="scheme"):
             reconstruct_batch(atc_streams, "adc")
 
+    def test_per_row_dac_bits_match_per_stream(self, datc_streams):
+        """Heterogeneous decode configs in one batched call: each row at
+        its own (vref, dac_bits) must equal the per-stream decoder."""
+        bits = [2, 3, 4, 6]
+        vrefs = [1.0, 0.8, 1.0, 1.2]
+        batch = level_zoh_batch(datc_streams, 100.0, vref=vrefs, dac_bits=bits)
+        for row, stream, v, b in zip(batch, datc_streams, vrefs, bits):
+            assert np.array_equal(
+                row, level_zoh(stream, 100.0, vref=v, dac_bits=b)
+            )
+
+    def test_per_row_reconstruct_matches_per_stream(self, datc_streams):
+        bits = np.array([2, 3, 4, 6])
+        batch = reconstruct_batch(
+            datc_streams, "datc", None, dac_bits=bits, vref=1.0
+        )
+        for row, stream, b in zip(batch, datc_streams, bits):
+            assert np.array_equal(
+                row, reconstruct_hybrid(stream, dac_bits=int(b))
+            )
+
+    def test_per_row_override_scalar_equivalent(self, datc_streams):
+        """A scalar override equals the same value broadcast per row."""
+        scalar = reconstruct_batch(datc_streams, "datc", None, dac_bits=3)
+        broadcast = reconstruct_batch(
+            datc_streams, "datc", None, dac_bits=[3] * len(datc_streams)
+        )
+        assert np.array_equal(scalar, broadcast)
+
+    def test_per_row_length_mismatch_rejected(self, datc_streams):
+        with pytest.raises(ValueError, match="per stream"):
+            level_zoh_batch(datc_streams, 100.0, dac_bits=[4, 4])
+
     def test_invalid_rate_weight_rejected(self, datc_streams):
         with pytest.raises(ValueError, match="rate_weight"):
             reconstruct_batch(datc_streams, "datc", rate_weight=1.5)
