@@ -17,6 +17,12 @@ import pytest
 from repro.signals.dataset import default_dataset
 
 
+@pytest.fixture(autouse=True)
+def _bench_records_to_tmp(tmp_path, monkeypatch):
+    """Keep BENCH_*.json telemetry out of the repo when benches run the CLI."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench-records"))
+
+
 @pytest.fixture(scope="session")
 def paper_dataset():
     """The full 190-pattern, 20 s dataset (patterns generated lazily)."""

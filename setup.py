@@ -1,7 +1,30 @@
-"""Setup shim: enables `python setup.py develop` on environments without
-the `wheel` package (PEP 660 editable installs need it; this path does not).
-All metadata lives in pyproject.toml.
-"""
-from setuptools import setup
+"""Packaging for the D-ATC (DATE 2015) reproduction toolkit.
 
-setup()
+The default install is pure numpy.  The ``compiled`` extra pulls in
+numba for the opt-in jitted kernel tier (``repro.kernels``, see
+docs/KERNELS.md)::
+
+    pip install -e .             # numpy-only reference paths
+    pip install -e .[compiled]   # + numba-jitted kernels
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.2.0",
+    description=(
+        "Reproduction of the DATE 2015 dynamic average threshold "
+        "crossing (D-ATC) sEMG event-encoding system"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # The compiled kernel tier degrades gracefully when absent:
+        # dispatch warns once and serves the numpy reference kernels.
+        "compiled": ["numba>=0.57"],
+        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -20,6 +20,11 @@ docs/API.md): serialise it with ``to_dict``/``to_json``, derive sweep
 grids with ``replace_at``, and attach a ``ResultStore`` to memoise
 repeated sweeps on disk.  ``run_atc``/``run_datc`` remain as one-line
 conveniences over the same path.
+
+Execution is pure numpy by default; ``use_backend("compiled")`` (or
+``REPRO_KERNEL_BACKEND=compiled``) opts into the numba-jitted kernel
+tier for the residual hot loops, falling back to numpy with a single
+``KernelFallbackWarning`` when numba is absent.  See docs/KERNELS.md.
 """
 
 from .core import (
@@ -43,6 +48,13 @@ from .core import (
     run_atc,
     run_batch,
     run_datc,
+)
+from .kernels import (
+    KernelFallbackWarning,
+    active_backend,
+    available_backends,
+    numba_available,
+    use_backend,
 )
 from .runtime import AsyncStreamingPipeline, ResultStore, map_jobs
 from .rx import StreamingDecoder, reconstruct_batch
@@ -80,6 +92,11 @@ __all__ = [
     "run_atc",
     "run_batch",
     "run_datc",
+    "KernelFallbackWarning",
+    "active_backend",
+    "available_backends",
+    "numba_available",
+    "use_backend",
     "AsyncStreamingPipeline",
     "ResultStore",
     "map_jobs",

@@ -1,0 +1,229 @@
+"""Perf-trajectory telemetry: machine-readable benchmark records.
+
+Every ``repro bench`` subcommand appends one JSON record to
+``BENCH_<area>.json`` (areas: encoder, rx, link, sweep, cache, kernels)
+so the speedups the CI gates assert stop evaporating between PRs — the
+committed files *are* the performance trajectory.  ``repro bench
+--report`` renders the trajectory and fails on a >20 % regression of an
+area's headline metric against its previous committed point
+(``BENCH_REGRESSION_PCT`` overrides the threshold).
+
+Record layout (one list per file, append-only)::
+
+    {
+      "area": "encoder",
+      "recorded_at": "2026-08-08T12:00:00Z",
+      "git_sha": "93815be...",            # null outside a git checkout
+      "host": {"platform": ..., "machine": ..., "python": ...,
+               "numpy": ..., "cpu_count": ...},
+      "params": {"signals": 16, "duration": 20.0, ...},
+      "spec_keys": {"datc": "<spec.key()>"},
+      "rows": [{"name": ..., "time_ms": ..., "throughput": ...,
+                "speedup": ...}],
+      "headline": {"metric": "batched-vs-loop speedup", "value": 8.1},
+      "notes": null
+    }
+
+The headline is a *ratio* (speedup), not a wall-clock, so points taken on
+different machines stay roughly comparable; the host block is there to
+explain the residual scatter.  Files live in ``REPRO_BENCH_DIR`` when
+set, else ``./benchmarks`` when that directory exists (the repo layout),
+else the working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "AREAS",
+    "append_record",
+    "bench_dir",
+    "git_sha",
+    "host_info",
+    "load_trajectories",
+    "make_record",
+    "record_path",
+    "render_report",
+]
+
+AREAS = ("encoder", "rx", "link", "sweep", "cache", "kernels")
+ENV_DIR = "REPRO_BENCH_DIR"
+ENV_REGRESSION_PCT = "BENCH_REGRESSION_PCT"
+DEFAULT_REGRESSION_PCT = 20.0
+
+
+def bench_dir(explicit: "str | Path | None" = None) -> Path:
+    """Where BENCH_*.json records live (flag > env > ./benchmarks > cwd)."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return Path(env)
+    default = Path("benchmarks")
+    return default if default.is_dir() else Path(".")
+
+
+def record_path(area: str, directory: "str | Path | None" = None) -> Path:
+    """The trajectory file of one bench area."""
+    if area not in AREAS:
+        raise ValueError(f"unknown bench area {area!r}; choose from {AREAS}")
+    return bench_dir(directory) / f"BENCH_{area}.json"
+
+
+def host_info() -> dict:
+    """The execution environment a record was taken on."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_sha() -> "str | None":
+    """The current commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        )
+        return out.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def make_record(
+    area: str,
+    headline_metric: str,
+    headline_value: float,
+    rows: "list[dict]",
+    params: "dict | None" = None,
+    spec_keys: "dict | None" = None,
+    notes: "str | None" = None,
+) -> dict:
+    """Assemble one trajectory point (pure data, no I/O besides git)."""
+    if area not in AREAS:
+        raise ValueError(f"unknown bench area {area!r}; choose from {AREAS}")
+    return {
+        "area": area,
+        "recorded_at": datetime.now(timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+        .replace("+00:00", "Z"),
+        "git_sha": git_sha(),
+        "host": host_info(),
+        "params": params or {},
+        "spec_keys": spec_keys or {},
+        "rows": rows,
+        "headline": {
+            "metric": headline_metric,
+            "value": float(headline_value),
+        },
+        "notes": notes,
+    }
+
+
+def _load_file(path: Path) -> "list[dict]":
+    """A trajectory file's records; corrupt/missing files read as empty."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []
+    return data if isinstance(data, list) else []
+
+
+def append_record(record: dict, directory: "str | Path | None" = None) -> Path:
+    """Append one record to its area's BENCH_<area>.json (atomic write)."""
+    path = record_path(record["area"], directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = _load_file(path)
+    records.append(record)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_trajectories(
+    directory: "str | Path | None" = None,
+) -> "dict[str, list[dict]]":
+    """All areas' committed records, in file (chronological) order."""
+    out = {}
+    for area in AREAS:
+        records = _load_file(record_path(area, directory))
+        if records:
+            out[area] = records
+    return out
+
+
+def regression_pct() -> float:
+    """The allowed headline drop in percent (BENCH_REGRESSION_PCT knob)."""
+    return float(os.environ.get(ENV_REGRESSION_PCT, DEFAULT_REGRESSION_PCT))
+
+
+def render_report(
+    trajectories: "dict[str, list[dict]]", allowed_drop_pct: float
+) -> "tuple[str, list[str]]":
+    """The trajectory table plus the list of regression messages.
+
+    A regression is the latest point's headline value dropping more than
+    ``allowed_drop_pct`` percent below the previous committed point of
+    the same area (headlines are higher-is-better ratios).
+    """
+    header = (
+        f"{'area':<10}{'points':>7}{'latest':>22}"
+        f"{'headline':>42}{'value':>9}{'prev':>9}{'delta':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    regressions: "list[str]" = []
+    for area in AREAS:
+        records = trajectories.get(area)
+        if not records:
+            continue
+        latest = records[-1]
+        value = latest["headline"]["value"]
+        metric = latest["headline"]["metric"]
+        prev = records[-2]["headline"]["value"] if len(records) > 1 else None
+        if prev is None:
+            delta_txt = "-"
+        else:
+            delta = 100.0 * (value - prev) / prev if prev else float("inf")
+            delta_txt = f"{delta:+.1f}%"
+            if prev > 0 and value < prev * (1.0 - allowed_drop_pct / 100.0):
+                regressions.append(
+                    f"{area}: headline '{metric}' fell {abs(delta):.1f}% "
+                    f"({prev:.2f} -> {value:.2f}); allowed drop is "
+                    f"{allowed_drop_pct:.0f}% (BENCH_REGRESSION_PCT)"
+                )
+        lines.append(
+            f"{area:<10}{len(records):>7}{latest['recorded_at']:>22}"
+            f"{metric:>42}{value:>9.2f}"
+            f"{(f'{prev:.2f}' if prev is not None else '-'):>9}"
+            f"{delta_txt:>9}"
+        )
+    return "\n".join(lines), regressions

@@ -75,6 +75,41 @@ def _best_of(fn, repeats: int) -> "tuple[float, object]":
     return best, out
 
 
+def _spec_keys(schemes) -> "dict[str, str]":
+    """Each scheme's canonical spec key — ties a bench record to results."""
+    from .api import ExperimentSpec
+
+    return {s: ExperimentSpec.for_scheme(s).key() for s in schemes}
+
+
+def _record_bench(
+    args: argparse.Namespace,
+    area: str,
+    headline_metric: str,
+    headline_value: float,
+    rows: "list[dict]",
+    params: "dict | None" = None,
+    spec_keys: "dict | None" = None,
+    notes: "str | None" = None,
+) -> None:
+    """Append this run to the area's BENCH_<area>.json trajectory."""
+    from .analysis.telemetry import append_record, make_record
+
+    path = append_record(
+        make_record(
+            area,
+            headline_metric,
+            headline_value,
+            rows,
+            params=params,
+            spec_keys=spec_keys,
+            notes=notes,
+        ),
+        directory=getattr(args, "bench_out", None),
+    )
+    print(f"recorded -> {path}")
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_fig2
 
@@ -255,6 +290,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.report:
+        return _bench_report(args)
     if args.link:
         return _bench_link(args)
     if args.rx:
@@ -263,6 +300,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_sweep(args)
     if args.cache:
         return _bench_cache(args)
+    if args.kernels:
+        return _bench_kernels(args)
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -278,6 +317,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     n_total = signals.size
 
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    record_rows: "list[dict]" = []
+    headline = 1.0
     print(
         f"encoder throughput: {args.signals} signals x {args.duration:g} s "
         f"@ {fs:g} Hz ({n_total} samples), chunk={args.chunk}, "
@@ -318,10 +359,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name, fn in rows:
             t, events = _best_of(fn, args.repeats)
             base_t = t if base_t is None else base_t
+            speedup = base_t / t
+            if name == "batched 2-D":
+                headline = speedup
+            record_rows.append(
+                {
+                    "name": f"{scheme}:{name}",
+                    "time_ms": t * 1e3,
+                    "throughput": n_total / t,
+                    "speedup": speedup,
+                }
+            )
             print(
                 f"{name:<22}{t * 1e3:>11.1f}{n_total / t:>14.3g}"
-                f"{events / t:>11.3g}{base_t / t:>8.1f}x"
+                f"{events / t:>11.3g}{speedup:>8.1f}x"
             )
+    _record_bench(
+        args,
+        "encoder",
+        f"{schemes[-1]} batched-vs-loop encode speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "chunk": args.chunk,
+            "repeats": args.repeats,
+            "schemes": list(schemes),
+        },
+        spec_keys=_spec_keys(schemes),
+    )
     return 0
 
 
@@ -352,6 +419,8 @@ def _bench_rx(args: argparse.Namespace) -> int:
         return stream_chunks(stream, np.append(bounds, stream.duration_s))
 
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    record_rows: "list[dict]" = []
+    headline = 1.0
     print(
         f"receiver throughput: {args.signals} streams x {args.duration:g} s, "
         f"decode @ 100 Hz, chunk={args.chunk} samples "
@@ -404,9 +473,20 @@ def _bench_rx(args: argparse.Namespace) -> int:
                 raise AssertionError(
                     f"{name} reconstructions diverged from the loop"
                 )
+            speedup = base_t / t
+            if name == "batched 2-D":
+                headline = speedup
+            record_rows.append(
+                {
+                    "name": f"{scheme}:{name}",
+                    "time_ms": t * 1e3,
+                    "throughput": args.signals / t,
+                    "speedup": speedup,
+                }
+            )
             print(
                 f"{name:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
-                f"{base_t / t:>8.1f}x"
+                f"{speedup:>8.1f}x"
             )
 
         # Decode + correlation, for context: scoring runs on the 50 k
@@ -425,10 +505,33 @@ def _bench_rx(args: argparse.Namespace) -> int:
         )
         if not np.array_equal(np.asarray(loop_corrs), batch_corrs):
             raise AssertionError("batched correlations diverged from the loop")
+        record_rows.append(
+            {
+                "name": f"{scheme}:decode+correlate batched",
+                "time_ms": batch_t * 1e3,
+                "throughput": args.signals / batch_t,
+                "speedup": loop_t / batch_t,
+            }
+        )
         print(
             f"with correlation: loop {loop_t * 1e3:.1f} ms, "
             f"batched {batch_t * 1e3:.1f} ms ({loop_t / batch_t:.1f}x)"
         )
+    _record_bench(
+        args,
+        "rx",
+        f"{schemes[-1]} batched-vs-loop reconstruct speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "chunk": args.chunk,
+            "repeats": args.repeats,
+            "schemes": list(schemes),
+        },
+        spec_keys=_spec_keys(schemes),
+    )
     return 0
 
 
@@ -445,6 +548,8 @@ def _bench_sweep(args: argparse.Namespace) -> int:
     )
     jobs = args.jobs if args.jobs is not None else default_jobs()
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    record_rows: "list[dict]" = []
+    headline = 1.0
     print(
         f"sweep throughput: {args.signals} patterns x {args.duration:g} s "
         f"dataset sweep, jobs={jobs}, best of {args.repeats}"
@@ -476,10 +581,36 @@ def _bench_sweep(args: argparse.Namespace) -> int:
                         f"{backend} sweep diverged from the serial results"
                     )
                 identical = "yes"
+            speedup = base_t / t
+            if backend != "serial":
+                headline = max(headline, speedup)
+            record_rows.append(
+                {
+                    "name": f"{scheme}:{backend}",
+                    "time_ms": t * 1e3,
+                    "throughput": args.signals / t,
+                    "speedup": speedup,
+                }
+            )
             print(
                 f"{backend:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
-                f"{base_t / t:>8.1f}x{identical:>11}"
+                f"{speedup:>8.1f}x{identical:>11}"
             )
+    _record_bench(
+        args,
+        "sweep",
+        "best sharded-vs-serial sweep speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "jobs": jobs,
+            "repeats": args.repeats,
+            "schemes": list(schemes),
+        },
+        spec_keys=_spec_keys(schemes),
+    )
     return 0
 
 
@@ -498,6 +629,8 @@ def _bench_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
     cleanup = args.cache_dir is None
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    record_rows: "list[dict]" = []
+    headline = 1.0
     print(
         f"cache throughput: {args.signals} patterns x {args.duration:g} s "
         f"dataset sweep, store at {root}"
@@ -529,6 +662,23 @@ def _bench_cache(args: argparse.Namespace) -> int:
             ) and np.array_equal(warm.n_events, cold.n_events)
             if not same:
                 raise AssertionError("warm sweep diverged from the cold run")
+            headline = t_cold / t_warm
+            record_rows.extend(
+                [
+                    {
+                        "name": f"{scheme}:cold (evaluate+put)",
+                        "time_ms": t_cold * 1e3,
+                        "throughput": args.signals / t_cold,
+                        "speedup": 1.0,
+                    },
+                    {
+                        "name": f"{scheme}:warm (store hits)",
+                        "time_ms": t_warm * 1e3,
+                        "throughput": args.signals / t_warm,
+                        "speedup": headline,
+                    },
+                ]
+            )
             print(
                 f"{'warm (store hits)':<22}{t_warm * 1e3:>11.1f}"
                 f"{args.signals / t_warm:>14.3g}{t_cold / t_warm:>8.1f}x"
@@ -542,6 +692,20 @@ def _bench_cache(args: argparse.Namespace) -> int:
     finally:
         if cleanup:
             shutil.rmtree(root, ignore_errors=True)
+    _record_bench(
+        args,
+        "cache",
+        f"{schemes[-1]} warm-vs-cold sweep speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "repeats": args.repeats,
+            "schemes": list(schemes),
+        },
+        spec_keys=_spec_keys(schemes),
+    )
     return 0
 
 
@@ -567,6 +731,8 @@ def _bench_link(args: argparse.Namespace) -> int:
     signals = np.stack([p.emg for p in patterns])
 
     schemes = ("atc", "datc") if args.scheme == "both" else (args.scheme,)
+    record_rows: "list[dict]" = []
+    headline = 1.0
     link_cfg = LinkConfig()
     modulate = ook_modulate if link_cfg.modulation == "ook" else ppm_modulate
     demod_loop = (
@@ -624,10 +790,195 @@ def _bench_link(args: argparse.Namespace) -> int:
                 for r, b in zip(out, base_out)
             ):
                 raise AssertionError(f"{name} demodulation diverged from the loop")
+            speedup = base_t / t
+            if name == "batched":
+                headline = speedup
+            record_rows.append(
+                {
+                    "name": f"{scheme}:{name}",
+                    "time_ms": t * 1e3,
+                    "throughput": args.signals / t,
+                    "speedup": speedup,
+                }
+            )
             print(
                 f"{name:<22}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
-                f"{base_t / t:>8.1f}x"
+                f"{speedup:>8.1f}x"
             )
+    _record_bench(
+        args,
+        "link",
+        f"{schemes[-1]} batched-vs-loop link speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "repeats": args.repeats,
+            "schemes": list(schemes),
+            "modulation": link_cfg.modulation,
+        },
+        spec_keys=_spec_keys(schemes),
+    )
+    return 0
+
+
+def _bench_kernels(args: argparse.Namespace) -> int:
+    """Kernel tier: numpy vs compiled D-ATC frame scan + fused scoring."""
+    import warnings
+
+    from .core.config import DATCConfig
+    from .core.encoders import encode_batch
+    from .kernels import dispatch
+    from .kernels.correlation import TOLERANCE_PCT
+    from .rx.correlation import aligned_correlation_percent_batch
+    from .rx.decoders import reconstruct_batch
+    from .signals.dataset import DatasetSpec
+
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    patterns = [dataset.pattern(i) for i in range(args.signals)]
+    fs = patterns[0].fs
+    signals = np.stack([p.emg for p in patterns])
+    references = np.stack([p.ground_truth_envelope() for p in patterns])
+    config = DATCConfig()
+
+    compiled_real = dispatch.numba_available()
+    notes = (
+        None
+        if compiled_real
+        else "numba unavailable: compiled tier fell back to numpy"
+    )
+    print(
+        f"kernel tier: {args.signals} signals x {args.duration:g} s "
+        f"@ {fs:g} Hz, datc, best of {args.repeats}; "
+        f"compiled backend {'jitted' if compiled_real else 'FALLBACK (numpy)'}"
+    )
+
+    def encode_with(backend: str):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            with dispatch.use_backend(backend):
+                return encode_batch(signals, fs, config)
+
+    def score_with(backend: str, recons: np.ndarray) -> np.ndarray:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            with dispatch.use_backend(backend):
+                return aligned_correlation_percent_batch(recons, references)
+
+    if compiled_real:
+        encode_with("compiled")  # warm the JIT outside the timed region
+
+    record_rows: "list[dict]" = []
+    header = f"{'path':<26}{'time (ms)':>11}{'samples/s':>14}{'speedup':>9}"
+    print(f"\n[datc encode]\n{header}\n" + "-" * len(header))
+    t_np, out_np = _best_of(lambda: encode_with("numpy"), args.repeats)
+    t_cc, out_cc = _best_of(lambda: encode_with("compiled"), args.repeats)
+    for (s_np, tr_np), (s_cc, tr_cc) in zip(out_np, out_cc):
+        same = (
+            np.array_equal(s_np.times, s_cc.times)
+            and np.array_equal(s_np.levels, s_cc.levels)
+            and np.array_equal(tr_np.d_in, tr_cc.d_in)
+            and np.array_equal(tr_np.vth, tr_cc.vth)
+            and np.array_equal(tr_np.frame_avr, tr_cc.frame_avr)
+        )
+        if not same:
+            raise AssertionError(
+                "compiled D-ATC encode diverged from numpy (must be bit-exact)"
+            )
+    headline = t_np / t_cc
+    for name, t in (("numpy", t_np), ("compiled", t_cc)):
+        speedup = t_np / t
+        record_rows.append(
+            {
+                "name": f"datc-encode:{name}",
+                "time_ms": t * 1e3,
+                "throughput": signals.size / t,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"{name:<26}{t * 1e3:>11.1f}{signals.size / t:>14.3g}"
+            f"{speedup:>8.1f}x"
+        )
+    print("compiled encode bit-identical to numpy: yes")
+
+    streams = [s for s, _ in out_np]
+    recons = reconstruct_batch(streams, "datc", config)
+    print(f"\n[fused scoring]\n{header}\n" + "-" * len(header))
+    t_np, corr_np = _best_of(lambda: score_with("numpy", recons), args.repeats)
+    t_cc, corr_cc = _best_of(
+        lambda: score_with("compiled", recons), args.repeats
+    )
+    max_diff = float(np.max(np.abs(corr_np - corr_cc))) if corr_np.size else 0.0
+    if max_diff > TOLERANCE_PCT:
+        raise AssertionError(
+            f"fused scoring drifted {max_diff:g} pct-points from numpy "
+            f"(documented tolerance {TOLERANCE_PCT:g})"
+        )
+    for name, t in (("numpy", t_np), ("fused compiled", t_cc)):
+        speedup = t_np / t
+        record_rows.append(
+            {
+                "name": f"scoring:{name}",
+                "time_ms": t * 1e3,
+                "throughput": args.signals / t,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"{name:<26}{t * 1e3:>11.1f}{args.signals / t:>14.3g}"
+            f"{speedup:>8.1f}x"
+        )
+    print(
+        f"fused scoring max |diff|: {max_diff:.3g} pct-points "
+        f"(tolerance {TOLERANCE_PCT:g})"
+    )
+    if notes:
+        print(f"note: {notes}")
+    _record_bench(
+        args,
+        "kernels",
+        "compiled-vs-numpy datc encode speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "repeats": args.repeats,
+            "numba": compiled_real,
+        },
+        spec_keys=_spec_keys(("datc",)),
+        notes=notes,
+    )
+    return 0
+
+
+def _bench_report(args: argparse.Namespace) -> int:
+    """Render the perf trajectory; fail on a headline regression."""
+    from .analysis.telemetry import (
+        bench_dir,
+        load_trajectories,
+        regression_pct,
+        render_report,
+    )
+
+    directory = getattr(args, "bench_out", None)
+    trajectories = load_trajectories(directory)
+    if not trajectories:
+        print(f"no BENCH_*.json records under {bench_dir(directory)}")
+        return 0
+    allowed = regression_pct()
+    table, regressions = render_report(trajectories, allowed)
+    print(table)
+    if regressions:
+        print(f"\nREGRESSION ({len(regressions)}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nno headline regressions (allowed drop {allowed:g}%)")
     return 0
 
 
@@ -805,7 +1156,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark a cold vs warm dataset sweep through the result store",
     )
+    stage.add_argument(
+        "--kernels",
+        action="store_true",
+        help="race the numpy vs compiled kernel tier (datc encode + scoring)",
+    )
+    stage.add_argument(
+        "--report",
+        action="store_true",
+        help="render the BENCH_*.json perf trajectory; exit 1 on a "
+        "headline regression (BENCH_REGRESSION_PCT, default 20)",
+    )
     p.add_argument("--scheme", choices=("atc", "datc", "both"), default="datc")
+    p.add_argument(
+        "--bench-out",
+        default=None,
+        help="directory for BENCH_<area>.json records "
+        "(default: $REPRO_BENCH_DIR, else ./benchmarks)",
+    )
     p.add_argument(
         "--cache-dir",
         default=None,

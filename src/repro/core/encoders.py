@@ -51,6 +51,7 @@ import numpy as np
 from ..analog.comparator import Comparator
 from ..analog.dac import DAC
 from ..digital.synchronizer import clock_sample_indices, n_whole_clocks
+from ..kernels.dispatch import get_kernel, register_kernel
 from .atc import ATCTrace, rising_edges, rising_edges_2d
 from .config import ATCConfig, DATCConfig
 from .datc import DATCTrace
@@ -572,33 +573,18 @@ def atc_encode_batch(
     return out
 
 
-def datc_encode_batch(
-    signals,
-    fs: float,
-    config: "DATCConfig | None" = None,
-    rectify: bool = True,
-) -> "list[tuple[EventStream, DATCTrace]]":
-    """D-ATC over an ``(n_signals, n_samples)`` batch.
+@register_kernel("datc_frames", "numpy")
+def _datc_frames_numpy(x_clk: np.ndarray, config: DATCConfig):
+    """The frame-vectorised D-ATC scan: the ``datc_encode_batch`` hot loop.
 
-    Frame-vectorised across the signal axis: each frame's comparison and
-    DTC ones count run as single numpy ops over all rows, with one
-    independent :class:`ThresholdPredictor` per row (the per-channel DTC
-    instances of the multi-channel systems).  The Python-level loop runs
-    ``n_frames`` times instead of ``n_signals * n_frames`` — the hot path
-    of dataset sweeps and multi-channel encoding.  Per-row results are
-    bit-identical to ``datc_encode``.
+    One Python iteration per frame, each a handful of whole-batch numpy
+    ops driving a :class:`_BatchPredictor`.  This is the numpy flavour of
+    the ``"datc_frames"`` kernel; the compiled tier
+    (:mod:`repro.kernels.datc`) fuses the same sequence into a single
+    jitted pass and is gated by exact equality against this function.
+    Returns ``(d_in, levels, vth, frame_levels, frame_ones, frame_avr)``.
     """
-    config = config if config is not None else DATCConfig()
-    x = _as_batch(signals)
-    if rectify:
-        x = np.abs(x)
-    n_signals, n_samples = x.shape
-    n_clocks = _check_batch_fs(n_samples, fs, config.clock_hz)
-    duration = n_samples / fs
-
-    edge_idx = clock_sample_indices(n_samples, fs, config.clock_hz, n_clocks=n_clocks)
-    x_clk = x[:, edge_idx]
-
+    n_signals, n_clocks = x_clk.shape
     predictor = _BatchPredictor(config, n_signals)
     frame_size = config.frame_size
     lsb_inv = float(1 << config.dac_bits)
@@ -628,7 +614,6 @@ def datc_encode_batch(
             frame_ones.append(ones)
             frame_levels.append(predictor.level)
 
-    edge_mask = rising_edges_2d(d_in)
     n_frames = len(frame_ones)
     frame_avr_m = (
         np.stack(frame_avr, axis=1) if n_frames else np.zeros((n_signals, 0))
@@ -643,6 +628,51 @@ def datc_encode_batch(
         if n_frames
         else np.zeros((n_signals, 0), dtype=np.int64)
     )
+    return d_in, levels, vth_per_clock, frame_levels_m, frame_ones_m, frame_avr_m
+
+
+def datc_encode_batch(
+    signals,
+    fs: float,
+    config: "DATCConfig | None" = None,
+    rectify: bool = True,
+) -> "list[tuple[EventStream, DATCTrace]]":
+    """D-ATC over an ``(n_signals, n_samples)`` batch.
+
+    Frame-vectorised across the signal axis: each frame's comparison and
+    DTC ones count run as single numpy ops over all rows, with one
+    independent :class:`ThresholdPredictor` per row (the per-channel DTC
+    instances of the multi-channel systems).  The Python-level loop runs
+    ``n_frames`` times instead of ``n_signals * n_frames`` — the hot path
+    of dataset sweeps and multi-channel encoding.  Per-row results are
+    bit-identical to ``datc_encode``.
+
+    The frame scan dispatches through the kernel registry
+    (:mod:`repro.kernels`): under ``use_backend("compiled")`` the whole
+    per-frame sequence runs as one numba-jitted pass with identical
+    (bit-exact) results.
+    """
+    config = config if config is not None else DATCConfig()
+    x = _as_batch(signals)
+    if rectify:
+        x = np.abs(x)
+    n_signals, n_samples = x.shape
+    n_clocks = _check_batch_fs(n_samples, fs, config.clock_hz)
+    duration = n_samples / fs
+
+    edge_idx = clock_sample_indices(n_samples, fs, config.clock_hz, n_clocks=n_clocks)
+    x_clk = x[:, edge_idx]
+
+    frame_size = config.frame_size
+    (
+        d_in,
+        levels,
+        vth_per_clock,
+        frame_levels_m,
+        frame_ones_m,
+        frame_avr_m,
+    ) = get_kernel("datc_frames")(x_clk, config)
+    edge_mask = rising_edges_2d(d_in)
 
     out = []
     for r in range(n_signals):

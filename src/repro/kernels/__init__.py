@@ -1,0 +1,46 @@
+"""Opt-in compiled kernel tier behind the batched engines.
+
+The default execution path everywhere in this library is pure numpy and
+bit-exact.  This package adds a second, opt-in tier — numba-jitted fused
+kernels for the two residual hot loops (the sequential D-ATC frame scan,
+the memory-bound correlation scoring) — behind a tiny backend registry:
+
+    from repro.kernels import use_backend
+
+    use_backend("compiled")              # or REPRO_KERNEL_BACKEND=compiled
+    results = experiment.run(patterns)   # same results, faster hot loops
+
+Without numba installed the compiled tier degrades gracefully: dispatch
+falls back to numpy with a single warning and results stay byte-identical
+to the default path.  See docs/KERNELS.md for the exactness contract
+(D-ATC: exact; fused scoring: documented 1e-10 tolerance), and
+``python -m repro bench --kernels`` to race the tiers on your machine.
+
+Only :mod:`~repro.kernels.dispatch` is imported eagerly; the jitted
+modules load on first compiled dispatch so numba's import/JIT cost never
+touches the default path.
+"""
+
+from .dispatch import (
+    BACKENDS,
+    KernelFallbackWarning,
+    active_backend,
+    available_backends,
+    get_kernel,
+    numba_available,
+    register_kernel,
+    requested_backend,
+    use_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "KernelFallbackWarning",
+    "active_backend",
+    "available_backends",
+    "get_kernel",
+    "numba_available",
+    "register_kernel",
+    "requested_backend",
+    "use_backend",
+]

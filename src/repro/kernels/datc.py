@@ -1,0 +1,187 @@
+"""Compiled D-ATC frame scan: the whole Fig. 1 loop in one fused pass.
+
+The numpy batch path (:func:`repro.core.encoders._datc_frames_numpy`) is
+frame-vectorised: a Python loop of ``n_frames`` iterations, each doing a
+handful of whole-batch numpy ops and allocating per-frame temporaries.
+For long multi-frame signals that loop *is* the encoder's remaining cost.
+This kernel fuses the per-frame compare / DTC ones count / predictor
+update sequence into a single traversal of the ``(n_signals, n_clocks)``
+clocked matrix: no per-frame temporaries, no interpreter in the loop.
+
+**Exactness.**  The kernel is gated by *exact equality* against the
+numpy `_BatchPredictor` path (asserted in ``tests/kernels`` and
+``benchmarks/test_bench_kernel_throughput.py``):
+
+* the quantized (RTL) predictor flavour is integer arithmetic — trivially
+  exact;
+* the float flavour replicates the IEEE op order of the reference:
+  ``((w3*n3 + w2*n2) + w1*n1) / divisor`` for Eqn. (1) and
+  ``vref * level / 2**Nb`` for Eqn. (3), every operand promoted exactly
+  as numpy promotes it (small integer counts convert to float64 without
+  rounding);
+* Listing 1's priority encoder is an ascending-ladder scan identical to
+  ``searchsorted(..., side="right") - 1`` including duplicate ladder
+  entries (rounded quantized ladders can repeat values).
+
+The kernel body is a plain Python function jitted at import when numba
+is present; without numba the module still imports and the body remains
+callable (pure Python) so the test-suite exercises its semantics on any
+environment — dispatch never routes to it un-jitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DATCConfig
+from ..core.predictor import ThresholdPredictor
+from .dispatch import register_kernel
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_COMPILED = True
+except ImportError:  # pragma: no cover - the container default
+    njit = None
+    NUMBA_COMPILED = False
+
+__all__ = ["datc_frames", "NUMBA_COMPILED"]
+
+
+def _datc_scan_py(
+    x_clk,
+    frame_size,
+    vref,
+    n_codes,
+    ladder,
+    min_level,
+    initial_level,
+    w1,
+    w2,
+    w3,
+    divisor,
+    fw1,
+    fw2,
+    fw3,
+    shift,
+    quantized,
+    d_in,
+    levels,
+    vth,
+    frame_levels,
+    frame_ones,
+    frame_avr,
+):
+    """One pass over ``(n_signals, n_clocks)``: compare, count, predict.
+
+    Written in the numba-compilable subset (scalar loops, preallocated
+    outputs); see the module docstring for the exactness contract.
+    """
+    n_signals, n_clocks = x_clk.shape
+    n_ladder = ladder.shape[0]
+    for r in range(n_signals):
+        n_one1 = 0
+        n_one2 = 0
+        level = initial_level
+        frame = 0
+        k0 = 0
+        while k0 < n_clocks:
+            k1 = k0 + frame_size
+            if k1 > n_clocks:
+                k1 = n_clocks
+            v = vref * level / n_codes  # Eqn. (3), reference op order
+            ones = 0
+            for k in range(k0, k1):
+                bit = 1 if x_clk[r, k] > v else 0
+                d_in[r, k] = bit
+                levels[r, k] = level
+                vth[r, k] = v
+                ones += bit
+            if k1 - k0 == frame_size:  # only completed frames update the DTC
+                if quantized:
+                    acc = fw3 * ones + fw2 * n_one2 + fw1 * n_one1
+                    avr = float(acc >> shift)
+                else:
+                    avr = (w3 * ones + w2 * n_one2 + w1 * n_one1) / divisor
+                # searchsorted(ladder, avr, side="right") - 1 on the
+                # ascending ladder (duplicates included: the scan keeps
+                # advancing while entries stay <= avr).
+                idx = -1
+                for t in range(n_ladder):
+                    if ladder[t] <= avr:
+                        idx = t
+                    else:
+                        break
+                level = idx if idx > min_level else min_level
+                frame_avr[r, frame] = avr
+                frame_ones[r, frame] = ones
+                frame_levels[r, frame] = level
+                n_one1 = n_one2
+                n_one2 = ones
+                frame += 1
+            k0 = k1
+
+
+_datc_scan = (
+    njit(cache=True, nogil=True)(_datc_scan_py) if NUMBA_COMPILED else _datc_scan_py
+)
+
+
+@register_kernel("datc_frames", "compiled")
+def datc_frames(x_clk: np.ndarray, config: DATCConfig):
+    """Compiled flavour of the D-ATC frame scan (same contract as numpy).
+
+    Takes the clock-resampled ``(n_signals, n_clocks)`` matrix and the
+    operating point; returns ``(d_in, levels, vth, frame_levels,
+    frame_ones, frame_avr)`` with the exact dtypes and values of
+    :func:`repro.core.encoders._datc_frames_numpy`.
+    """
+    x_clk = np.ascontiguousarray(x_clk, dtype=float)
+    n_signals, n_clocks = x_clk.shape
+    frame_size = config.frame_size
+    n_frames = n_clocks // frame_size  # completed frames only
+
+    d_in = np.empty((n_signals, n_clocks), dtype=np.uint8)
+    levels = np.empty((n_signals, n_clocks), dtype=np.int64)
+    vth = np.empty((n_signals, n_clocks), dtype=float)
+    frame_levels = np.zeros((n_signals, n_frames), dtype=np.int64)
+    frame_ones = np.zeros((n_signals, n_frames), dtype=np.int64)
+    frame_avr = np.zeros((n_signals, n_frames), dtype=float)
+
+    # Same ladder the batch predictor selects from; small-integer
+    # (quantized) ladders convert to float64 exactly.
+    ladder = np.asarray(
+        ThresholdPredictor(config).interval_ladder, dtype=float
+    )
+    if config.quantized:
+        fixed = config.fixed_weights()
+        fw1, fw2, fw3, shift = fixed.w1, fixed.w2, fixed.w3, fixed.shift
+    else:
+        fw1 = fw2 = fw3 = shift = 0
+    w1, w2, w3 = config.weights
+
+    _datc_scan(
+        x_clk,
+        frame_size,
+        float(config.vref),
+        float(1 << config.dac_bits),
+        ladder,
+        int(config.min_level),
+        int(config.initial_level),
+        float(w1),
+        float(w2),
+        float(w3),
+        float(config.weight_divisor),
+        int(fw1),
+        int(fw2),
+        int(fw3),
+        int(shift),
+        bool(config.quantized),
+        d_in,
+        levels,
+        vth,
+        frame_levels,
+        frame_ones,
+        frame_avr,
+    )
+    return d_in, levels, vth, frame_levels, frame_ones, frame_avr

@@ -1,0 +1,201 @@
+"""Kernel backend registry: numpy reference paths vs compiled (numba) tier.
+
+Every residual hot loop of the batched pipeline (the sequential D-ATC
+frame scan, the memory-bound correlation scoring) exists in two
+implementations:
+
+``numpy``
+    The pure-numpy reference path.  Always available, always the default,
+    and the definition of correctness — every other backend is gated
+    against it (bit-exactly where the op allows it, within a documented
+    tolerance otherwise; see docs/KERNELS.md).
+``compiled``
+    Numba-jitted fused kernels (``repro.kernels.datc`` /
+    ``repro.kernels.correlation``).  Opt-in: ``use_backend("compiled")``
+    or ``REPRO_KERNEL_BACKEND=compiled``.  When numba is not installed
+    the dispatcher falls back to ``numpy`` and warns **once** per
+    process — nothing else changes, results are byte-identical to the
+    default path.
+
+The backend is an *execution detail*: it is not part of
+:class:`~repro.api.ExperimentSpec`, so ``spec.key()`` and
+:class:`~repro.runtime.store.ResultStore` addresses are identical under
+either backend (asserted in ``tests/kernels``).
+
+Usage::
+
+    from repro.kernels import use_backend
+
+    use_backend("compiled")          # process-wide
+    with use_backend("compiled"):    # scoped; restores the previous one
+        experiment.run(patterns)
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import warnings
+
+__all__ = [
+    "BACKENDS",
+    "KernelFallbackWarning",
+    "active_backend",
+    "available_backends",
+    "get_kernel",
+    "numba_available",
+    "register_kernel",
+    "requested_backend",
+    "use_backend",
+]
+
+BACKENDS = ("numpy", "compiled")
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+# Compiled implementations are imported lazily, first time the compiled
+# backend actually dispatches that op — importing (and jitting) numba
+# kernels must cost nothing on the default path.
+_COMPILED_MODULES = {
+    "datc_frames": "repro.kernels.datc",
+    "aligned_correlation": "repro.kernels.correlation",
+}
+
+_registry: "dict[str, dict[str, object]]" = {}
+_requested: "str | None" = None  # resolved lazily from ENV_VAR
+_numba_ok: "bool | None" = None
+_warned_fallback = False
+
+
+class KernelFallbackWarning(RuntimeWarning):
+    """Emitted once when the compiled backend is requested without numba."""
+
+
+def numba_available() -> bool:
+    """True when numba can be imported (cached after the first check)."""
+    global _numba_ok
+    if _numba_ok is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except Exception:
+            _numba_ok = False
+    return _numba_ok
+
+
+def available_backends() -> "tuple[str, ...]":
+    """The backends that would actually execute on this machine."""
+    return BACKENDS if numba_available() else ("numpy",)
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {BACKENDS}"
+        )
+    return name
+
+
+def requested_backend() -> str:
+    """The backend the process asked for (env var or :func:`use_backend`)."""
+    global _requested
+    if _requested is None:
+        _requested = _validate(os.environ.get(ENV_VAR, "numpy"))
+    return _requested
+
+
+def _warn_fallback_once() -> None:
+    global _warned_fallback
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            "kernel backend 'compiled' requested but numba is not "
+            "installed; falling back to the pure-numpy kernels "
+            "(pip install repro[compiled] to enable the compiled tier)",
+            KernelFallbackWarning,
+            stacklevel=3,
+        )
+
+
+def active_backend() -> str:
+    """The backend dispatch will actually use (fallback applied)."""
+    name = requested_backend()
+    if name == "compiled" and not numba_available():
+        _warn_fallback_once()
+        return "numpy"
+    return name
+
+
+class _BackendContext:
+    """Restores the previously requested backend on ``__exit__``.
+
+    Returned by :func:`use_backend` so the call works both as a plain
+    process-wide setter and as a ``with`` block.
+    """
+
+    def __init__(self, previous: str) -> None:
+        self._previous = previous
+
+    def __enter__(self) -> str:
+        return requested_backend()
+
+    def __exit__(self, *exc) -> bool:
+        global _requested
+        _requested = self._previous
+        return False
+
+
+def use_backend(name: str) -> _BackendContext:
+    """Select the kernel backend (``"numpy"`` or ``"compiled"``).
+
+    Takes effect immediately and process-wide; the returned object is a
+    context manager that restores the previous selection, so scoped use
+    is ``with use_backend("compiled"): ...``.  Requesting ``"compiled"``
+    without numba installed warns once and runs on numpy.
+    """
+    global _requested
+    _validate(name)
+    previous = requested_backend()
+    _requested = name
+    if name == "compiled" and not numba_available():
+        _warn_fallback_once()
+    return _BackendContext(previous)
+
+
+def register_kernel(op: str, backend: str):
+    """Decorator: register ``fn`` as the ``backend`` implementation of ``op``."""
+    _validate(backend)
+
+    def decorate(fn):
+        _registry.setdefault(op, {})[backend] = fn
+        return fn
+
+    return decorate
+
+
+def get_kernel(op: str):
+    """The ``op`` implementation for the active backend.
+
+    The compiled implementation is imported on first use; an op with no
+    compiled flavour silently serves its numpy one (the registry is a
+    per-op opt-in, not an all-or-nothing switch).
+    """
+    backend = active_backend()
+    if backend == "compiled":
+        impl = _registry.get(op, {}).get("compiled")
+        if impl is None and op in _COMPILED_MODULES:
+            importlib.import_module(_COMPILED_MODULES[op])
+            impl = _registry.get(op, {}).get("compiled")
+        if impl is not None:
+            return impl
+    impl = _registry.get(op, {}).get("numpy")
+    if impl is None:
+        raise KeyError(f"no kernel registered for op {op!r}")
+    return impl
+
+
+def _reset_for_tests() -> None:
+    """Forget the requested backend and the one-time warning (tests only)."""
+    global _requested, _warned_fallback
+    _requested = None
+    _warned_fallback = False

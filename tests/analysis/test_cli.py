@@ -203,6 +203,105 @@ class TestBenchSubcommands:
         assert "warm (store hits)" in out
         assert "2 hits / 2 misses / 2 stores" in out
 
+    def test_bench_kernels_races_the_tiers(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--kernels", "--signals", "2",
+                    "--duration", "2", "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kernel tier" in out
+        assert "[datc encode]" in out
+        assert "[fused scoring]" in out
+        assert "compiled encode bit-identical to numpy: yes" in out
+        assert "fused scoring max |diff|" in out
+        from repro.kernels import numba_available
+
+        if not numba_available():
+            assert "FALLBACK" in out
+
+    def test_bench_kernels_exclusive_with_other_stages(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--kernels", "--rx"])
+
+
+class TestBenchTelemetry:
+    """Every bench stage writes a BENCH_<area>.json trajectory point."""
+
+    def test_bench_writes_record(self, tmp_path, capsys):
+        out_dir = tmp_path / "records"
+        assert (
+            main(
+                [
+                    "bench", "--signals", "2", "--duration", "2",
+                    "--repeats", "1", "--bench-out", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert "recorded ->" in capsys.readouterr().out
+        import json
+
+        records = json.loads((out_dir / "BENCH_encoder.json").read_text())
+        assert len(records) == 1
+        record = records[0]
+        assert record["area"] == "encoder"
+        assert record["headline"]["value"] > 0
+        assert record["params"]["signals"] == 2
+        assert record["spec_keys"]["datc"]
+        assert len(record["rows"]) == 3
+
+    def test_bench_env_dir_and_append(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "env-records"))
+        argv = [
+            "bench", "--kernels", "--signals", "2", "--duration", "2",
+            "--repeats", "1",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        import json
+
+        records = json.loads(
+            (tmp_path / "env-records" / "BENCH_kernels.json").read_text()
+        )
+        assert len(records) == 2
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        assert (
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 0
+        )
+        assert "no BENCH_*.json records" in capsys.readouterr().out
+
+    def test_report_renders_and_gates(self, tmp_path, monkeypatch, capsys):
+        from repro.analysis.telemetry import append_record, make_record
+
+        append_record(
+            make_record("encoder", "batched speedup", 4.0, []), tmp_path
+        )
+        assert (
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "encoder" in out and "no headline regressions" in out
+        # a >20% drop fails the gate; raising the knob lets it pass
+        append_record(
+            make_record("encoder", "batched speedup", 2.0, []), tmp_path
+        )
+        assert (
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+        monkeypatch.setenv("BENCH_REGRESSION_PCT", "60")
+        assert (
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 0
+        )
+        capsys.readouterr()
+
 
 class TestSpecCommands:
     """The declarative `run`/`sweep` subcommands and their cache plumbing."""

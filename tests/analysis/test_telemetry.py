@@ -1,0 +1,119 @@
+"""Perf-trajectory telemetry: record files, loading, regression gate."""
+
+import json
+
+import pytest
+
+from repro.analysis import telemetry
+
+
+class TestBenchDir:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.ENV_DIR, str(tmp_path / "env"))
+        assert telemetry.bench_dir(tmp_path / "flag") == tmp_path / "flag"
+
+    def test_env_var_wins_over_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.ENV_DIR, str(tmp_path / "env"))
+        assert telemetry.bench_dir() == tmp_path / "env"
+
+    def test_default_is_benchmarks_dir_when_present(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(telemetry.ENV_DIR, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert str(telemetry.bench_dir()) == "."
+        (tmp_path / "benchmarks").mkdir()
+        assert str(telemetry.bench_dir()) == "benchmarks"
+
+    def test_unknown_area_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench area"):
+            telemetry.record_path("gpu", tmp_path)
+        with pytest.raises(ValueError, match="unknown bench area"):
+            telemetry.make_record("gpu", "m", 1.0, [])
+
+
+class TestRecords:
+    def test_record_shape(self):
+        record = telemetry.make_record(
+            "encoder",
+            "batched speedup",
+            3.25,
+            [{"name": "a", "time_ms": 1.0, "throughput": 2.0, "speedup": 1.0}],
+            params={"signals": 4},
+            spec_keys={"datc": "abc"},
+        )
+        assert record["area"] == "encoder"
+        assert record["headline"] == {
+            "metric": "batched speedup",
+            "value": 3.25,
+        }
+        assert record["host"]["numpy"]
+        assert record["recorded_at"].endswith("Z")
+        assert record["params"] == {"signals": 4}
+        assert record["spec_keys"] == {"datc": "abc"}
+
+    def test_append_accumulates_and_loads(self, tmp_path):
+        for value in (1.0, 2.0, 3.0):
+            path = telemetry.append_record(
+                telemetry.make_record("rx", "speedup", value, []),
+                directory=tmp_path,
+            )
+        assert path == tmp_path / "BENCH_rx.json"
+        records = json.loads(path.read_text())
+        assert [r["headline"]["value"] for r in records] == [1.0, 2.0, 3.0]
+        loaded = telemetry.load_trajectories(tmp_path)
+        assert set(loaded) == {"rx"}
+        assert len(loaded["rx"]) == 3
+
+    def test_corrupt_file_reads_as_empty(self, tmp_path):
+        path = tmp_path / "BENCH_link.json"
+        path.write_text("{not json")
+        assert telemetry.load_trajectories(tmp_path) == {}
+        # appending over the corrupt file starts a fresh trajectory
+        telemetry.append_record(
+            telemetry.make_record("link", "speedup", 2.0, []),
+            directory=tmp_path,
+        )
+        assert len(telemetry.load_trajectories(tmp_path)["link"]) == 1
+
+
+class TestRegressionGate:
+    def _trajectory(self, *values):
+        return {
+            "encoder": [
+                telemetry.make_record("encoder", "batched speedup", v, [])
+                for v in values
+            ]
+        }
+
+    def test_single_point_never_regresses(self):
+        table, regressions = telemetry.render_report(self._trajectory(3.0), 20)
+        assert "encoder" in table
+        assert regressions == []
+
+    def test_drop_within_allowance_passes(self):
+        _, regressions = telemetry.render_report(
+            self._trajectory(3.0, 2.5), 20
+        )
+        assert regressions == []
+
+    def test_drop_beyond_allowance_flags(self):
+        _, regressions = telemetry.render_report(
+            self._trajectory(3.0, 2.0), 20
+        )
+        assert len(regressions) == 1
+        assert "encoder" in regressions[0]
+        assert "BENCH_REGRESSION_PCT" in regressions[0]
+
+    def test_only_latest_vs_previous_counts(self):
+        # an old dip doesn't flag once the latest point recovers
+        _, regressions = telemetry.render_report(
+            self._trajectory(3.0, 1.0, 3.1), 20
+        )
+        assert regressions == []
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(telemetry.ENV_REGRESSION_PCT, "50")
+        assert telemetry.regression_pct() == 50.0
+        monkeypatch.delenv(telemetry.ENV_REGRESSION_PCT)
+        assert telemetry.regression_pct() == telemetry.DEFAULT_REGRESSION_PCT

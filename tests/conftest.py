@@ -13,6 +13,12 @@ import pytest
 from repro.signals.dataset import DatasetSpec
 
 
+@pytest.fixture(autouse=True)
+def _bench_records_to_tmp(tmp_path, monkeypatch):
+    """Keep BENCH_*.json telemetry out of the repo when tests run benches."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench-records"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for test randomness."""

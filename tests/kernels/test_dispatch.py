@@ -1,0 +1,138 @@
+"""Backend registry behaviour: selection, fallback, per-op resolution."""
+
+import warnings
+
+import pytest
+
+from repro.kernels import dispatch
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    """Each test starts from an unselected backend and a fresh warn flag."""
+    monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+    dispatch._reset_for_tests()
+    yield
+    dispatch._reset_for_tests()
+
+
+class TestSelection:
+    def test_default_backend_is_numpy(self):
+        assert dispatch.requested_backend() == "numpy"
+        assert dispatch.active_backend() == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "compiled")
+        dispatch._reset_for_tests()
+        assert dispatch.requested_backend() == "compiled"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "gpu")
+        dispatch._reset_for_tests()
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            dispatch.requested_backend()
+
+    def test_use_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            dispatch.use_backend("fortran")
+        assert dispatch.requested_backend() == "numpy"
+
+    def test_use_backend_is_a_plain_setter(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            dispatch.use_backend("compiled")
+        assert dispatch.requested_backend() == "compiled"
+
+    def test_use_backend_context_restores_previous(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            with dispatch.use_backend("compiled"):
+                assert dispatch.requested_backend() == "compiled"
+        assert dispatch.requested_backend() == "numpy"
+
+    def test_context_restores_on_exception(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            with pytest.raises(RuntimeError):
+                with dispatch.use_backend("compiled"):
+                    raise RuntimeError("boom")
+        assert dispatch.requested_backend() == "numpy"
+
+    def test_available_backends_tracks_numba(self):
+        expected = (
+            ("numpy", "compiled") if dispatch.numba_available() else ("numpy",)
+        )
+        assert dispatch.available_backends() == expected
+
+
+class TestFallback:
+    @pytest.mark.skipif(
+        dispatch.numba_available(), reason="fallback only happens without numba"
+    )
+    def test_fallback_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            dispatch.use_backend("compiled")
+            assert dispatch.active_backend() == "numpy"
+            assert dispatch.active_backend() == "numpy"
+        ours = [
+            w
+            for w in caught
+            if issubclass(w.category, dispatch.KernelFallbackWarning)
+        ]
+        assert len(ours) == 1
+        assert "numba" in str(ours[0].message)
+
+    @pytest.mark.skipif(
+        dispatch.numba_available(), reason="fallback only happens without numba"
+    )
+    def test_fallback_still_dispatches_numpy_kernels(self):
+        import numpy as np
+
+        from repro.core.config import DATCConfig
+        from repro.core.encoders import _datc_frames_numpy
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+            dispatch.use_backend("compiled")
+            fn = dispatch.get_kernel("datc_frames")
+        assert fn is _datc_frames_numpy
+        x = np.abs(np.sin(np.arange(40.0))).reshape(2, 20)
+        d_in, *_ = fn(x, DATCConfig())
+        assert d_in.shape == x.shape
+
+
+class TestRegistry:
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="no kernel registered"):
+            dispatch.get_kernel("does-not-exist")
+
+    def test_compiled_backend_serves_numpy_only_ops(self, monkeypatch):
+        """An op with no compiled flavour silently uses its numpy one."""
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+
+        @dispatch.register_kernel("only-numpy-op", "numpy")
+        def ref():
+            return "numpy result"
+
+        try:
+            with dispatch.use_backend("compiled"):
+                assert dispatch.active_backend() == "compiled"
+                assert dispatch.get_kernel("only-numpy-op") is ref
+        finally:
+            dispatch._registry.pop("only-numpy-op", None)
+
+    def test_compiled_dispatch_lazy_imports_the_jitted_module(
+        self, monkeypatch
+    ):
+        """Forcing the compiled path resolves repro.kernels.datc's kernel."""
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        from repro.kernels.datc import datc_frames
+
+        with dispatch.use_backend("compiled"):
+            assert dispatch.get_kernel("datc_frames") is datc_frames
+
+    def test_numpy_backend_never_touches_compiled_impls(self):
+        from repro.core.encoders import _datc_frames_numpy
+
+        assert dispatch.get_kernel("datc_frames") is _datc_frames_numpy

@@ -1,0 +1,204 @@
+"""The compiled kernel tier against its numpy reference.
+
+The D-ATC frame scan must match ``_datc_frames_numpy`` *bit for bit*
+(both predictor flavours, ragged final frames, duplicate quantized
+ladders, ``min_level`` clamping); the fused correlation kernel must stay
+within its documented ``TOLERANCE_PCT``.  The kernel bodies are plain
+Python when numba is absent, so these tests run everywhere — jitting
+only changes speed, not semantics.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.core.encoders import _datc_frames_numpy, datc_encode_batch
+from repro.kernels import dispatch
+from repro.kernels.correlation import TOLERANCE_PCT, fused_aligned_correlation
+from repro.kernels.datc import datc_frames
+from repro.rx.correlation import aligned_correlation_percent_batch
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+    dispatch._reset_for_tests()
+    yield
+    dispatch._reset_for_tests()
+
+
+def _signals(n_signals: int, n_clocks: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 4.0, n_clocks, endpoint=False)
+    base = np.abs(np.sin(2 * np.pi * 3.0 * t))[None, :]
+    return np.abs(
+        base * rng.uniform(0.2, 1.0, (n_signals, 1))
+        + 0.05 * rng.standard_normal((n_signals, n_clocks))
+    )
+
+
+def _assert_frames_equal(ref, out):
+    names = (
+        "d_in", "levels", "vth", "frame_levels", "frame_ones", "frame_avr"
+    )
+    for name, a, b in zip(names, ref, out):
+        assert a.dtype == b.dtype, f"{name} dtype {b.dtype} != {a.dtype}"
+        assert a.shape == b.shape, f"{name} shape {b.shape} != {a.shape}"
+        np.testing.assert_array_equal(b, a, err_msg=f"{name} diverged")
+
+
+class TestDATCFrameScanExact:
+    @pytest.mark.parametrize("quantized", [False, True])
+    @pytest.mark.parametrize("frame_size", [5, 7, 100])
+    @pytest.mark.parametrize("min_level", [0, 1])
+    def test_bit_exact_across_operating_points(
+        self, quantized, frame_size, min_level
+    ):
+        config = DATCConfig(
+            quantized=quantized,
+            frame_sizes=(frame_size,),
+            frame_selector=0,
+            min_level=min_level,
+        )
+        # n_clocks sweeps zero frames, exact multiples and ragged tails.
+        for n_clocks in (3, frame_size, 3 * frame_size + 2, 257):
+            x = _signals(4, n_clocks)
+            _assert_frames_equal(
+                _datc_frames_numpy(x, config), datc_frames(x, config)
+            )
+
+    def test_duplicate_quantized_ladder_entries(self):
+        # frame_size=5 rounds Eqn. (2)'s levels to repeated integers; the
+        # kernel's ladder scan must pick the same (last) duplicate as
+        # searchsorted side="right".
+        config = DATCConfig(quantized=True, frame_sizes=(5,), frame_selector=0)
+        from repro.core.predictor import ThresholdPredictor
+
+        ladder = ThresholdPredictor(config).interval_ladder
+        assert len(set(ladder)) < len(ladder), "fixture lost its duplicates"
+        x = _signals(6, 251, seed=11)
+        _assert_frames_equal(
+            _datc_frames_numpy(x, config), datc_frames(x, config)
+        )
+
+    def test_paper_defaults_on_real_patterns(self, small_dataset):
+        patterns = [small_dataset.pattern(i) for i in range(4)]
+        fs = patterns[0].fs
+        signals = np.stack([p.emg for p in patterns])
+        for config in (DATCConfig(), DATCConfig(quantized=True)):
+            ref = datc_encode_batch(signals, fs, config)
+            with warnings.catch_warnings():
+                warnings.simplefilter(
+                    "ignore", dispatch.KernelFallbackWarning
+                )
+                with dispatch.use_backend("compiled"):
+                    out = datc_encode_batch(signals, fs, config)
+            for (s_ref, t_ref), (s_out, t_out) in zip(ref, out):
+                np.testing.assert_array_equal(s_out.times, s_ref.times)
+                np.testing.assert_array_equal(s_out.levels, s_ref.levels)
+                np.testing.assert_array_equal(t_out.d_in, t_ref.d_in)
+                np.testing.assert_array_equal(t_out.vth, t_ref.vth)
+                np.testing.assert_array_equal(
+                    t_out.frame_avr, t_ref.frame_avr
+                )
+
+    def test_forced_compiled_dispatch_routes_to_kernel(self, monkeypatch):
+        """With numba 'present', dispatch serves the jitted-module kernel."""
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        x = _signals(3, 200)
+        config = DATCConfig()
+        with dispatch.use_backend("compiled"):
+            assert dispatch.get_kernel("datc_frames") is datc_frames
+            out = dispatch.get_kernel("datc_frames")(x, config)
+        _assert_frames_equal(_datc_frames_numpy(x, config), out)
+
+
+class TestFusedCorrelationTolerance:
+    def test_within_documented_tolerance(self):
+        rng = np.random.default_rng(3)
+        recons = rng.standard_normal((5, 813))
+        refs = rng.standard_normal((5, 5000))
+        ref = aligned_correlation_percent_batch(recons, refs)
+        out = fused_aligned_correlation(recons, refs)
+        assert np.max(np.abs(out - ref)) <= TOLERANCE_PCT
+
+    def test_identity_and_constant_modes(self):
+        rng = np.random.default_rng(4)
+        refs = rng.standard_normal((3, 64))
+        same_grid = rng.standard_normal((3, 64))  # m == n_ref: copy mode
+        np.testing.assert_allclose(
+            fused_aligned_correlation(same_grid, refs),
+            aligned_correlation_percent_batch(same_grid, refs),
+            rtol=0,
+            atol=TOLERANCE_PCT,
+        )
+        # m == 1: constant rows score ~0 on both paths (neither mean is
+        # exactly the repeated value in floating point, so neither hits
+        # the exact denom == 0 branch; both land within the tolerance).
+        flat = rng.standard_normal((3, 1))
+        ref_flat = aligned_correlation_percent_batch(flat, refs)
+        out_flat = fused_aligned_correlation(flat, refs)
+        assert np.max(np.abs(ref_flat)) <= TOLERANCE_PCT
+        assert np.max(np.abs(out_flat - ref_flat)) <= TOLERANCE_PCT
+
+    def test_validation_is_shared_across_backends(self, monkeypatch):
+        refs = np.zeros((2, 16))
+        bad = np.zeros((3, 8))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            aligned_correlation_percent_batch(bad, refs)
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        with dispatch.use_backend("compiled"):
+            with pytest.raises(ValueError, match="shape mismatch"):
+                aligned_correlation_percent_batch(bad, refs)
+
+
+class TestBackendInvariance:
+    """The backend is an execution detail: specs, keys and cached results
+    are identical whichever tier computed them."""
+
+    def _evaluate(self, store=None):
+        from repro.api import Experiment, ExperimentSpec
+        from repro.signals.dataset import DatasetSpec
+
+        dataset = DatasetSpec(n_patterns=2, duration_s=2.0, seed=2015)
+        spec = ExperimentSpec.for_scheme("datc")
+        experiment = Experiment(spec, store=store)
+        return spec, [
+            experiment.evaluate(dataset.pattern(i)) for i in range(2)
+        ]
+
+    def test_spec_key_ignores_backend(self, monkeypatch):
+        from repro.api import ExperimentSpec
+
+        key_numpy = ExperimentSpec.for_scheme("datc").key()
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        with dispatch.use_backend("compiled"):
+            assert ExperimentSpec.for_scheme("datc").key() == key_numpy
+
+    def test_experiment_results_identical(self, monkeypatch):
+        _, ref = self._evaluate()
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        with dispatch.use_backend("compiled"):
+            _, out = self._evaluate()
+        for a, b in zip(ref, out):
+            # encode is bit-exact; scoring is the one toleranced op
+            assert abs(b.correlation_pct - a.correlation_pct) <= TOLERANCE_PCT
+            assert b.n_events == a.n_events
+            assert b.n_symbols == a.n_symbols
+
+    def test_store_hits_across_backends(self, tmp_path, monkeypatch):
+        from repro.runtime.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        _, ref = self._evaluate(store)
+        assert store.stats()["stores"] == 2
+        monkeypatch.setattr(dispatch, "_numba_ok", True)
+        with dispatch.use_backend("compiled"):
+            warm = ResultStore(tmp_path / "store")
+            _, out = self._evaluate(warm)
+        assert warm.stats()["hits"] == 2
+        assert warm.stats()["misses"] == 0
+        for a, b in zip(ref, out):
+            assert b.correlation_pct == a.correlation_pct
