@@ -1,0 +1,165 @@
+"""Acceptance benchmarks for the multi-session SessionBatch runtime.
+
+The tentpole contract: one :class:`~repro.runtime.sessions.SessionBatch`
+advancing N concurrent wearers per ``push_many`` must beat N scalar
+``StreamingEncoder``/``StreamingDecoder`` loops by
+``SESSIONS_SPEEDUP_MIN`` (default 3x) at 256 sessions, with envelopes
+bit-identical.  The speedup gate needs a real core to race on and skips
+on single-core boxes; the CLI smoke legs below run everywhere — on the
+default numpy tier and with the compiled tier requested (which falls
+back gracefully without numba) — with a relaxed 1.2x floor so CI still
+exercises the full bench path, the bit-identity assertion inside it, and
+the ``BENCH_sessions.json`` telemetry record.
+"""
+
+import json
+import os
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.config import DATCConfig
+from repro.core.encoders import DATCEncoder
+from repro.kernels import dispatch
+from repro.runtime.sessions import SessionBatch, SessionSpec
+from repro.rx.decoders import StreamingDecoder
+from repro.signals.dataset import DatasetSpec
+
+NUMBA = dispatch.numba_available()
+# Wall-clock ratios on a single-core box measure scheduler noise, not
+# the batching win; the speedup gate needs a real core to race on.
+MULTICORE = (os.cpu_count() or 1) > 1
+
+SMOKE_ARGS = [
+    "bench",
+    "--sessions",
+    "--session-counts",
+    "8,32",
+    "--signals",
+    "4",
+    "--duration",
+    "2",
+    "--chunk",
+    "500",
+    "--repeats",
+    "1",
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+    dispatch._reset_for_tests()
+    yield
+    dispatch._reset_for_tests()
+
+
+def _smoke_record(tmp_path):
+    """The BENCH_sessions.json written by the smoke run (conftest routes
+    REPRO_BENCH_DIR into the test's tmp dir)."""
+    root = os.environ["REPRO_BENCH_DIR"]
+    path = os.path.join(root, "BENCH_sessions.json")
+    assert os.path.exists(path), "smoke run must record its trajectory point"
+    with open(path) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("backend", ["numpy", "compiled"])
+def test_cli_sessions_smoke(backend, monkeypatch, tmp_path, capsys):
+    """`bench --sessions` passes a relaxed floor on every backend leg."""
+    monkeypatch.setenv("SESSIONS_SPEEDUP_MIN", "1.2")
+    if backend == "compiled":
+        monkeypatch.setenv(dispatch.ENV_VAR, "compiled")
+    dispatch._reset_for_tests()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+        rc = cli.main(SMOKE_ARGS)
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "bit-identical to scalar streaming: yes" in out
+    points = _smoke_record(tmp_path)
+    latest = points[-1]
+    assert latest["area"] == "sessions"
+    assert latest["headline"]["value"] >= 1.2
+    names = {row["name"] for row in latest["rows"]}
+    assert {"scalar-8", "batch-8", "scalar-32", "batch-32"} <= names
+
+
+def test_cli_sessions_gate_failure_exit_code(monkeypatch, capsys):
+    """An unreachable floor must flip the exit code — the CI gate bites."""
+    monkeypatch.setenv("SESSIONS_SPEEDUP_MIN", "1e9")
+    rc = cli.main(SMOKE_ARGS)
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL" in out
+
+
+def _best_of(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.mark.skipif(not MULTICORE, reason="wall-clock gate needs >1 core")
+def test_session_batch_speedup_gate():
+    """Acceptance: SessionBatch >= 3x scalar at 256 sessions, bit-exact.
+
+    SESSIONS_SPEEDUP_MIN lowers the bar on noisy shared runners.
+    """
+    minimum = float(os.environ.get("SESSIONS_SPEEDUP_MIN", "3.0"))
+    count, chunk = 256, 1000
+    dataset = DatasetSpec(n_patterns=8, duration_s=4.0, seed=2015)
+    patterns = [dataset.pattern(i) for i in range(8)]
+    fs = patterns[0].fs
+    sigs = [patterns[i % 8].emg for i in range(count)]
+    config = DATCConfig()
+    spec = SessionSpec(scheme="datc", fs=fs, config=config)
+    starts = list(range(0, sigs[0].size, chunk))
+
+    def run_batch():
+        batch = SessionBatch()
+        sids = [batch.create(spec) for _ in range(count)]
+        for s in starts:
+            batch.push_many(
+                {sid: sig[s : s + chunk] for sid, sig in zip(sids, sigs)}
+            )
+        return [batch.finalize(sid).envelope for sid in sids]
+
+    def run_scalar():
+        envs = []
+        for sig in sigs:
+            enc = DATCEncoder(fs, config, rectify=True)
+            dec = StreamingDecoder(
+                scheme="datc",
+                config=config,
+                fs_out=spec.fs_out,
+                window_s=spec.window_s,
+            )
+            for s in starts:
+                dec.push(enc.push(sig[s : s + chunk]))
+            enc.finalize()
+            dec.push(enc.drain())
+            dec.finalize()
+            envs.append(dec.envelope)
+        return envs
+
+    run_batch()  # warm allocators / spec-key cache
+    for attempt in range(3):
+        t_sc, env_sc = _best_of(run_scalar, repeats=2)
+        t_ba, env_ba = _best_of(run_batch, repeats=2)
+        speedup = t_sc / t_ba
+        print(
+            f"\nsessions (attempt {attempt + 1}): scalar {t_sc * 1e3:.0f} ms,"
+            f" batch {t_ba * 1e3:.0f} ms -> {speedup:.2f}x at {count}"
+        )
+        if speedup >= minimum:
+            break
+    for a, b in zip(env_sc, env_ba):
+        assert np.array_equal(a, b)
+    assert speedup >= minimum

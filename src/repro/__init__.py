@@ -56,7 +56,15 @@ from .kernels import (
     numba_available,
     use_backend,
 )
-from .runtime import AsyncStreamingPipeline, ResultStore, map_jobs
+from .runtime import (
+    AsyncStreamingPipeline,
+    ResultStore,
+    SessionBatch,
+    SessionResult,
+    SessionSpec,
+    map_jobs,
+    run_sessions,
+)
 from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
 from .uwb import LinkConfig, simulate_link, simulate_link_batch
@@ -99,7 +107,11 @@ __all__ = [
     "use_backend",
     "AsyncStreamingPipeline",
     "ResultStore",
+    "SessionBatch",
+    "SessionResult",
+    "SessionSpec",
     "map_jobs",
+    "run_sessions",
     "DecoderSpec",
     "EncoderSpec",
     "Experiment",

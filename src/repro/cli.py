@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from time import perf_counter
 
@@ -302,6 +303,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_cache(args)
     if args.kernels:
         return _bench_kernels(args)
+    if args.sessions:
+        return _bench_sessions(args)
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -956,6 +959,156 @@ def _bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_sessions(args: argparse.Namespace) -> int:
+    """Multi-session runtime: SessionBatch vs a scalar per-session loop.
+
+    Streams the same chunk sequences through (a) one
+    :class:`~repro.runtime.sessions.SessionBatch` advancing all sessions
+    per ``push_many`` and (b) a scalar ``StreamingEncoder`` /
+    ``StreamingDecoder`` pair per session, asserts the envelopes are
+    bit-identical, and records sessions/sec plus per-push p50/p99
+    latency at each session count.  When the ``SESSIONS_SPEEDUP_MIN``
+    env var is set, exits 1 unless the headline batch-vs-scalar speedup
+    meets it (the CI gate; ``benchmarks/test_bench_sessions_throughput``
+    applies the full >=3x bar on multi-core boxes).
+    """
+    from .core.config import ATCConfig, DATCConfig
+    from .core.encoders import ATCEncoder, DATCEncoder
+    from .runtime.sessions import SessionBatch, SessionSpec
+    from .rx.decoders import StreamingDecoder
+    from .signals.dataset import DatasetSpec
+
+    scheme = "datc" if args.scheme == "both" else args.scheme
+    counts = sorted(
+        {int(c) for c in args.session_counts.split(",") if c.strip()}
+    )
+    if not counts or min(counts) < 1:
+        raise SystemExit("--session-counts needs positive integers")
+    n_base = args.signals
+    dataset = DatasetSpec(
+        n_patterns=n_base, duration_s=args.duration, seed=2015
+    )
+    patterns = [dataset.pattern(i) for i in range(n_base)]
+    fs = patterns[0].fs
+    base = [p.emg for p in patterns]
+    config = DATCConfig() if scheme == "datc" else ATCConfig()
+    spec = SessionSpec(scheme=scheme, fs=fs, config=config)
+    encoder_cls = ATCEncoder if scheme == "atc" else DATCEncoder
+    chunk = args.chunk
+    starts = list(range(0, base[0].size, chunk))
+    print(
+        f"session tier: {scheme}, {args.duration:g} s @ {fs:g} Hz per "
+        f"session, {chunk}-sample chunks, best of {args.repeats}"
+    )
+
+    def run_batch(count: int):
+        sigs = [base[i % n_base] for i in range(count)]
+        batch = SessionBatch()
+        sids = [batch.create(spec) for _ in range(count)]
+        push_s = []
+        for s in starts:
+            t0 = perf_counter()
+            batch.push_many(
+                {sid: sig[s : s + chunk] for sid, sig in zip(sids, sigs)}
+            )
+            push_s.append(perf_counter() - t0)
+        return [batch.finalize(sid).envelope for sid in sids], push_s
+
+    def run_scalar(count: int):
+        envs = []
+        for i in range(count):
+            sig = base[i % n_base]
+            enc = encoder_cls(fs, config, rectify=True)
+            dec = StreamingDecoder(
+                scheme=scheme,
+                config=config,
+                fs_out=spec.fs_out,
+                window_s=spec.window_s,
+            )
+            for s in starts:
+                dec.push(enc.push(sig[s : s + chunk]))
+            enc.finalize()
+            dec.push(enc.drain())
+            dec.finalize()
+            envs.append(dec.envelope)
+        return envs
+
+    record_rows: "list[dict]" = []
+    headline = None
+    header = (
+        f"{'path':<18}{'time (ms)':>11}{'sess-s/s':>11}"
+        f"{'p50 (ms)':>10}{'p99 (ms)':>10}{'speedup':>9}"
+    )
+    print(f"\n{header}\n" + "-" * len(header))
+    for count in counts:
+        t_sc, env_sc = _best_of(lambda c=count: run_scalar(c), args.repeats)
+        t_ba, (env_ba, push_s) = _best_of(
+            lambda c=count: run_batch(c), args.repeats
+        )
+        for a, b in zip(env_sc, env_ba):
+            if not np.array_equal(a, b):
+                raise AssertionError(
+                    "SessionBatch envelope diverged from scalar streaming "
+                    "(must be bit-exact)"
+                )
+        speedup = t_sc / t_ba
+        p50 = float(np.percentile(push_s, 50)) * 1e3
+        p99 = float(np.percentile(push_s, 99)) * 1e3
+        session_seconds = count * args.duration
+        for name, t in ((f"scalar-{count}", t_sc), (f"batch-{count}", t_ba)):
+            is_batch = name.startswith("batch")
+            record_rows.append(
+                {
+                    "name": name,
+                    "time_ms": t * 1e3,
+                    "throughput": session_seconds / t,
+                    "speedup": t_sc / t,
+                    "push_p50_ms": p50 if is_batch else None,
+                    "push_p99_ms": p99 if is_batch else None,
+                }
+            )
+            print(
+                f"{name:<18}{t * 1e3:>11.1f}{session_seconds / t:>11.3g}"
+                f"{(f'{p50:.2f}' if is_batch else '-'):>10}"
+                f"{(f'{p99:.2f}' if is_batch else '-'):>10}"
+                f"{t_sc / t:>8.1f}x"
+            )
+        # The gate count: the largest benched count up to 256, or the
+        # smallest overall when every count exceeds it.
+        if headline is None or count <= 256:
+            headline = speedup
+    print("batch envelopes bit-identical to scalar streaming: yes")
+    _record_bench(
+        args,
+        "sessions",
+        "batch-vs-scalar speedup at the gate count",
+        headline,
+        record_rows,
+        params={
+            "counts": counts,
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "chunk": chunk,
+            "repeats": args.repeats,
+            "scheme": scheme,
+        },
+        spec_keys=_spec_keys((scheme,)),
+    )
+    floor_txt = os.environ.get("SESSIONS_SPEEDUP_MIN")
+    if floor_txt is not None:
+        floor = float(floor_txt)
+        if headline < floor:
+            print(
+                f"FAIL: batch-vs-scalar speedup {headline:.2f}x is below "
+                f"SESSIONS_SPEEDUP_MIN={floor:g}"
+            )
+            return 1
+        print(
+            f"speedup {headline:.2f}x meets SESSIONS_SPEEDUP_MIN={floor:g}"
+        )
+    return 0
+
+
 def _bench_report(args: argparse.Namespace) -> int:
     """Render the perf trajectory; fail on a headline regression."""
     from .analysis.telemetry import (
@@ -1162,6 +1315,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="race the numpy vs compiled kernel tier (datc encode + scoring)",
     )
     stage.add_argument(
+        "--sessions",
+        action="store_true",
+        help="benchmark the multi-session SessionBatch runtime against a "
+        "scalar per-session streaming loop (SESSIONS_SPEEDUP_MIN gates)",
+    )
+    stage.add_argument(
         "--report",
         action="store_true",
         help="render the BENCH_*.json perf trajectory; exit 1 on a "
@@ -1191,6 +1350,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk", type=_positive_int, default=1000, help="streaming chunk size"
     )
     p.add_argument("--repeats", type=_positive_int, default=3, help="best-of repeats")
+    p.add_argument(
+        "--session-counts",
+        default="64,256,1024",
+        help="comma-separated concurrent session counts (--sessions)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     return parser

@@ -68,6 +68,47 @@ __all__ = [
 ]
 
 
+class _GrowBuffer:
+    """Append-only 1-D array with doubling capacity (amortised-O(1) append).
+
+    ``StreamingEncoder`` accumulates per-clock and per-event history for
+    the lifetime of a session.  A list-of-chunks representation would make
+    every ``drain()``/``stream`` call re-concatenate the whole history —
+    O(n²) over a long-lived session.  The grow buffer keeps the history
+    flat: appends are amortised O(1) and reads are O(1) slice views (the
+    prefix is written once and never mutated, so views stay valid across
+    later appends).
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, dtype) -> None:
+        self._buf = np.zeros(16, dtype=dtype)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def append(self, values: np.ndarray) -> None:
+        n = len(values)
+        if n == 0:
+            return
+        need = self._len + n
+        if need > self._buf.size:
+            cap = self._buf.size
+            while cap < need:
+                cap *= 2
+            grown = np.zeros(cap, dtype=self._buf.dtype)
+            grown[: self._len] = self._buf[: self._len]
+            self._buf = grown
+        self._buf[self._len : need] = values
+        self._len = need
+
+    def view(self) -> np.ndarray:
+        """The accumulated values so far (O(1), no copy)."""
+        return self._buf[: self._len]
+
+
 class StreamingEncoder:
     """Base class for incremental threshold-crossing encoders.
 
@@ -102,8 +143,8 @@ class StreamingEncoder:
         self._tail_offset = 0
         self._n_clocks_emitted = 0
         self._last_bit = 0
-        self._event_idx_parts: "list[np.ndarray]" = []
-        self._d_in_parts: "list[np.ndarray]" = []
+        self._event_idx_buf = _GrowBuffer(np.int64)
+        self._d_in_buf = _GrowBuffer(np.uint8)
         self._n_drained = 0  # events already handed out by push()/drain()
         self._finalized = False
 
@@ -181,21 +222,17 @@ class StreamingEncoder:
         if not bits.size:
             return np.zeros(0, dtype=np.int64)
         global_idx = rising_edges(bits, initial=self._last_bit) + self._n_clocks_emitted
-        self._d_in_parts.append(bits)
-        self._event_idx_parts.append(global_idx)
+        self._d_in_buf.append(bits)
+        self._event_idx_buf.append(global_idx)
         self._last_bit = int(bits[-1])
         self._n_clocks_emitted += bits.size
         return global_idx
 
     def _event_indices(self) -> np.ndarray:
-        if not self._event_idx_parts:
-            return np.zeros(0, dtype=np.int64)
-        return np.concatenate(self._event_idx_parts)
+        return self._event_idx_buf.view()
 
     def _d_in(self) -> np.ndarray:
-        if not self._d_in_parts:
-            return np.zeros(0, dtype=np.uint8)
-        return np.concatenate(self._d_in_parts)
+        return self._d_in_buf.view()
 
     def _require_clocks(self) -> None:
         if self._n_clocks_sampled == 0:
@@ -351,9 +388,9 @@ class DATCEncoder(StreamingEncoder):
         self._predictor = ThresholdPredictor(config)
         self._comp_state = 0
         self._frame_buf = np.zeros(0, dtype=float)
-        self._level_parts: "list[np.ndarray]" = []
-        self._vth_parts: "list[np.ndarray]" = []
-        self._event_level_parts: "list[np.ndarray]" = []
+        self._level_buf = _GrowBuffer(np.int64)
+        self._vth_buf = _GrowBuffer(float)
+        self._event_level_buf = _GrowBuffer(np.int64)
         self._frame_levels: "list[int]" = []
         self._frame_ones: "list[int]" = []
         self._frame_avr: "list[float]" = []
@@ -381,9 +418,9 @@ class DATCEncoder(StreamingEncoder):
             self._comp_state = int(bits[-1]) if bits.size else self._comp_state
         idx = self._emit_bits(bits)
         event_levels = np.full(idx.size, level, dtype=np.int64)
-        self._level_parts.append(np.full(bits.size, level, dtype=np.int64))
-        self._vth_parts.append(np.full(bits.size, vth, dtype=float))
-        self._event_level_parts.append(event_levels)
+        self._level_buf.append(np.full(bits.size, level, dtype=np.int64))
+        self._vth_buf.append(np.full(bits.size, vth, dtype=float))
+        self._event_level_buf.append(event_levels)
         if complete:  # only completed frames update the DTC
             n_one = int(bits.sum())
             self._frame_avr.append(self._predictor.average(n_one))
@@ -440,19 +477,13 @@ class DATCEncoder(StreamingEncoder):
         )
 
     def _levels_per_clock(self) -> np.ndarray:
-        if not self._level_parts:
-            return np.zeros(0, dtype=np.int64)
-        return np.concatenate(self._level_parts)
+        return self._level_buf.view()
 
     def _vth_per_clock(self) -> np.ndarray:
-        if not self._vth_parts:
-            return np.zeros(0, dtype=float)
-        return np.concatenate(self._vth_parts)
+        return self._vth_buf.view()
 
     def _event_levels(self) -> "np.ndarray | None":
-        if not self._event_level_parts:
-            return np.zeros(0, dtype=np.int64)
-        return np.concatenate(self._event_level_parts)
+        return self._event_level_buf.view()
 
 
 # ----------------------------------------------------------------------

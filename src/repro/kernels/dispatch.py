@@ -58,6 +58,7 @@ ENV_VAR = "REPRO_KERNEL_BACKEND"
 _COMPILED_MODULES = {
     "datc_frames": "repro.kernels.datc",
     "aligned_correlation": "repro.kernels.correlation",
+    "session_frames": "repro.kernels.sessions",
 }
 
 _registry: "dict[str, dict[str, object]]" = {}

@@ -1,0 +1,193 @@
+"""Compiled multi-session frame advance for :class:`SessionBatch`.
+
+The numpy flavour of the ``"session_frames"`` op
+(:func:`repro.runtime.sessions._session_frames_numpy`) is
+frame-vectorised: a Python loop over the deepest pushed session's frame
+count, each iteration a handful of whole-batch numpy ops.  When many
+sessions complete frames in the same push (the steady state of a large
+``SessionBatch``), this kernel fuses the compare / rising-edge / DTC
+ones-count / predictor-update sequence into one traversal of the packed
+frame matrix — no per-frame temporaries, no interpreter in the loop, and
+the event list comes out already row-major.
+
+**Exactness.**  Gated by *exact equality* against the numpy flavour
+(asserted in ``tests/kernels/test_session_kernels.py``): the float
+predictor replicates the reference IEEE op order
+``((w3*n3 + w2*n2) + w1*n1) / divisor`` and ``vref * level / 2**Nb``;
+the quantized flavour is integer arithmetic; the ladder select is the
+same ascending scan as ``searchsorted(..., side="right") - 1`` with
+duplicate entries handled identically (see :mod:`repro.kernels.datc`,
+whose contract this kernel inherits).
+
+The scan body is a plain Python function jitted at import when numba is
+present; without numba the module still imports and the body stays
+callable so the suite can exercise its semantics anywhere — dispatch
+never routes to it un-jitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DATCConfig
+from ..core.predictor import ThresholdPredictor
+from .dispatch import register_kernel
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_COMPILED = True
+except ImportError:  # pragma: no cover - the container default
+    njit = None
+    NUMBA_COMPILED = False
+
+__all__ = ["session_frames", "NUMBA_COMPILED"]
+
+
+def _session_scan_py(
+    P,
+    navail,
+    emitted,
+    last_bit,
+    n_one1,
+    n_one2,
+    level,
+    frame_size,
+    vref,
+    n_codes,
+    ladder,
+    min_level,
+    w1,
+    w2,
+    w3,
+    divisor,
+    fw1,
+    fw2,
+    fw3,
+    shift,
+    quantized,
+    ev_row,
+    ev_clk,
+    ev_lvl,
+):
+    """Scan each pushed session's completed frames; emit rising edges.
+
+    Register arrays (``last_bit`` .. ``level``) are updated in place;
+    events land row-major in the preallocated ``ev_*`` arrays and the
+    count is returned.  Written in the numba-compilable subset.
+    """
+    k = P.shape[0]
+    n_ladder = ladder.shape[0]
+    n_ev = 0
+    for r in range(k):
+        n_frames = navail[r] // frame_size
+        lb = last_bit[r]
+        n1 = n_one1[r]
+        n2 = n_one2[r]
+        lv = level[r]
+        base = emitted[r]
+        for f in range(n_frames):
+            v = vref * lv / n_codes  # Eqn. (3), reference op order
+            ones = 0
+            k0 = f * frame_size
+            for p in range(frame_size):
+                bit = 1 if P[r, k0 + p] > v else 0
+                if bit == 1:
+                    ones += 1
+                    if lb == 0:  # rising edge -> one event at this clock
+                        ev_row[n_ev] = r
+                        ev_clk[n_ev] = base + k0 + p
+                        ev_lvl[n_ev] = lv
+                        n_ev += 1
+                lb = bit
+            if quantized:
+                acc = fw3 * ones + fw2 * n2 + fw1 * n1
+                avr = float(acc >> shift)
+            else:
+                avr = (w3 * ones + w2 * n2 + w1 * n1) / divisor
+            # searchsorted(ladder, avr, side="right") - 1, duplicates
+            # included (the scan keeps advancing while entries <= avr).
+            idx = -1
+            for t in range(n_ladder):
+                if ladder[t] <= avr:
+                    idx = t
+                else:
+                    break
+            lv = idx if idx > min_level else min_level
+            n1 = n2
+            n2 = ones
+        last_bit[r] = lb
+        n_one1[r] = n1
+        n_one2[r] = n2
+        level[r] = lv
+    return n_ev
+
+
+_session_scan = (
+    njit(cache=True, nogil=True)(_session_scan_py)
+    if NUMBA_COMPILED
+    else _session_scan_py
+)
+
+
+@register_kernel("session_frames", "compiled")
+def session_frames(
+    P: np.ndarray,
+    navail: np.ndarray,
+    emitted: np.ndarray,
+    last_bit: np.ndarray,
+    n_one1: np.ndarray,
+    n_one2: np.ndarray,
+    level: np.ndarray,
+    config: DATCConfig,
+):
+    """Compiled flavour of ``"session_frames"`` (same contract as numpy).
+
+    Same in-place register updates and row-major ``(ev_row, ev_clk,
+    ev_lvl)`` return as
+    :func:`repro.runtime.sessions._session_frames_numpy`, bit-exact.
+    """
+    P = np.ascontiguousarray(P, dtype=float)
+    frame_size = config.frame_size
+    navail = np.ascontiguousarray(navail, dtype=np.int64)
+    # At most one event per scanned clock of a completed frame.
+    cap = int(np.sum((navail // frame_size) * frame_size))
+    ev_row = np.empty(cap, dtype=np.int64)
+    ev_clk = np.empty(cap, dtype=np.int64)
+    ev_lvl = np.empty(cap, dtype=np.int64)
+
+    ladder = np.asarray(ThresholdPredictor(config).interval_ladder, dtype=float)
+    if config.quantized:
+        fixed = config.fixed_weights()
+        fw1, fw2, fw3, shift = fixed.w1, fixed.w2, fixed.w3, fixed.shift
+    else:
+        fw1 = fw2 = fw3 = shift = 0
+    w1, w2, w3 = config.weights
+
+    n_ev = _session_scan(
+        P,
+        navail,
+        np.ascontiguousarray(emitted, dtype=np.int64),
+        last_bit,
+        n_one1,
+        n_one2,
+        level,
+        frame_size,
+        float(config.vref),
+        float(1 << config.dac_bits),
+        ladder,
+        int(config.min_level),
+        float(w1),
+        float(w2),
+        float(w3),
+        float(config.weight_divisor),
+        int(fw1),
+        int(fw2),
+        int(fw3),
+        int(shift),
+        bool(config.quantized),
+        ev_row,
+        ev_clk,
+        ev_lvl,
+    )
+    return ev_row[:n_ev].copy(), ev_clk[:n_ev].copy(), ev_lvl[:n_ev].copy()

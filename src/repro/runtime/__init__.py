@@ -1,9 +1,11 @@
-"""Execution runtime: sharded sweep backends + async streaming ingestion.
+"""Execution runtime: sharded sweeps, streaming ingestion, session batching.
 
 ``executors`` puts pluggable serial/thread/process backends behind the
 library-wide :func:`map_jobs` fan-out contract; ``ingest`` drives the
-streaming encoder/decoder pair from async chunk sources.  See
-``docs/SCALING.md``.
+streaming encoder/decoder pair from async chunk sources; ``sessions``
+packs N concurrent streaming sessions into one vectorized
+:class:`SessionBatch` engine.  See ``docs/SCALING.md`` and
+``docs/STREAMING.md``.
 """
 
 from .executors import (
@@ -14,7 +16,8 @@ from .executors import (
     plan_shards,
     resolve_backend,
 )
-from .ingest import AsyncStreamingPipeline
+from .ingest import AsyncStreamingPipeline, run_sessions
+from .sessions import SessionBatch, SessionResult, SessionSpec
 from .store import ResultStore, fingerprint_arrays, fingerprint_value
 
 __all__ = [
@@ -22,10 +25,14 @@ __all__ = [
     "BACKENDS",
     "RemoteTraceback",
     "ResultStore",
+    "SessionBatch",
+    "SessionResult",
+    "SessionSpec",
     "default_jobs",
     "fingerprint_arrays",
     "fingerprint_value",
     "map_jobs",
     "plan_shards",
     "resolve_backend",
+    "run_sessions",
 ]

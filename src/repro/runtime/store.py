@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -133,6 +134,12 @@ class ResultStore:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        # One store instance may back every thread of a multi-session
+        # server: the counters and the read-check-delete cycle of a
+        # corrupt entry are guarded so concurrent access never loses an
+        # increment or double-deletes.  On-disk entries were already safe
+        # (immutable, atomic os.replace).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Addressing
@@ -164,20 +171,23 @@ class ResultStore:
         """
         path = self.path_for(spec_key, fingerprint)
         if not path.exists():
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
                 out = {name: archive[name] for name in archive.files}
         except Exception:
-            self.corrupt += 1
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return out
 
     def put(
@@ -201,7 +211,8 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return path
 
     # ------------------------------------------------------------------
@@ -213,12 +224,13 @@ class ResultStore:
 
     def stats(self) -> "dict[str, int]":
         """This instance's access counters (not persisted)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt": self.corrupt,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corrupt": self.corrupt,
+            }
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -48,6 +48,17 @@ class TestRecords:
             "value": 3.25,
         }
         assert record["host"]["numpy"]
+        # The kernel tier a record was taken on must be attributable:
+        # backend always one of the registry's names, numba version
+        # present (None when numba is not installed).
+        assert record["host"]["kernel_backend"] in ("numpy", "compiled")
+        assert "numba" in record["host"]
+        from repro.kernels import dispatch
+
+        if dispatch.numba_available():
+            assert isinstance(record["host"]["numba"], str)
+        else:
+            assert record["host"]["numba"] is None
         assert record["recorded_at"].endswith("Z")
         assert record["params"] == {"signals": 4}
         assert record["spec_keys"] == {"datc": "abc"}

@@ -290,3 +290,49 @@ class TestClockSampleIndices:
             clock_sample_indices(1000, 2500.0, 2000.0, start_clock=10_000)
         with pytest.raises(ValueError):
             clock_sample_indices(1000, 2500.0, 2000.0, n_clocks=10_000)
+
+
+class TestManyPushDrain:
+    """Regression for the O(n^2) drain/stream accumulation fix.
+
+    Long-lived sessions drain after every push; the event history now
+    lives in amortised-O(1) grow-buffers, so each ``drain``/``.stream``
+    must cost O(new events) — and, regardless of representation, the
+    outputs must be unchanged.
+    """
+
+    def test_many_push_drains_unchanged(self, mid_pattern):
+        one_shot, _ = datc_encode(
+            mid_pattern.emg, mid_pattern.fs, DATCConfig()
+        )
+        enc = DATCEncoder(mid_pattern.fs, DATCConfig())
+        drained = []
+        for c in chunked(mid_pattern.emg, [97]):  # many small pushes
+            drained.append(enc.push(c))
+            drained.append(enc.drain())  # extra drains stay empty + cheap
+            _ = enc.stream  # .stream on the hot path must stay cheap too
+        enc.finalize()
+        drained.append(enc.drain())  # the partial-frame flush
+        times = np.concatenate([d.times for d in drained])
+        levels = np.concatenate([d.levels for d in drained])
+        assert np.array_equal(times, one_shot.times)
+        assert np.array_equal(levels, one_shot.levels)
+        assert np.array_equal(enc.stream.times, one_shot.times)
+        assert np.array_equal(enc.stream.levels, one_shot.levels)
+
+    def test_history_views_stable_across_growth(self):
+        """Earlier drains stay valid after the buffers grow underneath."""
+        rng = np.random.default_rng(11)
+        fs = 2500.0
+        enc = ATCEncoder(fs, ATCConfig())
+        first = None
+        for _ in range(64):
+            d = enc.push(rng.normal(0.0, 0.5, size=503))
+            if first is None and d.n_events:
+                first = d.times.copy(), d
+        enc.finalize()
+        assert first is not None
+        times_snapshot, stream = first
+        # The grow-buffer's append-only prefix guarantee: the stream we
+        # handed out early is untouched by hundreds of later appends.
+        assert np.array_equal(stream.times, times_snapshot)

@@ -1,0 +1,127 @@
+"""Exactness tests for the ``"session_frames"`` kernel flavours.
+
+The compiled multi-session frame scan must be *bit-exact* against the
+numpy flavour — same events, same order, same in-place register updates
+— for every predictor flavour (float and quantized) and frame size.
+Without numba the compiled body still runs as pure Python, so the
+semantic equality holds on any environment; the dispatch tests pin down
+the fallback contract.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import DATCConfig
+from repro.kernels import dispatch
+from repro.kernels.sessions import session_frames
+from repro.runtime.sessions import (
+    SessionBatch,
+    SessionSpec,
+    _session_frames_numpy,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+    dispatch._reset_for_tests()
+    yield
+    dispatch._reset_for_tests()
+
+
+def random_state(rng, config, k=9):
+    """A random packed push: frame matrix + registers, scalar-reachable."""
+    frame_size = config.frame_size
+    k_max = 3 * frame_size + 7
+    P = np.abs(rng.normal(0, 0.3, size=(k, frame_size + k_max)))
+    navail = rng.integers(0, frame_size + k_max, size=k).astype(np.int64)
+    emitted = rng.integers(0, 100_000, size=k).astype(np.int64)
+    regs = (
+        rng.integers(0, 2, size=k).astype(np.int64),  # last_bit
+        rng.integers(0, frame_size + 1, size=k).astype(np.int64),  # n_one1
+        rng.integers(0, frame_size + 1, size=k).astype(np.int64),  # n_one2
+        rng.integers(
+            config.min_level, config.n_levels, size=k
+        ).astype(np.int64),  # level
+    )
+    return P, navail, emitted, regs
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        DATCConfig(),
+        DATCConfig(quantized=True),
+        DATCConfig(frame_selector=2),
+        DATCConfig(frame_selector=3, quantized=True),
+    ],
+)
+def test_compiled_flavour_bit_exact(config):
+    rng = np.random.default_rng(42)
+    for _ in range(5):
+        P, navail, emitted, regs = random_state(rng, config)
+        regs_np = tuple(r.copy() for r in regs)
+        regs_cc = tuple(r.copy() for r in regs)
+        out_np = _session_frames_numpy(
+            P, navail, emitted.copy(), *regs_np, config
+        )
+        out_cc = session_frames(P, navail, emitted.copy(), *regs_cc, config)
+        for a, b in zip(out_np, out_cc):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+        for a, b in zip(regs_np, regs_cc):  # in-place register updates
+            assert np.array_equal(a, b)
+
+
+def test_events_are_row_major_sorted():
+    rng = np.random.default_rng(7)
+    config = DATCConfig()
+    P, navail, emitted, regs = random_state(rng, config)
+    ev_row, ev_clk, _ = _session_frames_numpy(
+        P, navail, emitted, *regs, config
+    )
+    assert np.all(np.diff(ev_row) >= 0)
+    same_row = np.diff(ev_row) == 0
+    assert np.all(np.diff(ev_clk)[same_row] > 0)
+
+
+def test_dispatch_routes_session_frames():
+    assert "session_frames" in dispatch._COMPILED_MODULES
+    assert dispatch.get_kernel("session_frames") is _session_frames_numpy
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+        with dispatch.use_backend("compiled"):
+            impl = dispatch.get_kernel("session_frames")
+    if dispatch.numba_available():
+        assert impl is session_frames
+    else:
+        assert impl is _session_frames_numpy  # graceful fallback
+
+
+def test_session_batch_identical_under_compiled_backend():
+    """The whole engine, compiled tier vs numpy tier: same bytes out."""
+    rng = np.random.default_rng(3)
+    fs = 2500.0
+    spec = SessionSpec(scheme="datc", fs=fs)
+    sigs = [rng.normal(0, 0.3, size=2750) for _ in range(4)]
+
+    def run():
+        batch = SessionBatch()
+        sids = [batch.create(spec) for _ in sigs]
+        for s in range(0, 2750, 700):
+            batch.push_many(
+                {sid: sig[s : s + 700] for sid, sig in zip(sids, sigs)}
+            )
+        return [batch.finalize(sid) for sid in sids]
+
+    ref = run()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", dispatch.KernelFallbackWarning)
+        with dispatch.use_backend("compiled"):
+            out = run()
+    for a, b in zip(ref, out):
+        assert np.array_equal(a.stream.times, b.stream.times)
+        assert np.array_equal(a.stream.levels, b.stream.levels)
+        assert np.array_equal(a.envelope, b.envelope)

@@ -1,0 +1,369 @@
+"""Tests for the vectorized multi-session runtime (``SessionBatch``).
+
+The load-bearing contract: every session's event stream and decoded
+envelope is **bit-identical** to a scalar
+``StreamingEncoder``/``StreamingDecoder`` pair fed the same chunk
+sequence, for any interleaving of pushes across sessions.  The random
+interleavings live in ``tests/properties/test_sessions_properties.py``;
+here are the deterministic lifecycle, grouping, and error cases.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import ATCConfig, DATCConfig
+from repro.core.encoders import ATCEncoder, DATCEncoder
+from repro.runtime.ingest import AsyncStreamingPipeline, run_sessions
+from repro.runtime.sessions import SessionBatch, SessionResult, SessionSpec
+from repro.rx.decoders import StreamingDecoder
+
+FS = 2500.0
+
+
+def scalar_reference(scheme, config, chunks, fs=FS, **rx):
+    """The scalar streaming pipeline the batch must match bit-for-bit."""
+    encoder_cls = ATCEncoder if scheme == "atc" else DATCEncoder
+    enc = encoder_cls(fs, config, rectify=True)
+    dec = StreamingDecoder(
+        scheme=scheme,
+        config=config,
+        fs_out=rx.get("fs_out", 100.0),
+        window_s=rx.get("window_s", 0.25),
+    )
+    for c in chunks:
+        dec.push(enc.push(c))
+    enc.finalize()
+    dec.push(enc.drain())
+    dec.finalize()
+    return enc.stream, dec.envelope
+
+
+def chunked(x, sizes):
+    out, i, s = [], 0, 0
+    while i < x.size:
+        n = sizes[s % len(sizes)]
+        s += 1
+        out.append(x[i : i + n])
+        i += n
+    return out
+
+
+def assert_session_matches(result, stream, envelope):
+    assert np.array_equal(result.stream.times, stream.times)
+    if stream.levels is None:
+        assert result.stream.levels is None
+    else:
+        assert np.array_equal(result.stream.levels, stream.levels)
+    assert result.stream.duration_s == stream.duration_s
+    assert result.stream.symbols_per_event == stream.symbols_per_event
+    assert np.array_equal(result.envelope, envelope)
+
+
+class TestSessionSpec:
+    def test_default_config_follows_scheme(self):
+        assert isinstance(SessionSpec(scheme="atc").config, ATCConfig)
+        assert isinstance(SessionSpec(scheme="datc").config, DATCConfig)
+
+    def test_key_stable_and_content_addressed(self):
+        a = SessionSpec(scheme="datc", fs=FS)
+        b = SessionSpec(scheme="datc", fs=FS)
+        c = SessionSpec(scheme="datc", fs=FS, fs_out=200.0)
+        assert a.key() == b.key()
+        assert a.key() == a.key()  # memoised path returns the same hash
+        assert a.key() != c.key()
+
+    def test_config_scheme_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            SessionSpec(scheme="atc", config=DATCConfig())
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            SessionSpec(scheme="xtc")
+        with pytest.raises(ValueError):
+            SessionSpec(fs=-1.0)
+        with pytest.raises(ValueError):
+            SessionSpec(rate_weight=1.5)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "scheme,config",
+        [
+            ("atc", ATCConfig()),
+            ("datc", DATCConfig()),
+            ("datc", DATCConfig(quantized=True)),
+            ("datc", DATCConfig(frame_selector=2)),
+        ],
+    )
+    def test_ragged_multi_session_matches_scalar(self, scheme, config, rng):
+        spec = SessionSpec(scheme=scheme, fs=FS, config=config)
+        durations = (2.0, 1.3, 2.7, 0.9)
+        sigs = [rng.normal(0, 0.3, size=int(FS * d)) for d in durations]
+        size_cycles = [[1000], [333, 0, 777], [129], [999, 1]]
+        chunklists = [
+            chunked(s, sizes) for s, sizes in zip(sigs, size_cycles)
+        ]
+        batch = SessionBatch()
+        sids = [batch.create(spec) for _ in sigs]
+        for k in range(max(len(c) for c in chunklists)):
+            push = {
+                sid: chunklists[j][k]
+                for j, sid in enumerate(sids)
+                if k < len(chunklists[j])
+            }
+            batch.push_many(push)
+        for j, sid in enumerate(sids):
+            result = batch.finalize(sid)
+            stream, envelope = scalar_reference(scheme, config, chunklists[j])
+            assert_session_matches(result, stream, envelope)
+
+    def test_empty_chunks_and_single_samples(self, rng):
+        spec = SessionSpec(scheme="datc", fs=FS)
+        sig = rng.normal(0, 0.3, size=2000)
+        chunks = [np.zeros(0), sig[:1], np.zeros(0), sig[1:1500], sig[1500:]]
+        batch = SessionBatch()
+        sid = batch.create(spec)
+        for c in chunks:
+            batch.push_many({sid: c})
+        result = batch.finalize(sid)
+        stream, envelope = scalar_reference("datc", DATCConfig(), chunks)
+        assert_session_matches(result, stream, envelope)
+
+    def test_mid_run_join(self, rng):
+        spec = SessionSpec(scheme="datc", fs=FS)
+        a_sig = rng.normal(0, 0.3, size=4000)
+        b_sig = rng.normal(0, 0.3, size=2500)
+        batch = SessionBatch()
+        a = batch.create(spec)
+        batch.push_many({a: a_sig[:1500]})
+        b = batch.create(spec)  # joins mid-run
+        batch.push_many({a: a_sig[1500:2600], b: b_sig[:700]})
+        batch.push_many({b: b_sig[700:]})
+        batch.push_many({a: a_sig[2600:]})
+        ra, rb = batch.finalize(a), batch.finalize(b)
+        sa, ea = scalar_reference(
+            "datc", DATCConfig(),
+            [a_sig[:1500], a_sig[1500:2600], a_sig[2600:]],
+        )
+        sb, eb = scalar_reference(
+            "datc", DATCConfig(), [b_sig[:700], b_sig[700:]]
+        )
+        assert_session_matches(ra, sa, ea)
+        assert_session_matches(rb, sb, eb)
+
+    def test_push_many_returns_new_event_count(self, rng):
+        spec = SessionSpec(scheme="atc", fs=FS)
+        sig = np.abs(rng.normal(0, 0.5, size=5000))
+        batch = SessionBatch()
+        sid = batch.create(spec)
+        total = 0
+        for c in chunked(sig, [800]):
+            total += batch.push_many({sid: c})
+        result = batch.finalize(sid)
+        # Finalize can only add the D-ATC partial-frame flush; for ATC
+        # the per-push counts already cover the whole stream.
+        assert total == result.stream.n_events
+
+
+class TestDrainContract:
+    def test_incremental_drains_concatenate_to_full_stream(self, rng):
+        spec = SessionSpec(scheme="datc", fs=FS)
+        sig = rng.normal(0, 0.3, size=5000)
+        batch = SessionBatch()
+        sid = batch.create(spec)
+        parts = []
+        for c in chunked(sig, [777]):
+            batch.push_many({sid: c})
+            parts.append(batch.drain(sid))
+        result = batch.finalize(sid)
+        parts.append(batch.drain(sid))  # the partial-frame flush
+        times = np.concatenate([p.times for p in parts])
+        levels = np.concatenate([p.levels for p in parts])
+        assert np.array_equal(times, result.stream.times)
+        assert np.array_equal(levels, result.stream.levels)
+
+    def test_drain_many_returns_only_undrained(self, rng):
+        spec = SessionSpec(scheme="atc", fs=FS)
+        batch = SessionBatch()
+        a, b = batch.create(spec), batch.create(spec)
+        loud = np.abs(rng.normal(0, 0.5, size=2000)) + 0.5
+        batch.push_many({a: loud, b: np.zeros(2000)})
+        out = batch.drain_many()
+        assert a in out and out[a].n_events > 0
+        assert b not in out  # silent session has nothing undrained
+        assert batch.drain_many() == {}  # nothing new since
+
+
+class TestLifecycle:
+    def test_slot_reuse_after_leave(self, rng):
+        spec = SessionSpec(scheme="datc", fs=FS)
+        sig = rng.normal(0, 0.3, size=3000)
+        batch = SessionBatch()
+        first = batch.create(spec)
+        batch.push_many({first: sig})
+        batch.finalize(first)
+        batch.leave(first)
+        # The reused slot must start from pristine state.
+        second = batch.create(spec)
+        batch.push_many({second: sig[:2500]})
+        result = batch.finalize(second)
+        stream, envelope = scalar_reference("datc", DATCConfig(), [sig[:2500]])
+        assert_session_matches(result, stream, envelope)
+
+    def test_churn_with_compaction(self, rng):
+        """Heavy join/leave churn (forcing grow + compact) stays exact."""
+        spec = SessionSpec(scheme="datc", fs=FS)
+        sigs = [rng.normal(0, 0.3, size=2500) for _ in range(40)]
+        batch = SessionBatch()
+        sids = [batch.create(spec) for _ in range(40)]  # forces row growth
+        for s in range(0, 2500, 500):
+            batch.push_many({sid: sigs[j][s : s + 500] for j, sid in enumerate(sids)})
+        # Retire most sessions -> the sub-batch compacts under the hood.
+        keep = sids[::8]
+        for sid in sids:
+            if sid not in keep:
+                batch.finalize(sid)
+                batch.leave(sid)
+        fresh = batch.create(spec)
+        fresh_sig = rng.normal(0, 0.3, size=2500)
+        batch.push_many({fresh: fresh_sig})
+        for j, sid in enumerate(sids):
+            if sid in keep:
+                result = batch.finalize(sid)
+                stream, envelope = scalar_reference(
+                    "datc", DATCConfig(), chunked(sigs[j], [500])
+                )
+                assert_session_matches(result, stream, envelope)
+        result = batch.finalize(fresh)
+        stream, envelope = scalar_reference("datc", DATCConfig(), [fresh_sig])
+        assert_session_matches(result, stream, envelope)
+
+    def test_heterogeneous_specs_group_into_sub_batches(self, rng):
+        batch = SessionBatch()
+        datc_spec = SessionSpec(scheme="datc", fs=FS)
+        atc_spec = SessionSpec(scheme="atc", fs=2000.0)
+        a = batch.create(datc_spec)
+        b = batch.create(atc_spec)
+        c = batch.create(datc_spec)  # same key as a -> same sub-batch
+        assert batch.n_groups == 2
+        assert batch.n_sessions == 3
+        sig_a = rng.normal(0, 0.3, size=3000)
+        sig_b = rng.normal(0, 0.4, size=2400)
+        sig_c = rng.normal(0, 0.2, size=3000)
+        batch.push_many({a: sig_a, b: sig_b, c: sig_c})  # one heterogeneous call
+        for sid, scheme, config, fs, sig in (
+            (a, "datc", DATCConfig(), FS, sig_a),
+            (b, "atc", ATCConfig(), 2000.0, sig_b),
+            (c, "datc", DATCConfig(), FS, sig_c),
+        ):
+            result = batch.finalize(sid)
+            stream, envelope = scalar_reference(scheme, config, [sig], fs=fs)
+            assert_session_matches(result, stream, envelope)
+
+    def test_session_ids_and_spec_lookup(self):
+        batch = SessionBatch()
+        spec = SessionSpec(scheme="datc", fs=FS)
+        a = batch.create(spec)
+        b = batch.create(spec)
+        assert batch.session_ids() == [a, b]
+        assert batch.spec(a) is spec
+        batch.leave(a)
+        assert batch.session_ids() == [b]
+
+
+class TestErrors:
+    def test_unknown_sid_rejected(self):
+        batch = SessionBatch()
+        with pytest.raises(KeyError):
+            batch.push_many({7: np.zeros(10)})
+        with pytest.raises(KeyError):
+            batch.drain(7)
+        with pytest.raises(KeyError):
+            batch.finalize(7)
+        with pytest.raises(KeyError):
+            batch.leave(7)
+
+    def test_push_after_finalize_rejected(self, rng):
+        batch = SessionBatch()
+        sid = batch.create(SessionSpec(scheme="datc", fs=FS))
+        batch.push_many({sid: rng.normal(0, 0.3, size=2000)})
+        batch.finalize(sid)
+        with pytest.raises(RuntimeError, match="finalize"):
+            batch.push_many({sid: np.zeros(10)})
+
+    def test_finalize_twice_rejected(self, rng):
+        batch = SessionBatch()
+        sid = batch.create(SessionSpec(scheme="datc", fs=FS))
+        batch.push_many({sid: rng.normal(0, 0.3, size=2000)})
+        batch.finalize(sid)
+        with pytest.raises(RuntimeError, match="twice"):
+            batch.finalize(sid)
+
+    def test_non_1d_chunk_rejected(self):
+        batch = SessionBatch()
+        sid = batch.create(SessionSpec(scheme="datc", fs=FS))
+        with pytest.raises(ValueError, match="1-D"):
+            batch.push_many({sid: np.zeros((2, 3))})
+
+    def test_too_short_session_raises_like_scalar(self):
+        batch = SessionBatch()
+        sid = batch.create(SessionSpec(scheme="datc", fs=FS))
+        batch.push_many({sid: np.zeros(1)})  # under one clock period
+        with pytest.raises(ValueError, match="signal too short"):
+            batch.finalize(sid)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            SessionBatch().create(DATCConfig())
+
+
+class TestRunSessionsDriver:
+    def test_run_sessions_matches_scalar(self, rng):
+        sigs = {
+            f"wearer-{j}": rng.normal(0, 0.3, size=int(FS * d))
+            for j, d in enumerate((1.5, 2.0, 0.8))
+        }
+        spec = SessionSpec(scheme="datc", fs=FS)
+        sources = {
+            name: iter(chunked(sig, [617])) for name, sig in sigs.items()
+        }
+        results = asyncio.run(run_sessions(sources, spec))
+        assert set(results) == set(sigs)
+        for name, sig in sigs.items():
+            stream, envelope = scalar_reference(
+                "datc", DATCConfig(), chunked(sig, [617])
+            )
+            assert isinstance(results[name], SessionResult)
+            assert_session_matches(results[name], stream, envelope)
+
+    def test_run_many_accepts_async_sources_and_per_name_specs(self, rng):
+        sig_a = rng.normal(0, 0.3, size=3000)
+        sig_b = rng.normal(0, 0.4, size=2400)
+
+        async def agen(sig):
+            for i in range(0, sig.size, 500):
+                yield sig[i : i + 500]
+
+        specs = {
+            "a": SessionSpec(scheme="datc", fs=FS),
+            "b": SessionSpec(scheme="atc", fs=2000.0),
+        }
+        results = asyncio.run(
+            AsyncStreamingPipeline.run_many(
+                {"a": agen(sig_a), "b": agen(sig_b)}, specs
+            )
+        )
+        sa, ea = scalar_reference("datc", DATCConfig(), chunked(sig_a, [500]))
+        sb, eb = scalar_reference(
+            "atc", ATCConfig(), chunked(sig_b, [500]), fs=2000.0
+        )
+        assert_session_matches(results["a"], sa, ea)
+        assert_session_matches(results["b"], sb, eb)
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(KeyError, match="no SessionSpec"):
+            asyncio.run(
+                run_sessions({"x": iter([np.zeros(10)])}, {"y": SessionSpec()})
+            )

@@ -103,3 +103,75 @@ class TestResultStore:
         assert np.array_equal(warm["corr"], cold["corr"])
         assert warm["corr"].dtype == cold["corr"].dtype
         assert np.array_equal(warm["events"], cold["events"])
+
+
+class TestThreadSafety:
+    def test_concurrent_counters_exact(self, store):
+        """N threads hammering get/put never lose a counter increment.
+
+        One store instance may back every thread of a multi-session
+        server; hits + misses must equal the number of get() calls
+        exactly (a lost update would make the warm-run zero-miss
+        assertion flaky).
+        """
+        import threading
+
+        n_threads, n_ops = 8, 60
+        store.put("spec", "warm", {"x": np.float64(1.0)})
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            barrier.wait()
+            try:
+                for i in range(n_ops):
+                    store.get("spec", "warm")          # hit
+                    store.get("spec", f"cold-{tid}-{i}")  # miss
+                    store.put(
+                        f"spec-{tid}", f"data-{i}", {"x": np.float64(i)}
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = store.stats()
+        assert stats["hits"] == n_threads * n_ops
+        assert stats["misses"] == n_threads * n_ops
+        assert stats["stores"] == 1 + n_threads * n_ops
+        assert stats["corrupt"] == 0
+
+    def test_concurrent_corrupt_recovery_single_count(self, store, tmp_path):
+        """Racing readers of one corrupt entry never double-unlink or crash."""
+        import threading
+
+        store.put("spec", "data", {"x": np.float64(1.0)})
+        path = store.path_for("spec", "data")
+        path.write_bytes(b"garbage")
+        barrier = threading.Barrier(4)
+        results = []
+
+        def reader():
+            barrier.wait()
+            results.append(store.get("spec", "data"))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is None for r in results)
+        assert not path.exists()
+        stats = store.stats()
+        # Every reader counted exactly one miss (corrupt or already
+        # unlinked); at least the first one recorded the corruption.
+        assert stats["corrupt"] >= 1
+        assert stats["hits"] == 0
+        assert stats["misses"] == 4
