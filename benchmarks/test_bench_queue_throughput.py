@@ -1,0 +1,108 @@
+"""Acceptance benchmarks for the fault-tolerant experiment queue.
+
+The tentpole contract: a ``bench --queue`` run sweeps the same dataset
+through real ``repro worker`` subprocesses at each worker count, asserts
+every queued result bit-identical to the serial sweep *before* any
+timing is reported, and records the trajectory point to
+``BENCH_queue.json``.  The ``QUEUE_SPEEDUP_MIN`` throughput gate
+(acceptance floor 1.5x for 2 workers vs serial) needs a second core to
+race on and self-skips on single-core boxes; the smoke legs below run
+everywhere, exercising the full bench path — worker spawn/ready
+handshake, submission, drain, bit-identity assertion, telemetry record,
+and the gate's skip/fail exit codes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+
+MULTICORE = (os.cpu_count() or 1) > 1
+
+SMOKE_ARGS = [
+    "bench",
+    "--queue",
+    "--queue-workers",
+    "1,2",
+    "--signals",
+    "4",
+    "--duration",
+    "2",
+    "--repeats",
+    "1",
+]
+
+
+def _smoke_record():
+    root = os.environ["REPRO_BENCH_DIR"]
+    path = os.path.join(root, "BENCH_queue.json")
+    assert os.path.exists(path), "queue bench must record its trajectory"
+    with open(path) as f:
+        return json.load(f)
+
+
+def test_cli_queue_smoke(capsys):
+    """`bench --queue` drains through real workers and records telemetry."""
+    rc = cli.main(SMOKE_ARGS)
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "queued sweeps bit-identical to serial: yes" in out
+    records = _smoke_record()
+    record = records[-1]
+    assert record["area"] == "queue"
+    assert record["headline"]["metric"] == (
+        "2-worker-vs-serial queued sweep speedup"
+    )
+    assert record["headline"]["value"] > 0
+    names = [row["name"] for row in record["rows"]]
+    assert names == ["serial", "queued-1", "queued-2"]
+    assert record["params"]["workers"] == [1, 2]
+    assert all(row["time_ms"] > 0 for row in record["rows"])
+
+
+def test_gate_skips_on_single_core(monkeypatch, capsys):
+    """An unreachable floor must not fail the run on a 1-core box."""
+    if MULTICORE:
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    monkeypatch.setenv("QUEUE_SPEEDUP_MIN", "1000")
+    rc = cli.main(
+        ["bench", "--queue", "--queue-workers", "1", "--signals", "2",
+         "--duration", "2", "--repeats", "1"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "skipping QUEUE_SPEEDUP_MIN" in out
+
+
+def test_gate_fails_below_floor_on_multicore(monkeypatch, capsys):
+    """With cores available, an absurd floor exits 1 with a FAIL line."""
+    if not MULTICORE:
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        pytest.skip("wall-clock gate needs a real second core")
+    monkeypatch.setenv("QUEUE_SPEEDUP_MIN", "1000")
+    rc = cli.main(
+        ["bench", "--queue", "--queue-workers", "1", "--signals", "2",
+         "--duration", "2", "--repeats", "1"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "below QUEUE_SPEEDUP_MIN" in out
+
+
+@pytest.mark.skipif(
+    not MULTICORE, reason="speedup gate needs a second core to race on"
+)
+def test_two_workers_meet_the_acceptance_floor(monkeypatch, capsys):
+    """The acceptance gate proper: 2 workers vs serial >= 1.5x."""
+    monkeypatch.setenv(
+        "QUEUE_SPEEDUP_MIN", os.environ.get("QUEUE_SPEEDUP_MIN", "1.5")
+    )
+    rc = cli.main(
+        ["bench", "--queue", "--queue-workers", "2", "--signals", "16",
+         "--duration", "4", "--repeats", "2"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "meets QUEUE_SPEEDUP_MIN" in out

@@ -58,12 +58,17 @@ from .kernels import (
 )
 from .runtime import (
     AsyncStreamingPipeline,
+    ExperimentQueue,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
     ResultStore,
     SessionBatch,
     SessionResult,
     SessionSpec,
     map_jobs,
     run_sessions,
+    run_worker,
 )
 from .rx import StreamingDecoder, reconstruct_batch
 from .signals import DatasetSpec, EMGModel, Pattern, default_dataset
@@ -106,12 +111,17 @@ __all__ = [
     "numba_available",
     "use_backend",
     "AsyncStreamingPipeline",
+    "ExperimentQueue",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ResultStore",
     "SessionBatch",
     "SessionResult",
     "SessionSpec",
     "map_jobs",
     "run_sessions",
+    "run_worker",
     "DecoderSpec",
     "EncoderSpec",
     "Experiment",

@@ -34,11 +34,13 @@ else the working directory.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
 import subprocess
 import tempfile
+import time
 import warnings
 from datetime import datetime, timezone
 from pathlib import Path
@@ -47,6 +49,7 @@ import numpy as np
 
 __all__ = [
     "AREAS",
+    "TelemetryError",
     "append_record",
     "bench_dir",
     "git_sha",
@@ -57,10 +60,30 @@ __all__ = [
     "render_report",
 ]
 
-AREAS = ("encoder", "rx", "link", "sweep", "cache", "kernels", "sessions")
+AREAS = (
+    "encoder",
+    "rx",
+    "link",
+    "sweep",
+    "cache",
+    "kernels",
+    "sessions",
+    "queue",
+)
 ENV_DIR = "REPRO_BENCH_DIR"
 ENV_REGRESSION_PCT = "BENCH_REGRESSION_PCT"
 DEFAULT_REGRESSION_PCT = 20.0
+LOCK_TIMEOUT_S = 30.0
+
+
+class TelemetryError(RuntimeError):
+    """A trajectory file is unusable (corrupt, empty, or wrong shape).
+
+    Raised only on the *strict* loading path (``bench --report``), where
+    a damaged committed trajectory should be a pointed one-line failure.
+    The append path stays lenient — a corrupt file self-heals by being
+    rewritten whole.
+    """
 
 
 def bench_dir(explicit: "str | Path | None" = None) -> Path:
@@ -160,8 +183,33 @@ def make_record(
     }
 
 
-def _load_file(path: Path) -> "list[dict]":
-    """A trajectory file's records; corrupt/missing files read as empty."""
+def _load_file(path: Path, strict: bool = False) -> "list[dict]":
+    """A trajectory file's records.
+
+    Lenient (default): corrupt or missing files read as empty — the next
+    append rewrites the file whole and the trajectory self-heals.
+    Strict: a file that *exists* but is unparseable, empty, or not a
+    record list raises :class:`TelemetryError` naming the file (a missing
+    file still reads as empty — an area never benched is not damage).
+    """
+    if strict and path.exists():
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise TelemetryError(f"{path}: unreadable ({exc})") from None
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(f"{path}: not valid JSON ({exc})") from None
+        if not isinstance(data, list) or not all(
+            isinstance(r, dict) for r in data
+        ):
+            raise TelemetryError(
+                f"{path}: expected a JSON list of records, got "
+                f"{type(data).__name__}"
+            )
+        if not data:
+            raise TelemetryError(f"{path}: holds no records (empty list)")
+        return data
     try:
         with open(path) as fh:
             data = json.load(fh)
@@ -170,36 +218,98 @@ def _load_file(path: Path) -> "list[dict]":
     return data if isinstance(data, list) else []
 
 
-def append_record(record: dict, directory: "str | Path | None" = None) -> Path:
-    """Append one record to its area's BENCH_<area>.json (atomic write)."""
-    path = record_path(record["area"], directory)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    records = _load_file(path)
-    records.append(record)
-    fd, tmp = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
+@contextlib.contextmanager
+def _append_lock(path: Path, timeout_s: float = LOCK_TIMEOUT_S):
+    """Serialise appends to one trajectory file across processes.
+
+    The append is a read-modify-write of the whole file; atomic replace
+    alone keeps it uncorrupted but lets two concurrent queue workers read
+    the same base list and silently drop each other's record.  A sidecar
+    ``.lock`` file closes that window: ``flock`` where available (held
+    locks die with their process, so no staleness), else an ``O_EXCL``
+    spin whose stale locks are broken by mtime age.
+    """
+    lock_path = path.with_name(path.name + ".lock")
     try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(records, fh, indent=2)
-            fh.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
+        import fcntl
+    except ImportError:
+        fcntl = None
+    if fcntl is not None:
+        with open(lock_path, "a+") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        return
+    deadline = time.monotonic() + timeout_s
+    while True:
         try:
-            os.unlink(tmp)
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                if time.time() - os.stat(lock_path).st_mtime > timeout_s:
+                    os.unlink(lock_path)  # holder died; break the lock
+                    continue
+            except OSError:
+                continue  # holder just released; retry immediately
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not acquire {lock_path} within {timeout_s}s"
+                ) from None
+            time.sleep(0.01)
+    try:
+        yield
+    finally:
+        os.close(fd)
+        try:
+            os.unlink(lock_path)
         except OSError:
             pass
-        raise
+
+
+def append_record(record: dict, directory: "str | Path | None" = None) -> Path:
+    """Append one record to its area's BENCH_<area>.json.
+
+    Safe under concurrent writers (multiple queue workers recording at
+    once): the read-modify-write runs under :func:`_append_lock` and the
+    final write is still an atomic temp-file replace, so records never
+    interleave and readers never see a half-written file.
+    """
+    path = record_path(record["area"], directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with _append_lock(path):
+        records = _load_file(path)
+        records.append(record)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(records, fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
     return path
 
 
 def load_trajectories(
-    directory: "str | Path | None" = None,
+    directory: "str | Path | None" = None, strict: bool = False
 ) -> "dict[str, list[dict]]":
-    """All areas' committed records, in file (chronological) order."""
+    """All areas' committed records, in file (chronological) order.
+
+    ``strict=True`` (the report path) raises :class:`TelemetryError` on
+    a damaged file instead of silently reading it as empty.
+    """
     out = {}
     for area in AREAS:
-        records = _load_file(record_path(area, directory))
+        records = _load_file(record_path(area, directory), strict=strict)
         if records:
             out[area] = records
     return out

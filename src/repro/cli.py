@@ -22,6 +22,14 @@ Declarative experiment API (see docs/API.md)::
     python -m repro sweep --axis stream.drop_prob --values 0.0,0.2,0.4
     python -m repro sweep --dataset --patterns 24 --cache-dir ./cache
     python -m repro fig5 --patterns 24 --cache-dir ./cache   # warm re-runs
+
+Distributed queue (see docs/QUEUE.md)::
+
+    python -m repro queue submit --db q.db --patterns 32
+    python -m repro worker --db q.db --store ./store    # x N, any host
+    python -m repro queue status --db q.db
+    python -m repro store fsck ./store
+    python -m repro bench --queue                       # N-worker vs serial
 """
 
 from __future__ import annotations
@@ -305,6 +313,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_kernels(args)
     if args.sessions:
         return _bench_sessions(args)
+    if args.queue:
+        return _bench_queue(args)
     from .core.atc import atc_encode
     from .core.config import ATCConfig, DATCConfig
     from .core.datc import datc_encode
@@ -1109,9 +1119,249 @@ def _bench_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spawn_worker(
+    db: str,
+    store_root: str,
+    *,
+    max_idle_s: float,
+    ready_file: "str | None" = None,
+    lease_s: "float | None" = None,
+    env: "dict | None" = None,
+    extra: "list[str] | None" = None,
+):
+    """Launch one ``repro worker`` subprocess against a shared queue.
+
+    The child gets this process's ``repro`` package on ``PYTHONPATH`` so
+    the bench works from a source checkout without installation.
+    """
+    import subprocess
+    from pathlib import Path
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    child_env = dict(os.environ if env is None else env)
+    child_env["PYTHONPATH"] = (
+        src + os.pathsep + child_env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--db",
+        db,
+        "--store",
+        store_root,
+        "--max-idle",
+        str(max_idle_s),
+    ]
+    if ready_file is not None:
+        cmd += ["--ready-file", ready_file]
+    if lease_s is not None:
+        cmd += ["--lease", str(lease_s)]
+    cmd += extra or []
+    return subprocess.Popen(
+        cmd,
+        env=child_env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _queued_sweep(spec, dataset, n_workers: int, work_root: str):
+    """One queued N-worker sweep; returns (seconds, sweep result, store).
+
+    Workers start first and idle-wait (the ``--ready-file`` handshake
+    keeps interpreter/numpy start-up out of the timed region); the clock
+    runs from job submission to the last worker's drained exit.  The
+    finished sweep is collected with one *warm*
+    ``Experiment.dataset_sweep`` over the shared store — zero
+    re-evaluations, so the collected numbers are exactly what the
+    workers computed.
+    """
+    import time as _time
+
+    from .api import Experiment
+    from .runtime.queue import ExperimentQueue
+    from .runtime.store import ResultStore
+
+    db = os.path.join(work_root, "queue.db")
+    store_root = os.path.join(work_root, "store")
+    ready = [
+        os.path.join(work_root, f"ready-{i}") for i in range(n_workers)
+    ]
+    workers = [
+        _spawn_worker(db, store_root, max_idle_s=120.0, ready_file=path)
+        for path in ready
+    ]
+    try:
+        deadline = _time.monotonic() + 120.0
+        while not all(os.path.exists(path) for path in ready):
+            for proc in workers:
+                if proc.poll() is not None:
+                    raise RuntimeError(
+                        f"worker exited before becoming ready "
+                        f"(code {proc.returncode}):\n{proc.stdout.read()}"
+                    )
+            if _time.monotonic() > deadline:
+                raise RuntimeError("workers never became ready")
+            _time.sleep(0.01)
+        with ExperimentQueue(db) as queue:
+            t0 = perf_counter()
+            queue.submit_dataset(spec, dataset, workers_hint=n_workers)
+            for proc in workers:
+                proc.wait(timeout=600)
+            elapsed = perf_counter() - t0
+            if queue.unfinished():
+                raise RuntimeError(
+                    f"queue did not drain: {queue.counts()} "
+                    f"(worker output: {workers[0].stdout.read()!r})"
+                )
+            queue.raise_first_error()
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+    store = ResultStore(store_root)
+    result = Experiment(spec, store=store).dataset_sweep(dataset)
+    return elapsed, result, store
+
+
+def _bench_queue(args: argparse.Namespace) -> int:
+    """Queued N-worker dataset sweep vs the serial spec path.
+
+    Every worker count's results are asserted bit-identical to the
+    serial sweep before any timing is reported.  When the
+    ``QUEUE_SPEEDUP_MIN`` env var is set, exits 1 unless the 2-worker
+    (or largest benched) speedup meets it — skipped with a note on
+    single-core boxes, where parallel workers cannot win wall-clock.
+    """
+    import shutil
+    import tempfile
+
+    from .api import Experiment, ExperimentSpec
+    from .signals.dataset import DatasetSpec
+
+    scheme = "datc" if args.scheme == "both" else args.scheme
+    counts = sorted(
+        {int(c) for c in args.queue_workers.split(",") if c.strip()}
+    )
+    if not counts or min(counts) < 1:
+        raise SystemExit("--queue-workers needs positive integers")
+    dataset = DatasetSpec(
+        n_patterns=args.signals, duration_s=args.duration, seed=2015
+    )
+    spec = ExperimentSpec.for_scheme(scheme)
+    print(
+        f"queue throughput: {args.signals} patterns x {args.duration:g} s "
+        f"dataset sweep [{scheme}], workers {counts}, best of {args.repeats}"
+    )
+    t_serial, serial = _best_of(
+        lambda: Experiment(spec).dataset_sweep(dataset), args.repeats
+    )
+    header = (
+        f"{'path':<18}{'time (ms)':>11}{'patterns/s':>13}{'speedup':>9}"
+        f"{'identical':>11}"
+    )
+    print(f"\n{header}\n" + "-" * len(header))
+    print(
+        f"{'serial':<18}{t_serial * 1e3:>11.1f}"
+        f"{args.signals / t_serial:>13.3g}{1.0:>8.1f}x{'baseline':>11}"
+    )
+    record_rows = [
+        {
+            "name": "serial",
+            "time_ms": t_serial * 1e3,
+            "throughput": args.signals / t_serial,
+            "speedup": 1.0,
+        }
+    ]
+    gate_count = max((c for c in counts if c <= 2), default=min(counts))
+    headline = 1.0
+    for count in counts:
+        best = float("inf")
+        for _ in range(args.repeats):
+            work_root = tempfile.mkdtemp(prefix="repro-bench-queue-")
+            try:
+                elapsed, result, _store = _queued_sweep(
+                    spec, dataset, count, work_root
+                )
+            finally:
+                shutil.rmtree(work_root, ignore_errors=True)
+            best = min(best, elapsed)
+        same = np.array_equal(
+            result.correlations_pct, serial.correlations_pct
+        ) and np.array_equal(result.n_events, serial.n_events)
+        if not same:
+            raise AssertionError(
+                f"{count}-worker queued sweep diverged from the serial "
+                "results (must be bit-identical)"
+            )
+        speedup = t_serial / best
+        if count == gate_count:
+            headline = speedup
+        record_rows.append(
+            {
+                "name": f"queued-{count}",
+                "time_ms": best * 1e3,
+                "throughput": args.signals / best,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"{f'queued-{count}':<18}{best * 1e3:>11.1f}"
+            f"{args.signals / best:>13.3g}{speedup:>8.1f}x{'yes':>11}"
+        )
+    print("queued sweeps bit-identical to serial: yes")
+    _record_bench(
+        args,
+        "queue",
+        f"{gate_count}-worker-vs-serial queued sweep speedup",
+        headline,
+        record_rows,
+        params={
+            "signals": args.signals,
+            "duration_s": args.duration,
+            "workers": counts,
+            "repeats": args.repeats,
+            "scheme": scheme,
+        },
+        spec_keys=_spec_keys((scheme,)),
+    )
+    floor_txt = os.environ.get("QUEUE_SPEEDUP_MIN")
+    if floor_txt is not None:
+        floor = float(floor_txt)
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print(
+                f"skipping QUEUE_SPEEDUP_MIN={floor:g} gate: "
+                f"{cores} core(s) — parallel workers cannot win wall-clock"
+            )
+        elif headline < floor:
+            print(
+                f"FAIL: {gate_count}-worker speedup {headline:.2f}x is "
+                f"below QUEUE_SPEEDUP_MIN={floor:g}"
+            )
+            return 1
+        else:
+            print(
+                f"speedup {headline:.2f}x meets QUEUE_SPEEDUP_MIN={floor:g}"
+            )
+    return 0
+
+
 def _bench_report(args: argparse.Namespace) -> int:
-    """Render the perf trajectory; fail on a headline regression."""
+    """Render the perf trajectory; fail on a headline regression.
+
+    Strict about its inputs: a missing trajectory (nothing benched), an
+    empty file, or a corrupt one is a pointed one-line error and exit 1,
+    not a traceback or a silently thin report.
+    """
     from .analysis.telemetry import (
+        TelemetryError,
         bench_dir,
         load_trajectories,
         regression_pct,
@@ -1119,10 +1369,17 @@ def _bench_report(args: argparse.Namespace) -> int:
     )
 
     directory = getattr(args, "bench_out", None)
-    trajectories = load_trajectories(directory)
+    try:
+        trajectories = load_trajectories(directory, strict=True)
+    except TelemetryError as exc:
+        print(f"bench --report: {exc}")
+        return 1
     if not trajectories:
-        print(f"no BENCH_*.json records under {bench_dir(directory)}")
-        return 0
+        print(
+            f"bench --report: no BENCH_*.json records under "
+            f"{bench_dir(directory)} (run a bench stage first)"
+        )
+        return 1
     allowed = regression_pct()
     table, regressions = render_report(trajectories, allowed)
     print(table)
@@ -1152,6 +1409,120 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         f"({stream.n_symbols} symbols) -> {args.output}"
     )
     return 0
+
+
+def _cmd_queue_submit(args: argparse.Namespace) -> int:
+    from .runtime.queue import ExperimentQueue
+    from .signals.dataset import DatasetSpec
+
+    spec = _load_spec(args)
+    dataset = DatasetSpec(
+        n_patterns=args.patterns, duration_s=args.duration, seed=args.seed
+    )
+    with ExperimentQueue(args.db) as queue:
+        n = queue.submit_dataset(
+            spec,
+            dataset,
+            shard_size=args.shard_size,
+            workers_hint=args.workers_hint,
+            max_attempts=args.max_attempts,
+        )
+        counts = queue.counts()
+    total = sum(counts.values())
+    print(
+        f"submitted {n} new shard job(s) for spec {spec.key()[:16]} "
+        f"({args.patterns} patterns) -> {args.db} ({total} total)"
+    )
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from .runtime.queue import ExperimentQueue, STATUSES
+
+    with ExperimentQueue(args.db) as queue:
+        counts = queue.counts()
+        errors = queue.errors()
+    total = sum(counts.values())
+    body = ", ".join(f"{status} {counts[status]}" for status in STATUSES)
+    print(f"{args.db}: {total} job(s) — {body}")
+    for row in errors:
+        first_line = (row["error"] or "").splitlines()[0] if row["error"] else ""
+        print(
+            f"  quarantined {row['fingerprint'][:12]} "
+            f"(attempt {row['attempt']}/{row['max_attempts']}): {first_line}"
+        )
+    if args.strict and errors:
+        print(f"strict: {len(errors)} quarantined job(s)")
+        return 1
+    return 0
+
+
+def _cmd_queue_reset(args: argparse.Namespace) -> int:
+    from .runtime.queue import ExperimentQueue
+
+    with ExperimentQueue(args.db) as queue:
+        n = queue.reset()
+    print(f"re-opened {n} quarantined job(s) in {args.db}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal as _signal
+    import threading as _threading
+
+    from .runtime.faults import FaultPlan
+    from .runtime.queue import run_worker
+
+    if args.faults:
+        faults = FaultPlan.from_json(args.faults)
+    else:
+        faults = FaultPlan.from_env()
+    stop_event = _threading.Event()
+    try:
+        # SIGTERM -> graceful drain: finish the in-flight shard, release
+        # unstarted leases, exit 0.  Installable only from the main
+        # thread; in-process test callers just lose the handler.
+        _signal.signal(_signal.SIGTERM, lambda signum, frame: stop_event.set())
+    except ValueError:
+        pass
+    if args.ready_file:
+        # The handshake the bench and the recovery tests key off: the
+        # interpreter is up, imports are done, the loop starts now.
+        with open(args.ready_file, "w") as fh:
+            fh.write(f"{os.getpid()}\n")
+    max_idle_s = None if args.max_idle < 0 else args.max_idle
+    stats = run_worker(
+        args.db,
+        args.store,
+        worker_id=args.worker_id,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        max_idle_s=max_idle_s,
+        max_jobs=args.max_jobs,
+        heartbeat_s=args.heartbeat,
+        faults=faults,
+        should_stop=stop_event.is_set,
+        log=print if args.verbose else None,
+    )
+    print(
+        f"worker {stats.worker_id}: claimed {stats.claimed}, "
+        f"completed {stats.completed}, requeued {stats.requeued}, "
+        f"quarantined {stats.quarantined}, lost {stats.lost}, "
+        f"released {stats.released}, evaluated {stats.evaluated}"
+    )
+    return 0
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    from .runtime.store import ResultStore
+
+    store = ResultStore(args.root)
+    report = store.fsck(repair=not args.no_repair)
+    print(f"{store.root}: {report.summary()}")
+    for path, reason in report.corrupt:
+        verb = "deleted" if report.repaired else "corrupt"
+        print(f"  {verb}: {path}: {reason}")
+    return 1 if report.damaged else 0
 
 
 def _positive_int(text: str) -> int:
@@ -1285,6 +1656,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser(
+        "queue",
+        help="fault-tolerant multi-worker job queue (see docs/QUEUE.md)",
+    )
+    qsub = p.add_subparsers(dest="action", required=True)
+    q = qsub.add_parser("submit", help="shard a dataset sweep into jobs")
+    q.add_argument("--db", required=True, help="shared queue database file")
+    q.add_argument("--scheme", choices=("atc", "datc"), default="datc")
+    q.add_argument("--spec", default=None, help="spec JSON (overrides --scheme)")
+    q.add_argument("--patterns", type=_positive_int, default=16)
+    q.add_argument("--duration", type=_positive_float, default=20.0)
+    q.add_argument("--seed", type=int, default=2015)
+    q.add_argument(
+        "--shard-size", type=_positive_int, default=None,
+        help="patterns per job (default: ~4 shards per hinted worker)",
+    )
+    q.add_argument("--workers-hint", type=_positive_int, default=4)
+    q.add_argument(
+        "--max-attempts", type=_positive_int, default=3,
+        help="attempts before a failing job is quarantined",
+    )
+    q.set_defaults(func=_cmd_queue_submit)
+    q = qsub.add_parser(
+        "status", help="per-status job counts + quarantined failures"
+    )
+    q.add_argument("--db", required=True, help="shared queue database file")
+    q.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any job is quarantined",
+    )
+    q.set_defaults(func=_cmd_queue_status)
+    q = qsub.add_parser("reset", help="re-open every quarantined job")
+    q.add_argument("--db", required=True, help="shared queue database file")
+    q.set_defaults(func=_cmd_queue_reset)
+
+    p = sub.add_parser(
+        "worker",
+        help="pull and execute queued shards until the queue drains",
+    )
+    p.add_argument("--db", required=True, help="shared queue database file")
+    p.add_argument("--store", required=True, help="shared result store dir")
+    p.add_argument("--worker-id", default=None, help="default: host-pid-rand")
+    p.add_argument(
+        "--lease", type=_positive_float, default=30.0,
+        help="lease seconds; a silent worker's shard is reclaimed after this",
+    )
+    p.add_argument("--poll", type=_positive_float, default=0.2)
+    p.add_argument(
+        "--max-idle", type=float, default=0.0,
+        help="seconds to wait for first jobs before giving up "
+        "(0 = exit if empty, negative = wait forever)",
+    )
+    p.add_argument(
+        "--max-jobs", type=_positive_int, default=None,
+        help="exit after claiming this many jobs",
+    )
+    p.add_argument(
+        "--heartbeat", type=_positive_float, default=None,
+        help="heartbeat interval (default: lease / 4)",
+    )
+    p.add_argument(
+        "--faults", default=None,
+        help="fault-plan JSON (chaos testing; or set REPRO_FAULTS)",
+    )
+    p.add_argument(
+        "--ready-file", default=None,
+        help="write this file (holding the pid) once the loop starts",
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser("store", help="result-store maintenance")
+    ssub = p.add_subparsers(dest="action", required=True)
+    s = ssub.add_parser(
+        "fsck",
+        help="verify every entry against its checksum; exit 1 on damage",
+    )
+    s.add_argument("root", help="store directory")
+    s.add_argument(
+        "--no-repair", action="store_true",
+        help="report damage without deleting anything",
+    )
+    s.set_defaults(func=_cmd_store_fsck)
+
+    p = sub.add_parser(
         "bench",
         help="encoder/receiver/link throughput: one-shot vs chunked vs batched",
     )
@@ -1321,6 +1776,12 @@ def build_parser() -> argparse.ArgumentParser:
         "scalar per-session streaming loop (SESSIONS_SPEEDUP_MIN gates)",
     )
     stage.add_argument(
+        "--queue",
+        action="store_true",
+        help="benchmark queued N-worker sweeps against the serial path "
+        "(QUEUE_SPEEDUP_MIN gates; skipped on 1-core boxes)",
+    )
+    stage.add_argument(
         "--report",
         action="store_true",
         help="render the BENCH_*.json perf trajectory; exit 1 on a "
@@ -1354,6 +1815,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--session-counts",
         default="64,256,1024",
         help="comma-separated concurrent session counts (--sessions)",
+    )
+    p.add_argument(
+        "--queue-workers",
+        default="1,2",
+        help="comma-separated worker counts (--queue)",
     )
     p.set_defaults(func=_cmd_bench)
 

@@ -4,8 +4,10 @@
 library-wide :func:`map_jobs` fan-out contract; ``ingest`` drives the
 streaming encoder/decoder pair from async chunk sources; ``sessions``
 packs N concurrent streaming sessions into one vectorized
-:class:`SessionBatch` engine.  See ``docs/SCALING.md`` and
-``docs/STREAMING.md``.
+:class:`SessionBatch` engine; ``queue`` + ``faults`` add the
+fault-tolerant multi-worker jobs table and its deterministic chaos
+test-rig.  See ``docs/SCALING.md``, ``docs/STREAMING.md`` and
+``docs/QUEUE.md``.
 """
 
 from .executors import (
@@ -16,18 +18,32 @@ from .executors import (
     plan_shards,
     resolve_backend,
 )
+from .faults import FaultPlan, FaultSpec, InjectedFault
 from .ingest import AsyncStreamingPipeline, run_sessions
+from .queue import ExperimentQueue, Job, WorkerStats, run_worker
 from .sessions import SessionBatch, SessionResult, SessionSpec
-from .store import ResultStore, fingerprint_arrays, fingerprint_value
+from .store import (
+    FsckReport,
+    ResultStore,
+    fingerprint_arrays,
+    fingerprint_value,
+)
 
 __all__ = [
     "AsyncStreamingPipeline",
     "BACKENDS",
+    "ExperimentQueue",
+    "FaultPlan",
+    "FaultSpec",
+    "FsckReport",
+    "InjectedFault",
+    "Job",
     "RemoteTraceback",
     "ResultStore",
     "SessionBatch",
     "SessionResult",
     "SessionSpec",
+    "WorkerStats",
     "default_jobs",
     "fingerprint_arrays",
     "fingerprint_value",
@@ -35,4 +51,5 @@ __all__ = [
     "plan_shards",
     "resolve_backend",
     "run_sessions",
+    "run_worker",
 ]

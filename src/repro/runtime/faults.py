@@ -1,0 +1,211 @@
+"""Deterministic fault injection for the experiment queue.
+
+The queue's recovery paths — lease expiry after a SIGKILL, capped-backoff
+retries of transient errors, quarantine of deterministic ones, fencing of
+a wedged worker's late writes — are exactly the paths that never run in a
+happy-path test.  This module makes them *schedulable*: a
+:class:`FaultPlan` is a list of :class:`FaultSpec` injectors that a
+worker consults once per ``(job fingerprint, attempt)`` before executing
+a shard, and every decision is a pure function of
+``(plan seed, injector, fingerprint, attempt)`` — the same plan fires the
+same faults on any machine, any interleaving, any retry schedule, so the
+multi-worker recovery tests are reproducible on one laptop.
+
+Three injector kinds cover the failure taxonomy:
+
+``"error"``
+    Raise :class:`InjectedFault` inside the worker.  Scoped to
+    ``attempts=(1,)`` it models a *transient* failure (the retry
+    succeeds); left unscoped it fires on every attempt and models a
+    *deterministic* bug (the job exhausts ``max_attempts`` and lands in
+    quarantine with the full traceback logged).
+``"crash"``
+    ``os._exit(137)`` — the worker dies mid-shard with no cleanup, no
+    ``finally`` blocks, no atexit: byte-for-byte what SIGKILL leaves
+    behind.  Recovery must come from a *peer* reclaiming the expired
+    lease.
+``"stall"``
+    The worker stops heartbeating and sleeps ``stall_s`` mid-job, then
+    carries on as if nothing happened.  Its lease expires, a peer
+    re-runs the shard, and the stalled worker's late completion must be
+    *fenced off* by the jobs table (the store itself is safe — entries
+    are content-addressed and idempotent).
+
+Plans serialise to JSON and travel to worker subprocesses through the
+``REPRO_FAULTS`` environment variable (or ``repro worker --faults``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+FAULT_KINDS = ("error", "crash", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``"error"`` injector raises inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injector: *which* fault fires *when*.
+
+    Parameters
+    ----------
+    kind:
+        ``"error"`` (raise :class:`InjectedFault`), ``"crash"``
+        (``os._exit(137)``, the deterministic SIGKILL) or ``"stall"``
+        (stop heartbeating and sleep ``stall_s`` mid-job).
+    match:
+        Fingerprint substring filter; ``""`` matches every job.
+    attempts:
+        Fire only on these attempt numbers (1-based).  ``None`` fires on
+        every attempt — an ``"error"`` injector then models a
+        deterministic bug that must end in quarantine.
+    prob:
+        Probability the injector fires on a matching ``(job, attempt)``.
+        Draws are deterministic in ``(plan seed, fingerprint, attempt)``,
+        not wall-clock randomness.
+    stall_s:
+        Sleep length of a ``"stall"`` injector (ignored otherwise).
+    """
+
+    kind: str
+    match: str = ""
+    attempts: "tuple[int, ...] | None" = None
+    prob: float = 1.0
+    stall_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.stall_s <= 0:
+            raise ValueError(f"stall_s must be positive, got {self.stall_s}")
+        if self.attempts is not None:
+            attempts = tuple(int(a) for a in self.attempts)
+            if not attempts or any(a < 1 for a in attempts):
+                raise ValueError(
+                    f"attempts must be 1-based attempt numbers, got "
+                    f"{self.attempts!r}"
+                )
+            object.__setattr__(self, "attempts", attempts)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form."""
+        out = dataclasses.asdict(self)
+        if self.attempts is not None:
+            out["attempts"] = list(self.attempts)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        data = dict(data)
+        if data.get("attempts") is not None:
+            data["attempts"] = tuple(data["attempts"])
+        return cls(**data)
+
+
+def _draw(seed: int, index: int, fingerprint: str, attempt: int) -> float:
+    """Deterministic uniform in [0, 1) for one (injector, job, attempt)."""
+    digest = hashlib.sha256(
+        f"{seed}:{index}:{fingerprint}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable schedule of fault injectors.
+
+    ``match(fingerprint, attempt)`` returns the first injector that fires
+    for that job attempt (or ``None``); the worker applies it.  The plan
+    is pure data — evaluation has no side effects, so tests can assert
+    the schedule before running it.
+    """
+
+    faults: "tuple[FaultSpec, ...]" = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise TypeError(
+                    f"faults must be FaultSpec instances, got "
+                    f"{type(fault).__name__}"
+                )
+
+    def match(self, fingerprint: str, attempt: int) -> "FaultSpec | None":
+        """The first injector firing on this ``(job, attempt)``, if any."""
+        for index, fault in enumerate(self.faults):
+            if fault.match and fault.match not in fingerprint:
+                continue
+            if fault.attempts is not None and attempt not in fault.attempts:
+                continue
+            if fault.prob < 1.0 and (
+                _draw(self.seed, index, fingerprint, attempt) >= fault.prob
+            ):
+                continue
+            return fault
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialisation (CLI flag / subprocess environment)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form."""
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            faults=tuple(
+                FaultSpec.from_dict(f) for f in data.get("faults", ())
+            ),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        """Compact JSON (the ``repro worker --faults`` / env format)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def to_env(self, env: "dict | None" = None) -> dict:
+        """A copy of ``env`` (default ``os.environ``) carrying this plan."""
+        out = dict(os.environ if env is None else env)
+        out[ENV_FAULTS] = self.to_json()
+        return out
+
+    @classmethod
+    def from_env(cls, env: "dict | None" = None) -> "FaultPlan | None":
+        """The plan in ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        text = (os.environ if env is None else env).get(ENV_FAULTS)
+        if not text:
+            return None
+        return cls.from_json(text)

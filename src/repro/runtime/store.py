@@ -15,9 +15,12 @@ Entries are ``.npz`` archives of plain numpy arrays, written atomically
 (temp file + ``os.replace``) so a crashed or concurrent run never leaves a
 half-written entry behind, and sharded into 256 two-hex-digit
 subdirectories so a large cache never piles every entry into one
-directory.  A corrupt entry (truncated file, bad zip, wrong arrays) is
-deleted and treated as a miss — the store self-heals and the caller simply
-re-evaluates.
+directory.  Every entry carries a ``__checksum__`` of its payload arrays,
+verified on read: a corrupt entry (truncated file, bad zip, flipped
+bits) is deleted and treated as a miss — the store self-heals and the
+caller simply re-evaluates.  :meth:`ResultStore.fsck` (CLI: ``repro
+store fsck``) audits the whole store at once, which is how a shared
+multi-worker cache gets checked after a messy crash.
 
 Hit/miss accounting lives on the instance (``hits`` / ``misses`` /
 ``stores`` / ``corrupt``), so a warm re-run can *assert* that it
@@ -37,8 +40,11 @@ from pathlib import Path
 import numpy as np
 
 __all__ = [
+    "CHECKSUM_KEY",
     "ENGINE_REVISION",
+    "FsckReport",
     "ResultStore",
+    "checksum_arrays",
     "fingerprint_arrays",
     "fingerprint_value",
 ]
@@ -66,6 +72,75 @@ def fingerprint_arrays(*arrays) -> str:
     for arr in arrays:
         _hash_update_array(h, np.asarray(arr))
     return h.hexdigest()
+
+
+# Reserved array name holding an entry's payload checksum.  Written by
+# every put(), verified (and stripped) by every get().
+CHECKSUM_KEY = "__checksum__"
+
+
+def checksum_arrays(arrays: "dict[str, np.ndarray]") -> str:
+    """Order-independent content hash of a named-array payload."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        h.update(name.encode())
+        h.update(b"\x00")
+        _hash_update_array(h, np.asarray(arrays[name]))
+    return h.hexdigest()
+
+
+def _entry_damage(arrays: "dict[str, np.ndarray]") -> "str | None":
+    """Why a loaded entry fails checksum verification (None = intact).
+
+    Entries with no :data:`CHECKSUM_KEY` predate checksums and verify
+    vacuously here; ``fsck`` flags them separately.
+    """
+    declared = arrays.get(CHECKSUM_KEY)
+    if declared is None:
+        return None
+    payload = {k: v for k, v in arrays.items() if k != CHECKSUM_KEY}
+    if not payload:
+        return "entry holds no payload arrays"
+    try:
+        expected = declared.item()
+    except (AttributeError, ValueError):
+        return f"malformed {CHECKSUM_KEY} array"
+    if not isinstance(expected, str) or expected != checksum_arrays(payload):
+        return f"payload does not match its {CHECKSUM_KEY}"
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class FsckReport:
+    """What :meth:`ResultStore.fsck` found (and, with repair, removed)."""
+
+    scanned: int
+    intact: int
+    unverified: int  # pre-checksum entries: readable, but unverifiable
+    corrupt: "tuple[tuple[str, str], ...]"  # (entry path, damage reason)
+    stray_tmp: int  # leftover .tmp-* files from crashed writers
+    repaired: bool  # whether corrupt entries and strays were deleted
+
+    @property
+    def damaged(self) -> int:
+        """How many entries failed verification."""
+        return len(self.corrupt)
+
+    @property
+    def clean(self) -> bool:
+        """True when every scanned entry verified (strays don't count)."""
+        return not self.corrupt
+
+    def summary(self) -> str:
+        """One line for logs and the ``repro store fsck`` CLI."""
+        state = "clean" if self.clean else f"{self.damaged} corrupt"
+        bits = [f"{self.scanned} entries scanned", state]
+        if self.unverified:
+            bits.append(f"{self.unverified} pre-checksum (unverified)")
+        if self.stray_tmp:
+            verb = "removed" if self.repaired else "found"
+            bits.append(f"{self.stray_tmp} stray tmp files {verb}")
+        return "; ".join(bits)
 
 
 def _jsonable(value):
@@ -166,8 +241,10 @@ class ResultStore:
     def get(self, spec_key: str, fingerprint: str) -> "dict[str, np.ndarray] | None":
         """Fetch a cached result, or ``None`` on miss.
 
-        A corrupt entry (unreadable archive) is deleted, counted in
-        ``corrupt``, and reported as a miss — the store self-heals.
+        A corrupt entry — unreadable archive, or payload not matching the
+        ``__checksum__`` it was written with — is deleted, counted in
+        ``corrupt``, and reported as a miss: the store self-heals.
+        Entries written before checksums existed load unverified.
         """
         path = self.path_for(spec_key, fingerprint)
         if not path.exists():
@@ -178,24 +255,40 @@ class ResultStore:
             with np.load(path, allow_pickle=False) as archive:
                 out = {name: archive[name] for name in archive.files}
         except Exception:
-            with self._lock:
-                self.corrupt += 1
-                self.misses += 1
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            return None
+            return self._quarantine_corrupt(path)
+        if _entry_damage(out) is not None:
+            return self._quarantine_corrupt(path)
+        out.pop(CHECKSUM_KEY, None)
         with self._lock:
             self.hits += 1
         return out
 
+    def _quarantine_corrupt(self, path: Path) -> None:
+        """Delete a damaged entry and account for it as a miss."""
+        with self._lock:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return None
+
     def put(
         self, spec_key: str, fingerprint: str, arrays: "dict[str, np.ndarray]"
     ) -> Path:
-        """Persist one result atomically; returns the entry path."""
+        """Persist one result atomically; returns the entry path.
+
+        The payload's :func:`checksum_arrays` hash rides along in the
+        entry under :data:`CHECKSUM_KEY`, so later reads (and ``fsck``)
+        can tell silent on-disk corruption from a valid entry.
+        """
         if not arrays:
             raise ValueError("refusing to store an empty result")
+        if CHECKSUM_KEY in arrays:
+            raise ValueError(f"{CHECKSUM_KEY!r} is a reserved array name")
+        payload = {k: np.asarray(v) for k, v in arrays.items()}
+        payload[CHECKSUM_KEY] = np.array(checksum_arrays(payload))
         path = self.path_for(spec_key, fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -203,7 +296,7 @@ class ResultStore:
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **{k: np.asarray(v) for k, v in arrays.items()})
+                np.savez(fh, **payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -218,9 +311,85 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _entry_paths(self) -> "list[Path]":
+        """Every real entry on disk, in deterministic order.
+
+        ``pathlib`` globs match dotfiles, so a crashed writer's leftover
+        ``.tmp-*.npz`` would otherwise masquerade as an entry here.
+        """
+        return sorted(
+            path
+            for path in self.root.glob("??/*.npz")
+            if not path.name.startswith(".")
+        )
+
+    def _stray_tmp_paths(self) -> "list[Path]":
+        """Leftover atomic-write temp files (a crash between write and
+        rename leaves one behind; harmless, but fsck sweeps them up)."""
+        return sorted(self.root.glob("??/.tmp-*"))
+
     def __len__(self) -> int:
         """Number of entries currently on disk."""
-        return sum(1 for _ in self.root.glob("??/*.npz"))
+        return len(self._entry_paths())
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Audit every on-disk entry against its ``__checksum__``.
+
+        Walks the whole store, re-reading each entry and verifying its
+        payload checksum — the batch version of the check ``get`` runs
+        per lookup, which is how a *shared* store gets audited after a
+        worker crash without enumerating every ``(spec, fingerprint)``
+        pair that might live in it.  With ``repair=True`` (default)
+        corrupt entries and stray ``.tmp-*`` files are deleted, so the
+        next lookup re-evaluates instead of failing; ``repair=False``
+        only reports.  Run it on a quiescent store — a live writer's
+        in-flight temp file would be swept as a stray.
+
+        Entries written before checksums existed are readable but
+        unverifiable; they are counted ``unverified``, never deleted.
+        """
+        strays = self._stray_tmp_paths()
+        intact = unverified = 0
+        corrupt: "list[tuple[str, str]]" = []
+        entries = self._entry_paths()
+        for path in entries:
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    arrays = {name: archive[name] for name in archive.files}
+            except Exception as exc:
+                corrupt.append(
+                    (str(path), f"unreadable archive ({type(exc).__name__})")
+                )
+                continue
+            damage = _entry_damage(arrays)
+            if damage is not None:
+                corrupt.append((str(path), damage))
+            elif CHECKSUM_KEY not in arrays:
+                unverified += 1
+            else:
+                intact += 1
+        if repair:
+            for path_str, _reason in corrupt:
+                try:
+                    os.unlink(path_str)
+                except OSError:
+                    pass
+            for path in strays:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if corrupt:
+                with self._lock:
+                    self.corrupt += len(corrupt)
+        return FsckReport(
+            scanned=len(entries),
+            intact=intact,
+            unverified=unverified,
+            corrupt=tuple(corrupt),
+            stray_tmp=len(strays),
+            repaired=repair,
+        )
 
     def stats(self) -> "dict[str, int]":
         """This instance's access counters (not persisted)."""
@@ -235,7 +404,7 @@ class ResultStore:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         n = 0
-        for path in self.root.glob("??/*.npz"):
+        for path in self._entry_paths():
             try:
                 path.unlink()
                 n += 1

@@ -17,9 +17,18 @@ class TestParser:
             ["fig2"], ["fig3"], ["fig5"], ["fig6"], ["fig7"], ["symbols"],
             ["table1"], ["timing"], ["verilog"], ["vcd"], ["report"], ["encode"],
             ["bench"], ["run"], ["sweep"],
+            ["queue", "submit", "--db", "q.db"],
+            ["queue", "status", "--db", "q.db"],
+            ["queue", "reset", "--db", "q.db"],
+            ["worker", "--db", "q.db", "--store", "s"],
+            ["store", "fsck", "s"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
+
+    def test_queue_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue"])
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -271,11 +280,34 @@ class TestBenchTelemetry:
         )
         assert len(records) == 2
 
-    def test_report_empty_dir(self, tmp_path, capsys):
+    def test_report_empty_dir_fails_pointedly(self, tmp_path, capsys):
         assert (
-            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 0
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 1
         )
-        assert "no BENCH_*.json records" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "no BENCH_*.json records" in out
+        assert "Traceback" not in out
+
+    @pytest.mark.parametrize(
+        "text, needle",
+        [
+            ("{not json", "not valid JSON"),
+            ("[]", "holds no records"),
+            ('{"area": "queue"}', "expected a JSON list"),
+        ],
+    )
+    def test_report_damaged_file_fails_pointedly(
+        self, tmp_path, capsys, text, needle
+    ):
+        (tmp_path / "BENCH_queue.json").write_text(text)
+        assert (
+            main(["bench", "--report", "--bench-out", str(tmp_path)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "bench --report:" in out
+        assert "BENCH_queue.json" in out
+        assert needle in out
+        assert "Traceback" not in out
 
     def test_report_renders_and_gates(self, tmp_path, monkeypatch, capsys):
         from repro.analysis.telemetry import append_record, make_record
@@ -301,6 +333,78 @@ class TestBenchTelemetry:
             main(["bench", "--report", "--bench-out", str(tmp_path)]) == 0
         )
         capsys.readouterr()
+
+
+class TestQueueCommands:
+    """The queue/worker/store CLI surface (single in-process worker)."""
+
+    def test_submit_worker_status_round_trip(self, tmp_path, capsys):
+        db = str(tmp_path / "q.db")
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "queue", "submit", "--db", db,
+                    "--patterns", "3", "--duration", "2.0",
+                ]
+            )
+            == 0
+        )
+        assert "submitted 3 new shard job(s)" in capsys.readouterr().out
+        # Re-submission is idempotent.
+        assert (
+            main(
+                [
+                    "queue", "submit", "--db", db,
+                    "--patterns", "3", "--duration", "2.0",
+                ]
+            )
+            == 0
+        )
+        assert "submitted 0 new shard job(s)" in capsys.readouterr().out
+        assert main(["worker", "--db", db, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "completed 3" in out
+        assert main(["queue", "status", "--db", db, "--strict"]) == 0
+        assert "done 3" in capsys.readouterr().out
+
+    def test_worker_ready_file_holds_pid(self, tmp_path, capsys):
+        import os
+
+        db = str(tmp_path / "q.db")
+        ready = tmp_path / "ready"
+        assert (
+            main(
+                [
+                    "worker", "--db", db, "--store", str(tmp_path / "s"),
+                    "--ready-file", str(ready),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert int(ready.read_text()) == os.getpid()
+
+    def test_store_fsck_clean_and_damaged(self, tmp_path, capsys):
+        from repro.runtime.store import ResultStore
+
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.put("k", "fp", {"x": np.arange(4)})
+        assert main(["store", "fsck", str(root)]) == 0
+        assert "clean" in capsys.readouterr().out
+        path = store.path_for("k", "fp")
+        path.write_bytes(b"garbage")
+        assert main(["store", "fsck", str(root), "--no-repair"]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        assert path.exists()  # --no-repair only reports
+        assert main(["store", "fsck", str(root)]) == 1
+        assert not path.exists()  # repaired: damage deleted
+        assert main(["store", "fsck", str(root)]) == 0
+
+    def test_bench_queue_exclusive_with_other_stages(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--queue", "--rx"])
 
 
 class TestSpecCommands:

@@ -1,9 +1,15 @@
 """Perf-trajectory telemetry: record files, loading, regression gate."""
 
 import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.analysis import telemetry
 
 
@@ -86,6 +92,114 @@ class TestRecords:
             directory=tmp_path,
         )
         assert len(telemetry.load_trajectories(tmp_path)["link"]) == 1
+
+
+class TestStrictLoading:
+    def test_missing_file_is_not_damage(self, tmp_path):
+        assert telemetry.load_trajectories(tmp_path, strict=True) == {}
+
+    def test_corrupt_file_raises_pointed_error(self, tmp_path):
+        (tmp_path / "BENCH_queue.json").write_text("{not json")
+        with pytest.raises(telemetry.TelemetryError, match="not valid JSON"):
+            telemetry.load_trajectories(tmp_path, strict=True)
+
+    def test_empty_list_raises(self, tmp_path):
+        (tmp_path / "BENCH_queue.json").write_text("[]")
+        with pytest.raises(telemetry.TelemetryError, match="holds no records"):
+            telemetry.load_trajectories(tmp_path, strict=True)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        (tmp_path / "BENCH_queue.json").write_text('{"area": "queue"}')
+        with pytest.raises(telemetry.TelemetryError, match="JSON list"):
+            telemetry.load_trajectories(tmp_path, strict=True)
+
+    def test_error_names_the_damaged_file(self, tmp_path):
+        (tmp_path / "BENCH_rx.json").write_text("[1, 2]")
+        with pytest.raises(telemetry.TelemetryError, match="BENCH_rx.json"):
+            telemetry.load_trajectories(tmp_path, strict=True)
+
+
+class TestConcurrentAppend:
+    """The append path is a locked read-modify-write: no lost records."""
+
+    def test_lock_file_sits_next_to_the_trajectory(self, tmp_path):
+        telemetry.append_record(
+            telemetry.make_record("queue", "speedup", 1.0, []),
+            directory=tmp_path,
+        )
+        assert (tmp_path / "BENCH_queue.json.lock").exists()
+        # ... and is invisible to the loader.
+        assert set(telemetry.load_trajectories(tmp_path)) == {"queue"}
+
+    def test_threaded_appends_keep_every_record(self, tmp_path):
+        def write(base):
+            for i in range(5):
+                telemetry.append_record(
+                    telemetry.make_record("queue", "speedup", base + i, []),
+                    directory=tmp_path,
+                )
+
+        threads = [
+            threading.Thread(target=write, args=(100.0 * t,))
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = telemetry.load_trajectories(tmp_path)["queue"]
+        values = {r["headline"]["value"] for r in records}
+        assert len(records) == 20
+        assert values == {100.0 * t + i for t in range(4) for i in range(5)}
+
+    def test_multiprocess_hammer_keeps_every_record(self, tmp_path):
+        """4 writer processes x 5 appends -> exactly 20 records survive.
+
+        This is the queue-worker scenario: peers on one host finishing
+        shards and recording telemetry into the same BENCH file.
+        """
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = os.environ.copy()
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = (
+            "import sys\n"
+            "from repro.analysis import telemetry\n"
+            "base = float(sys.argv[1])\n"
+            "for i in range(5):\n"
+            "    telemetry.append_record(\n"
+            "        telemetry.make_record('queue', 'speedup', base + i, []),\n"
+            f"        directory={str(tmp_path)!r},\n"
+            "    )\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", child, str(100.0 * p)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True,
+            )
+            for p in range(4)
+        ]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0, out
+        records = telemetry.load_trajectories(tmp_path, strict=True)["queue"]
+        values = {r["headline"]["value"] for r in records}
+        assert len(records) == 20, "concurrent append lost a record"
+        assert values == {100.0 * p + i for p in range(4) for i in range(5)}
+
+    def test_stale_fallback_lock_is_broken(self, tmp_path, monkeypatch):
+        """With flock unavailable, an orphaned .lock from a dead writer
+        must not wedge appends forever — mtime age breaks it."""
+        monkeypatch.setitem(sys.modules, "fcntl", None)  # forces fallback
+        lock = tmp_path / "BENCH_queue.json.lock"
+        lock.write_text("dead-writer")
+        old = lock.stat().st_mtime - 2 * telemetry.LOCK_TIMEOUT_S
+        os.utime(lock, (old, old))
+        telemetry.append_record(
+            telemetry.make_record("queue", "speedup", 1.0, []),
+            directory=tmp_path,
+        )
+        assert len(telemetry.load_trajectories(tmp_path)["queue"]) == 1
 
 
 class TestRegressionGate:

@@ -1,0 +1,151 @@
+"""Hypothesis fuzz of the experiment-queue lifecycle.
+
+The driver interprets a random program of queue operations — claims by
+competing workers, completions, failures, releases, clock advances past
+lease expiry, reaps, and resets — against an in-memory jobs table with a
+purely logical clock.  After any such program:
+
+* **conservation** — the set of ``(spec_key, fingerprint)`` rows is
+  exactly the submitted set: shards are never lost, never duplicated;
+* **partition** — every row is in exactly one of the four statuses, and
+  the per-status counts sum to the submitted total;
+* **fencing** — a lease invalidated by expiry can never complete late;
+* **drainability** — after the program, advancing the clock and running
+  honest workers to quiescence leaves zero open/leased rows: every shard
+  ends ``done`` (or ``error`` only if its attempts were exhausted, in
+  which case ``reset`` + another drain finishes the job).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.queue import ExperimentQueue
+
+LEASE_S = 10.0
+WORKERS = ("w0", "w1", "w2")
+
+# One program step: (op, worker_index, payload)
+ops = st.one_of(
+    st.tuples(st.just("claim"), st.integers(0, 2), st.none()),
+    st.tuples(st.just("complete"), st.integers(0, 2), st.none()),
+    st.tuples(st.just("fail"), st.integers(0, 2), st.booleans()),
+    st.tuples(st.just("release"), st.integers(0, 2), st.none()),
+    st.tuples(st.just("tick"), st.integers(0, 2), st.floats(0.1, 5.0)),
+    st.tuples(st.just("expire"), st.integers(0, 2), st.none()),
+    st.tuples(st.just("reap"), st.integers(0, 2), st.none()),
+    st.tuples(st.just("reset"), st.integers(0, 2), st.none()),
+)
+
+
+def drain(queue, clock, submitted):
+    """Run honest workers (with clock jumps past any backoff) to quiescence."""
+    for _ in range(10 * len(submitted) + 10):
+        if queue.unfinished() == 0:
+            break
+        clock += LEASE_S + queue.backoff_cap_s * 2.0
+        queue.reap(now=clock)
+        job = queue.claim("drainer", lease_s=LEASE_S, now=clock)
+        if job is not None:
+            assert queue.complete(job, now=clock)
+    return clock
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=6),
+    program=st.lists(ops, max_size=40),
+)
+def test_lifecycle_never_loses_or_duplicates_a_shard(n_jobs, program):
+    submitted = {("spec", f"fp{i}") for i in range(n_jobs)}
+    clock = 0.0
+    held = {w: None for w in WORKERS}  # each worker's live Job, if any
+
+    with ExperimentQueue(":memory:") as queue:
+        for i in range(n_jobs):
+            assert queue.submit(
+                "spec", f"fp{i}", {"s": i}, {"kind": "noop"},
+                max_attempts=3, now=clock,
+            )
+
+        for op, widx, payload in program:
+            worker = WORKERS[widx]
+            job = held[worker]
+            if op == "claim" and job is None:
+                held[worker] = queue.claim(worker, lease_s=LEASE_S, now=clock)
+            elif op == "complete" and job is not None:
+                queue.complete(job, now=clock)
+                held[worker] = None
+            elif op == "fail" and job is not None:
+                queue.fail(job, "boom", retryable=payload, now=clock)
+                held[worker] = None
+            elif op == "release" and job is not None:
+                queue.release(job, now=clock)
+                held[worker] = None
+            elif op == "tick":
+                clock += payload
+            elif op == "expire":
+                # Jump the clock past every live lease, then reap: any held
+                # job is now stale, and its late transitions must be fenced.
+                clock += LEASE_S + 0.1
+                queue.reap(now=clock)
+                for w, stale in held.items():
+                    if stale is not None:
+                        assert not queue.complete(stale, now=clock)
+                        assert not queue.heartbeat(stale, now=clock)
+                        held[w] = None
+            elif op == "reap":
+                queue.reap(now=clock)
+            elif op == "reset":
+                queue.reset(now=clock)
+
+            # Invariants hold after EVERY step.
+            rows = queue.rows()
+            keys = [(r["spec_key"], r["fingerprint"]) for r in rows]
+            assert set(keys) == submitted, "shard lost or invented"
+            assert len(keys) == len(submitted), "shard duplicated"
+            counts = queue.counts()
+            assert sum(counts.values()) == len(submitted)
+            assert all(v >= 0 for v in counts.values())
+            assert queue.counts()["leased"] == len(
+                [r for r in rows if r["worker_id"] is not None
+                 and r["status"] == "leased"]
+            )
+
+        # Whatever the chaos did, the queue drains to fully done:
+        # honest workers finish the open rows; reset revives quarantine.
+        clock = drain(queue, clock, submitted)
+        if queue.counts()["error"]:
+            queue.reset(now=clock)
+            drain(queue, clock, submitted)
+        counts = queue.counts()
+        assert counts["done"] == len(submitted)
+        assert queue.unfinished() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_two_workers_never_hold_the_same_shard(data):
+    """Interleaved claims with expiries: at most one live lease per row."""
+    clock = 0.0
+    holders = {}  # fingerprint -> worker_id of the live lease
+    with ExperimentQueue(":memory:") as queue:
+        for i in range(3):
+            queue.submit("spec", f"fp{i}", {}, {"kind": "noop"}, now=clock)
+        for _ in range(30):
+            action = data.draw(
+                st.sampled_from(["claim0", "claim1", "expire"])
+            )
+            if action == "expire":
+                clock += LEASE_S + 1.0
+                queue.reap(now=clock)
+                holders.clear()
+            else:
+                worker = "w" + action[-1]
+                job = queue.claim(worker, lease_s=LEASE_S, now=clock)
+                if job is not None:
+                    assert job.fingerprint not in holders, (
+                        "row leased to two live workers"
+                    )
+                    holders[job.fingerprint] = worker
+            leased = queue.rows("leased")
+            assert len({r["fingerprint"] for r in leased}) == len(leased)

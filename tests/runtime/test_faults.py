@@ -1,0 +1,104 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.runtime.faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="explode")
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ValueError, match="prob"):
+            FaultSpec(kind="error", prob=1.5)
+
+    def test_rejects_bad_stall(self):
+        with pytest.raises(ValueError, match="stall_s"):
+            FaultSpec(kind="stall", stall_s=0.0)
+
+    def test_rejects_zero_based_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(kind="error", attempts=(0,))
+
+    def test_attempts_coerced_to_int_tuple(self):
+        spec = FaultSpec(kind="error", attempts=[1, 3])
+        assert spec.attempts == (1, 3)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(kind="stall", match="abc", attempts=(2,), stall_s=1.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_rejects_non_spec_faults(self):
+        with pytest.raises(TypeError, match="FaultSpec"):
+            FaultPlan(faults=({"kind": "error"},))
+
+    def test_match_on_fingerprint_substring(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="error", match="abc"),))
+        assert plan.match("xxabcxx", 1) is plan.faults[0]
+        assert plan.match("nope", 1) is None
+
+    def test_match_scoped_to_attempts(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="error", attempts=(1,)),))
+        assert plan.match("fp", 1) is not None
+        assert plan.match("fp", 2) is None
+
+    def test_first_firing_injector_wins(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="crash", match="abc"),
+                FaultSpec(kind="error"),
+            )
+        )
+        assert plan.match("abc", 1).kind == "crash"
+        assert plan.match("other", 1).kind == "error"
+
+    def test_prob_draws_are_deterministic(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="error", prob=0.5),), seed=7)
+        outcomes = [
+            plan.match(f"fp{i}", 1) is not None for i in range(64)
+        ]
+        # Same plan, same decisions — and a 0.5 prob actually splits.
+        assert outcomes == [
+            plan.match(f"fp{i}", 1) is not None for i in range(64)
+        ]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_prob_depends_on_seed(self):
+        a = FaultPlan(faults=(FaultSpec(kind="error", prob=0.5),), seed=0)
+        b = FaultPlan(faults=(FaultSpec(kind="error", prob=0.5),), seed=1)
+        draws_a = [a.match(f"fp{i}", 1) is not None for i in range(64)]
+        draws_b = [b.match(f"fp{i}", 1) is not None for i in range(64)]
+        assert draws_a != draws_b
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="error", attempts=(1, 2)),
+                FaultSpec(kind="stall", stall_s=3.0, prob=0.25),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_env_round_trip(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="crash"),), seed=3)
+        env = plan.to_env({})
+        assert ENV_FAULTS in env
+        assert FaultPlan.from_env(env) == plan
+
+    def test_from_env_absent_is_none(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({ENV_FAULTS: ""}) is None
+
+    def test_injected_fault_is_an_ordinary_error(self):
+        # Workers treat it like any exception: retry then quarantine.
+        assert issubclass(InjectedFault, RuntimeError)

@@ -1,0 +1,460 @@
+"""Tests for the fault-tolerant experiment queue (jobs table + workers).
+
+Lifecycle tests drive the lease clock *logically* through the ``now``
+parameter, so lease expiry and backoff are exact — no sleeps, no races.
+Worker-loop tests run real (in-process) workers against tiny datasets.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    dataset_fingerprint,
+    dataset_point_fingerprint,
+)
+from repro.runtime.executors import RemoteTraceback
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    ExperimentQueue,
+    Job,
+    execute_job,
+    run_worker,
+)
+from repro.runtime.store import ResultStore
+from repro.signals.dataset import DatasetSpec
+
+
+@pytest.fixture
+def queue(tmp_path):
+    with ExperimentQueue(tmp_path / "q.db") as q:
+        yield q
+
+
+def submit_n(queue, n, max_attempts=DEFAULT_MAX_ATTEMPTS, now=0.0):
+    for i in range(n):
+        assert queue.submit(
+            "spec", f"fp{i}", {"s": 1}, {"kind": "x", "i": i},
+            max_attempts=max_attempts, now=now,
+        )
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self, queue):
+        assert queue.submit("spec", "fp", {}, {}, now=0.0)
+        assert not queue.submit("spec", "fp", {}, {}, now=1.0)
+        assert queue.total() == 1
+
+    def test_submit_rejects_bad_max_attempts(self, queue):
+        with pytest.raises(ValueError, match="max_attempts"):
+            queue.submit("spec", "fp", {}, {}, max_attempts=0)
+
+    def test_submit_dataset_shards_and_idempotency(self, queue):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=8, duration_s=2.0, seed=2015)
+        n = queue.submit_dataset(spec, dataset, workers_hint=2, now=0.0)
+        assert n == queue.total() > 1
+        ids = set()
+        for row in queue.rows():
+            import json
+
+            payload = json.loads(row["payload"])
+            assert payload["kind"] == "dataset_shard"
+            assert payload["dataset"]["n_patterns"] == 8
+            ids.update(payload["ids"])
+        assert ids == set(range(8))
+        # Resubmitting the same sweep adds nothing.
+        assert queue.submit_dataset(spec, dataset, workers_hint=2) == 0
+
+    def test_submit_dataset_respects_limit(self, queue):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=8, duration_s=2.0, seed=2015)
+        queue.submit_dataset(spec, dataset, limit=3, shard_size=1)
+        assert queue.total() == 3
+
+    def test_submit_dataset_rejects_explicit_subjects(self, queue):
+        import dataclasses
+
+        spec = ExperimentSpec.for_scheme("datc")
+        base = DatasetSpec(n_patterns=4, duration_s=2.0, seed=2015)
+        rotated = base.subjects[1:] + base.subjects[:1]
+        dataset = dataclasses.replace(base, subjects=rotated)
+        assert dataset != base
+        with pytest.raises(ValueError, match="generating fields"):
+            queue.submit_dataset(spec, dataset)
+
+    def test_submit_dataset_requires_spec(self, queue):
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            queue.submit_dataset(
+                {"not": "a spec"},
+                DatasetSpec(n_patterns=2, duration_s=2.0, seed=1),
+            )
+
+
+class TestLeaseLifecycle:
+    def test_claim_leases_oldest_and_counts_attempt(self, queue):
+        submit_n(queue, 2)
+        job = queue.claim("w1", lease_s=10.0, now=1.0)
+        assert job.fingerprint == "fp0"
+        assert job.attempt == 1
+        assert queue.counts() == {
+            "open": 1, "leased": 1, "done": 0, "error": 0,
+        }
+
+    def test_claim_empty_returns_none(self, queue):
+        assert queue.claim("w1", now=0.0) is None
+
+    def test_claim_rejects_bad_lease(self, queue):
+        with pytest.raises(ValueError, match="lease_s"):
+            queue.claim("w1", lease_s=0.0)
+
+    def test_complete_marks_done(self, queue):
+        submit_n(queue, 1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.complete(job, now=1.0)
+        assert queue.counts()["done"] == 1
+        assert queue.unfinished() == 0
+
+    def test_heartbeat_extends_the_lease(self, queue):
+        submit_n(queue, 1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.heartbeat(job, now=8.0)
+        # Without the heartbeat the lease would have expired at t=10.
+        assert queue.reap(now=15.0) == 0
+        assert queue.reap(now=18.1) == 1
+
+    def test_expired_lease_reopens_with_message(self, queue):
+        submit_n(queue, 1)
+        queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.reap(now=10.0) == 1  # heartbeat + lease_s <= now
+        row = queue.rows("open")[0]
+        assert "lease expired" in row["error"]
+        assert row["worker_id"] is None
+        assert row["not_before"] > 10.0  # backoff applies to retries
+
+    def test_expired_lease_with_exhausted_attempts_quarantines(self, queue):
+        submit_n(queue, 1, max_attempts=1)
+        queue.claim("w1", lease_s=10.0, now=0.0)
+        queue.reap(now=20.0)
+        row = queue.errors()[0]
+        assert "quarantined" in row["error"]
+
+    def test_claim_reaps_expired_peers(self, queue):
+        submit_n(queue, 1)
+        stale = queue.claim("w1", lease_s=10.0, now=0.0)
+        # w2's claim at t=50 reaps w1's expired lease; the re-opened row
+        # carries a backoff window, after which w2 can pick it up.
+        assert queue.claim("w2", lease_s=10.0, now=50.0) is None
+        not_before = queue.rows("open")[0]["not_before"]
+        job = queue.claim("w2", lease_s=10.0, now=not_before)
+        assert job is not None
+        assert job.attempt == 2
+        # ... and every transition of the stale holder is fenced off.
+        late = not_before + 1.0
+        assert not queue.heartbeat(stale, now=late)
+        assert not queue.complete(stale, now=late)
+        assert queue.fail(stale, "late", now=late) is None
+        assert not queue.release(stale, now=late)
+
+    def test_fenced_complete_does_not_clobber_peer(self, queue):
+        submit_n(queue, 1)
+        stale = queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.reap(now=50.0) == 1
+        not_before = queue.rows("open")[0]["not_before"]
+        fresh = queue.claim("w2", lease_s=10.0, now=not_before)
+        assert not queue.complete(stale, now=not_before + 1.0)
+        assert queue.counts()["leased"] == 1  # w2 still owns the row
+        assert queue.complete(fresh, now=not_before + 2.0)
+
+
+class TestRetriesAndQuarantine:
+    def test_fail_reopens_with_backoff_until_exhausted(self, queue):
+        submit_n(queue, 1, max_attempts=3)
+        last_not_before = 0.0
+        for attempt in (1, 2):
+            now = last_not_before + 1.0
+            job = queue.claim("w1", lease_s=10.0, now=now)
+            assert job.attempt == attempt
+            assert queue.fail(job, "boom", tb="tb text", now=now) == "open"
+            row = queue.rows("open")[0]
+            assert row["error"] == "boom"
+            assert row["traceback"] == "tb text"
+            assert row["not_before"] > now
+            last_not_before = row["not_before"]
+        job = queue.claim("w1", lease_s=10.0, now=last_not_before + 1.0)
+        assert job.attempt == 3
+        assert queue.fail(job, "boom", tb="tb text") == "error"
+        assert queue.counts()["error"] == 1
+
+    def test_backoff_is_deterministic_and_capped(self, queue):
+        delays = [queue._backoff_s("spec", "fp", a) for a in (1, 2, 3, 50)]
+        assert delays == [
+            queue._backoff_s("spec", "fp", a) for a in (1, 2, 3, 50)
+        ]
+        assert delays[0] < delays[1] < delays[2]  # exponential growth
+        cap = queue.backoff_cap_s * (1.0 + queue.backoff_jitter)
+        assert delays[3] <= cap  # capped, jitter included
+
+    def test_backoff_respected_by_claim(self, queue):
+        submit_n(queue, 1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        queue.fail(job, "boom", now=0.0)
+        not_before = queue.rows("open")[0]["not_before"]
+        assert queue.claim("w1", now=not_before - 0.01) is None
+        assert queue.claim("w1", now=not_before) is not None
+
+    def test_non_retryable_failure_quarantines_immediately(self, queue):
+        submit_n(queue, 1, max_attempts=5)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.fail(job, "bad spec", retryable=False) == "error"
+
+    def test_complete_keeps_the_audit_trail(self, queue):
+        submit_n(queue, 1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        queue.fail(job, "first try failed", tb="tb", now=0.0)
+        job = queue.claim("w1", lease_s=10.0, now=100.0)
+        assert queue.complete(job, now=101.0)
+        row = queue.rows("done")[0]
+        assert row["error"] == "first try failed"  # logged failure survives
+
+    def test_reset_reopens_quarantined_rows(self, queue):
+        submit_n(queue, 2, max_attempts=1)
+        for _ in range(2):
+            job = queue.claim("w1", lease_s=10.0, now=0.0)
+            queue.fail(job, "boom")
+        assert queue.counts()["error"] == 2
+        assert queue.reset() == 2
+        assert queue.counts()["open"] == 2
+        assert all(r["attempt"] == 0 for r in queue.rows("open"))
+
+    def test_release_returns_the_attempt(self, queue):
+        submit_n(queue, 1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        assert queue.release(job, now=1.0)
+        fresh = queue.claim("w2", lease_s=10.0, now=2.0)
+        assert fresh.attempt == 1  # the released claim was uncounted
+
+    def test_raise_first_error_chains_remote_traceback(self, queue):
+        submit_n(queue, 1, max_attempts=1)
+        job = queue.claim("w1", lease_s=10.0, now=0.0)
+        queue.fail(job, "ValueError: boom", tb="Traceback ...\nValueError: boom")
+        with pytest.raises(RuntimeError, match="quarantined") as excinfo:
+            queue.raise_first_error()
+        assert isinstance(excinfo.value.__cause__, RemoteTraceback)
+        assert "ValueError: boom" in str(excinfo.value.__cause__)
+
+    def test_raise_first_error_noop_when_clean(self, queue):
+        queue.raise_first_error()  # nothing quarantined, nothing raised
+
+
+class TestIntrospection:
+    def test_counts_zero_filled(self, queue):
+        assert queue.counts() == {
+            "open": 0, "leased": 0, "done": 0, "error": 0,
+        }
+
+    def test_rows_rejects_unknown_status(self, queue):
+        with pytest.raises(ValueError, match="status"):
+            queue.rows("bogus")
+
+    def test_repr_mentions_counts(self, queue):
+        submit_n(queue, 1)
+        assert "open=1" in repr(queue)
+
+    def test_thread_safe_counters(self, queue):
+        submit_n(queue, 32)
+
+        def hammer():
+            while True:
+                job = queue.claim("w", lease_s=60.0)
+                if job is None:
+                    return
+                queue.complete(job)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert queue.counts()["done"] == 32
+
+
+class TestExecuteJob:
+    def test_rejects_unknown_kind(self, tmp_path):
+        job = Job(
+            spec_key="k", fingerprint="f", spec={}, payload={"kind": "?"},
+            attempt=1, max_attempts=3, lease_s=10.0, worker_id="w",
+        )
+        with pytest.raises(ValueError, match="job kind"):
+            execute_job(job, ResultStore(tmp_path / "store"))
+
+    def test_dataset_shard_matches_dataset_sweep_addresses(self, tmp_path):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=3, duration_s=2.0, seed=2015)
+        store = ResultStore(tmp_path / "store")
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, shard_size=3)
+            job = queue.claim("w1", lease_s=60.0)
+            assert execute_job(job, store) == 3
+            # Re-running the shard (a reclaimed lease) evaluates nothing.
+            assert execute_job(job, store) == 0
+        base = dataset_fingerprint(dataset)
+        serial = Experiment(spec).dataset_sweep(dataset)
+        for i in range(3):
+            entry = store.get(spec.key(), dataset_point_fingerprint(base, i))
+            assert entry is not None
+            assert entry["correlation_pct"] == serial.correlations_pct[i]
+            assert entry["n_events"] == serial.n_events[i]
+
+
+class TestRunWorker:
+    def run_and_collect(self, tmp_path, spec, dataset, **kwargs):
+        stats = run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            lease_s=10.0, poll_s=0.02, **kwargs,
+        )
+        store = ResultStore(tmp_path / "store")
+        result = Experiment(spec, store=store).dataset_sweep(dataset)
+        return stats, result, store
+
+    def test_drains_queue_bit_identically(self, tmp_path):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=4, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, workers_hint=2)
+        stats, result, store = self.run_and_collect(tmp_path, spec, dataset)
+        assert stats.completed == stats.claimed > 0
+        assert stats.evaluated == 4
+        assert store.stats()["hits"] == 4  # warm collection: zero re-evals
+        serial = Experiment(spec).dataset_sweep(dataset)
+        assert np.array_equal(result.correlations_pct, serial.correlations_pct)
+        assert np.array_equal(result.n_events, serial.n_events)
+
+    def test_empty_queue_exits_immediately(self, tmp_path):
+        stats = run_worker(
+            tmp_path / "q.db", tmp_path / "store", max_idle_s=0.0
+        )
+        assert stats.claimed == 0
+
+    def test_transient_fault_retries_to_success(self, tmp_path):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=2, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, shard_size=1)
+        faults = FaultPlan(faults=(FaultSpec(kind="error", attempts=(1,)),))
+        stats, result, _ = self.run_and_collect(
+            tmp_path, spec, dataset, faults=faults
+        )
+        assert stats.requeued == 2  # every shard failed once...
+        assert stats.completed == 2  # ...and succeeded on retry
+        assert stats.quarantined == 0
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            assert queue.counts()["done"] == 2
+            # The eventually-done rows keep their first failure logged.
+            assert all(
+                "InjectedFault" in row["error"]
+                for row in queue.rows("done")
+            )
+        serial = Experiment(spec).dataset_sweep(dataset)
+        assert np.array_equal(result.correlations_pct, serial.correlations_pct)
+
+    def test_deterministic_fault_quarantines_with_traceback(self, tmp_path):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=1, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, max_attempts=2)
+        faults = FaultPlan(faults=(FaultSpec(kind="error"),))  # every attempt
+        stats = run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            lease_s=10.0, poll_s=0.02, faults=faults,
+        )
+        assert stats.quarantined == 1
+        assert stats.requeued == 1  # max_attempts=2: one retry, then give up
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            row = queue.errors()[0]
+            assert row["attempt"] == 2
+            assert "InjectedFault" in row["error"]
+            assert "InjectedFault" in row["traceback"]  # full worker tb
+            with pytest.raises(RuntimeError) as excinfo:
+                queue.raise_first_error()
+            assert isinstance(excinfo.value.__cause__, RemoteTraceback)
+
+    def test_should_stop_drains_gracefully(self, tmp_path):
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=4, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, shard_size=1)
+        done = []
+
+        def stop_after_first():
+            return len(done) >= 1
+
+        real_execute = execute_job
+
+        def counting_execute(job, store):
+            out = real_execute(job, store)
+            done.append(job)
+            return out
+
+        import repro.runtime.queue as queue_mod
+
+        original = queue_mod.execute_job
+        queue_mod.execute_job = counting_execute
+        try:
+            stats = run_worker(
+                tmp_path / "q.db", tmp_path / "store",
+                lease_s=10.0, poll_s=0.02, prefetch=2,
+                should_stop=stop_after_first,
+            )
+        finally:
+            queue_mod.execute_job = original
+        # Finished the in-flight shard, handed back the prefetched one.
+        assert stats.completed == 1
+        assert stats.released >= 1
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            counts = queue.counts()
+            assert counts["leased"] == 0  # nothing left dangling
+            assert counts["done"] == 1
+
+    def test_stalled_worker_is_fenced_by_a_peer(self, tmp_path):
+        """The stall injector: lease expires mid-job, a peer re-runs the
+        shard, and the stalled worker's late completion is rejected."""
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=1, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset)
+        faults = FaultPlan(
+            faults=(FaultSpec(kind="stall", attempts=(1,), stall_s=1.2),)
+        )
+        results = {}
+
+        def stalled():
+            results["stalled"] = run_worker(
+                tmp_path / "q.db", tmp_path / "store",
+                worker_id="stalled", lease_s=0.3, poll_s=0.02,
+                heartbeat_s=0.05, faults=faults,
+            )
+
+        thread = threading.Thread(target=stalled)
+        thread.start()
+        # The peer waits out the stalled worker's lease, reclaims, runs.
+        peer = run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            worker_id="peer", lease_s=0.3, poll_s=0.05, max_idle_s=10.0,
+        )
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert peer.completed == 1
+        # The stalled worker's outcome was fenced off (attempt 1 ended as
+        # a loss, or it lost the race entirely and never completed).
+        assert results["stalled"].lost >= 1 or results["stalled"].completed == 0
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            assert queue.counts()["done"] == 1
+        store = ResultStore(tmp_path / "store")
+        result = Experiment(spec, store=store).dataset_sweep(dataset)
+        serial = Experiment(spec).dataset_sweep(dataset)
+        assert np.array_equal(result.correlations_pct, serial.correlations_pct)

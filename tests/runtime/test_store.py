@@ -175,3 +175,136 @@ class TestThreadSafety:
         assert stats["corrupt"] >= 1
         assert stats["hits"] == 0
         assert stats["misses"] == 4
+
+
+def _tamper_payload(path):
+    """Rewrite an entry with a flipped payload but the original checksum:
+    a readable archive whose contents silently changed on disk."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    arrays["x"] = np.asarray(arrays["x"]) + 1.0  # silent bit damage
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+class TestChecksums:
+    def test_checksum_rides_along_in_the_entry(self, store):
+        from repro.runtime.store import CHECKSUM_KEY, checksum_arrays
+
+        store.put("spec", "data", {"x": np.float64(1.0)})
+        with np.load(store.path_for("spec", "data")) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        assert CHECKSUM_KEY in arrays
+        payload = {k: v for k, v in arrays.items() if k != CHECKSUM_KEY}
+        assert arrays[CHECKSUM_KEY].item() == checksum_arrays(payload)
+
+    def test_checksum_key_is_reserved(self, store):
+        from repro.runtime.store import CHECKSUM_KEY
+
+        with pytest.raises(ValueError, match="reserved"):
+            store.put("spec", "data", {CHECKSUM_KEY: np.float64(1.0)})
+
+    def test_get_rejects_tampered_payload(self, store):
+        """Readable-but-wrong entries (valid zip, silently altered
+        payload) fail checksum verification, not just BadZipFile."""
+        store.put("spec", "data", {"x": np.float64(1.0)})
+        path = store.path_for("spec", "data")
+        _tamper_payload(path)
+        assert store.get("spec", "data") is None
+        assert store.corrupt == 1
+        assert not path.exists()  # self-healed
+
+    def test_checksum_is_order_independent(self):
+        from repro.runtime.store import checksum_arrays
+
+        a = {"x": np.arange(3.0), "y": np.arange(4)}
+        b = {"y": np.arange(4), "x": np.arange(3.0)}
+        assert checksum_arrays(a) == checksum_arrays(b)
+
+
+class TestFsck:
+    def test_clean_store(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        store.put("a", "2", {"x": np.float64(2.0)})
+        report = store.fsck()
+        assert report.clean
+        assert report.scanned == report.intact == 2
+        assert report.damaged == 0
+        assert "2 entries scanned; clean" in report.summary()
+
+    def test_unreadable_entry_is_flagged_and_repaired(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        path = store.path_for("a", "1")
+        path.write_bytes(b"garbage, not a zip")
+        report = store.fsck()
+        assert not report.clean
+        assert report.damaged == 1
+        (entry, reason), = report.corrupt
+        assert entry == str(path)
+        assert "unreadable archive" in reason
+        assert not path.exists()  # repaired: deleted
+        assert store.corrupt == 1
+        assert store.fsck().clean  # second pass finds nothing
+
+    def test_tampered_entry_fails_checksum(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        path = store.path_for("a", "1")
+        _tamper_payload(path)
+        report = store.fsck(repair=False)
+        (_, reason), = report.corrupt
+        assert "does not match" in reason
+
+    def test_no_repair_reports_but_keeps_files(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        path = store.path_for("a", "1")
+        path.write_bytes(b"garbage")
+        report = store.fsck(repair=False)
+        assert report.damaged == 1
+        assert not report.repaired
+        assert path.exists()  # only reported
+        assert store.corrupt == 0  # nothing was quarantined
+
+    def test_pre_checksum_entries_are_unverified_not_deleted(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        legacy = store.root / "ab" / ("c" * 64 + ".npz")
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        with open(legacy, "wb") as fh:
+            np.savez(fh, x=np.float64(9.0))  # written before checksums
+        report = store.fsck()
+        assert report.clean
+        assert report.unverified == 1
+        assert report.intact == 1
+        assert legacy.exists()  # never deleted
+        assert "pre-checksum" in report.summary()
+
+    def test_stray_tmp_files_are_swept(self, store):
+        store.put("a", "1", {"x": np.float64(1.0)})
+        shard = next(p for p in store.root.iterdir() if p.is_dir())
+        stray = shard / ".tmp-deadbeef.npz"
+        stray.write_bytes(b"half-written")
+        assert len(store) == 1  # strays never masquerade as entries
+        report = store.fsck(repair=False)
+        assert report.stray_tmp == 1
+        assert report.clean  # strays are not damage
+        assert stray.exists()
+        report = store.fsck(repair=True)
+        assert report.stray_tmp == 1
+        assert not stray.exists()
+        assert "stray tmp" in report.summary()
+
+    def test_fsck_after_real_worker_writes(self, tmp_path):
+        """A store produced by execute_job passes fsck end to end."""
+        from repro.api import ExperimentSpec
+        from repro.runtime.queue import ExperimentQueue, execute_job
+        from repro.signals.dataset import DatasetSpec
+
+        store = ResultStore(tmp_path / "cache")
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=2, duration_s=2.0, seed=2015)
+        with ExperimentQueue(tmp_path / "q.db") as queue:
+            queue.submit_dataset(spec, dataset, shard_size=2)
+            job = queue.claim("w", lease_s=60.0)
+            execute_job(job, store)
+        report = store.fsck()
+        assert report.clean
+        assert report.scanned == report.intact == 2
