@@ -1,0 +1,114 @@
+"""Acceptance benchmarks for the streaming session server.
+
+The tentpole contract: ``repro bench --serve`` pushes every session's
+chunks through a real TCP loopback socket into one
+:class:`~repro.runtime.server.SessionServer` and must (a) produce
+envelopes bit-identical to the scalar one-shot path, (b) finish a
+SIGTERM drain of a live subprocess server with exit 0 and zero
+unfinalized sessions, and (c) — at the gate count — beat the scalar
+loop by ``SERVE_SPEEDUP_MIN``.  The speedup comes from the batched
+``push_many`` decode amortised across sessions, not from parallelism:
+both legs are single-threaded, so unlike the SessionBatch gate this one
+does not need a multi-core box.
+
+The smoke legs run tiny session counts where socket overhead dominates,
+so they assert the *machinery* (bit-identity, drain, telemetry record,
+gate exit code) and leave the speedup floor to the full-size gate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+
+SMOKE_ARGS = [
+    "bench",
+    "--serve",
+    "--serve-sessions",
+    "8,32",
+    "--serve-connections",
+    "4",
+    "--signals",
+    "4",
+    "--duration",
+    "2",
+    "--chunk",
+    "500",
+    "--repeats",
+    "1",
+]
+
+
+def _smoke_record():
+    """The BENCH_serve.json written by the smoke run (conftest routes
+    REPRO_BENCH_DIR into the test's tmp dir)."""
+    root = os.environ["REPRO_BENCH_DIR"]
+    path = os.path.join(root, "BENCH_serve.json")
+    assert os.path.exists(path), "smoke run must record its trajectory point"
+    with open(path) as f:
+        return json.load(f)
+
+
+def test_cli_serve_smoke(monkeypatch, capsys):
+    """`bench --serve` round-trips, drains, and records — no floor."""
+    monkeypatch.delenv("SERVE_SPEEDUP_MIN", raising=False)
+    rc = cli.main(SMOKE_ARGS)
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "bit-identical to scalar streaming: yes" in out
+    assert "SIGTERM drain: exit 0" in out
+    assert "unfinalized 0" in out
+    points = _smoke_record()
+    latest = points[-1]
+    assert latest["area"] == "serve"
+    assert latest["headline"]["value"] > 0
+    names = {row["name"] for row in latest["rows"]}
+    assert {"scalar-8", "served-8", "scalar-32", "served-32"} <= names
+    served = [r for r in latest["rows"] if r["name"].startswith("served-")]
+    for row in served:
+        # Percentiles exclude the documented warmup push and are real
+        # measurements, not placeholders.
+        assert row["push_p50_ms"] > 0
+        assert row["push_p99_ms"] >= row["push_p50_ms"]
+
+
+def test_cli_serve_gate_failure_exit_code(monkeypatch, capsys):
+    """An unreachable floor must flip the exit code — the CI gate bites."""
+    monkeypatch.setenv("SERVE_SPEEDUP_MIN", "1e9")
+    rc = cli.main(SMOKE_ARGS)
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL" in out
+
+
+def test_serve_speedup_gate(monkeypatch, capsys):
+    """Acceptance: served beats scalar at 256 sessions through the socket.
+
+    SERVE_SPEEDUP_MIN raises/lowers the bar (CI pins it explicitly);
+    the default floor is deliberately modest — the win is batched
+    decode minus socket overhead, measured on shared runners.
+    """
+    minimum = os.environ.get("SERVE_SPEEDUP_MIN", "1.1")
+    monkeypatch.setenv("SERVE_SPEEDUP_MIN", minimum)
+    rc = cli.main(
+        [
+            "bench",
+            "--serve",
+            "--serve-sessions",
+            "256",
+            "--serve-connections",
+            "32",
+            "--signals",
+            "4",
+            "--duration",
+            "2",
+            "--repeats",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    latest = _smoke_record()[-1]
+    assert latest["headline"]["value"] >= float(minimum)

@@ -63,9 +63,13 @@ from .runtime import (
     FaultSpec,
     InjectedFault,
     ResultStore,
+    ServerBusy,
+    ServerReplyError,
     SessionBatch,
     SessionResult,
+    SessionServer,
     SessionSpec,
+    StreamingClient,
     map_jobs,
     run_sessions,
     run_worker,
@@ -116,9 +120,13 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "ResultStore",
+    "ServerBusy",
+    "ServerReplyError",
     "SessionBatch",
     "SessionResult",
+    "SessionServer",
     "SessionSpec",
+    "StreamingClient",
     "map_jobs",
     "run_sessions",
     "run_worker",

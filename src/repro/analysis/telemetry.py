@@ -69,6 +69,7 @@ AREAS = (
     "kernels",
     "sessions",
     "queue",
+    "serve",
 )
 ENV_DIR = "REPRO_BENCH_DIR"
 ENV_REGRESSION_PCT = "BENCH_REGRESSION_PCT"

@@ -6,8 +6,11 @@ streaming encoder/decoder pair from async chunk sources; ``sessions``
 packs N concurrent streaming sessions into one vectorized
 :class:`SessionBatch` engine; ``queue`` + ``faults`` add the
 fault-tolerant multi-worker jobs table and its deterministic chaos
-test-rig.  See ``docs/SCALING.md``, ``docs/STREAMING.md`` and
-``docs/QUEUE.md``.
+test-rig; ``server`` + ``client`` put an always-on socket front
+(:class:`SessionServer` / :class:`StreamingClient`) over one
+``SessionBatch`` with backpressure, load-shedding and graceful drain.
+See ``docs/SCALING.md``, ``docs/STREAMING.md``, ``docs/QUEUE.md`` and
+``docs/SERVING.md``.
 """
 
 from .executors import (
@@ -18,9 +21,11 @@ from .executors import (
     plan_shards,
     resolve_backend,
 )
+from .client import ServerBusy, ServerReplyError, StreamingClient
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .ingest import AsyncStreamingPipeline, run_sessions
 from .queue import ExperimentQueue, Job, WorkerStats, run_worker
+from .server import ServerStats, SessionServer
 from .sessions import SessionBatch, SessionResult, SessionSpec
 from .store import (
     FsckReport,
@@ -40,9 +45,14 @@ __all__ = [
     "Job",
     "RemoteTraceback",
     "ResultStore",
+    "ServerBusy",
+    "ServerReplyError",
+    "ServerStats",
     "SessionBatch",
     "SessionResult",
+    "SessionServer",
     "SessionSpec",
+    "StreamingClient",
     "WorkerStats",
     "default_jobs",
     "fingerprint_arrays",

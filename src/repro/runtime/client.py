@@ -1,0 +1,346 @@
+"""Asyncio client for :class:`~repro.runtime.server.SessionServer`.
+
+:class:`StreamingClient` speaks the newline-delimited JSON protocol
+(``docs/SERVING.md``): sample chunks travel as base64 float64, replies
+carry envelopes/streams the same way, and every reply is matched to its
+request in FIFO order on the connection (the server answers strictly in
+order).  Unsolicited ``{"event": ...}`` notices — drain completions,
+goodbyes — are collected on :attr:`events` as they interleave with
+replies.
+
+The client is also the attachment point for the chaos rig's
+``"disconnect"`` injector: give it a :class:`~repro.runtime.faults.FaultPlan`
+(or set ``REPRO_FAULTS``) and it consults the plan before every push
+with fingerprint ``"<name>:<sid>"`` and the session's 1-based push
+count as the attempt number; a match aborts the TCP transport with no
+goodbye — the deterministic replay of a wearer walking out of range.
+
+Quickstart::
+
+    client = await StreamingClient.connect(host, port)
+    sid = await client.create(SessionSpec(fs=2500.0))
+    for chunk in chunks:
+        await client.push(sid, chunk)        # retries "busy" replies
+    result = await client.finalize(sid)      # SessionResult: stream+envelope
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from .faults import FaultPlan
+from .server import (
+    MAX_LINE_BYTES,
+    decode_chunk,  # noqa: F401  (re-exported for tests building frames)
+    pack_array,
+    unpack_floats,
+    unpack_ints,
+)
+from .sessions import SessionResult, SessionSpec
+from ..core.events import EventStream
+
+__all__ = ["ServerReplyError", "ServerBusy", "StreamingClient"]
+
+
+class ServerReplyError(RuntimeError):
+    """The server answered ``{"ok": false, ...}``.
+
+    :attr:`code` is the machine-readable ``error`` field (``"busy"``,
+    ``"shed"``, ``"reaped"``, ``"finalized"``, ``"draining"``,
+    ``"too-short"``, ...); ``detail`` (when present) is human-readable.
+    """
+
+    def __init__(self, code: str, reply: dict) -> None:
+        detail = reply.get("detail")
+        super().__init__(code if detail is None else f"{code}: {detail}")
+        self.code = code
+        self.reply = reply
+
+
+class ServerBusy(ServerReplyError):
+    """Backpressure: the session's ingest queue is full, push again later."""
+
+
+def _stream_from_reply(reply: dict) -> EventStream:
+    return EventStream(
+        times=unpack_floats(reply["times"]),
+        duration_s=float(reply["duration_s"]),
+        levels=unpack_ints(reply.get("levels")),
+        clock_hz=float(reply.get("clock_hz", 0.0)),
+        symbols_per_event=int(reply.get("symbols_per_event", 1)),
+    )
+
+
+class StreamingClient:
+    """One connection's view of the streaming session server.
+
+    Create with :meth:`connect` (or use ``async with``).  A single
+    client can own many sessions; for thousands of sessions, open a
+    handful of clients and spread the sessions across them (the bench
+    uses ~32 connections for 1k+ sessions).
+
+    Parameters
+    ----------
+    name:
+        Fault-plan fingerprint prefix (``"<name>:<sid>"``).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; defaults to
+        the plan in ``REPRO_FAULTS`` when set.  Only ``"disconnect"``
+        injectors apply here.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        name: str = "client",
+        faults: "FaultPlan | None" = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.name = name
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.events: "list[dict]" = []  # unsolicited server notices
+        self._push_counts: "dict[int, int]" = {}
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "client",
+        faults: "FaultPlan | None" = None,
+    ) -> "StreamingClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer, name=name, faults=faults)
+
+    async def __aenter__(self) -> "StreamingClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _send(self, msg: dict) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._writer.write(
+            json.dumps(msg, separators=(",", ":")).encode() + b"\n"
+        )
+
+    async def _read_reply(self) -> dict:
+        """Next in-order reply; queues interleaved event notices."""
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            msg = json.loads(line)
+            if "event" in msg:
+                self.events.append(msg)
+                continue
+            return msg
+
+    async def _rpc(self, msg: dict) -> dict:
+        self._send(msg)
+        await self._writer.drain()
+        reply = await self._read_reply()
+        if not reply.get("ok", False):
+            code = reply.get("error", "error")
+            if code == "busy":
+                raise ServerBusy(code, reply)
+            raise ServerReplyError(code, reply)
+        return reply
+
+    async def wait_event(self, timeout: "float | None" = None) -> dict:
+        """Block until an unsolicited notice arrives (drain/goodbye)."""
+        if self.events:
+            return self.events.pop(0)
+
+        async def _next():
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                msg = json.loads(line)
+                if "event" in msg:
+                    return msg
+                # A reply with no request in flight is a protocol error.
+                raise RuntimeError(f"unexpected reply while idle: {msg}")
+
+        return await asyncio.wait_for(_next(), timeout)
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    async def create(self, spec: "SessionSpec | None" = None) -> int:
+        """Open a session; returns the server-assigned session id."""
+        payload = (spec if spec is not None else SessionSpec()).to_dict()
+        reply = await self._rpc({"op": "create", "spec": payload})
+        sid = int(reply["sid"])
+        self._push_counts[sid] = 0
+        return sid
+
+    async def create_many(
+        self, spec: "SessionSpec | None", n: int
+    ) -> "list[int]":
+        """Open ``n`` same-spec sessions in one frame; returns their ids."""
+        payload = (spec if spec is not None else SessionSpec()).to_dict()
+        reply = await self._rpc({"op": "create", "spec": payload, "n": int(n)})
+        sids = [int(sid) for sid in reply["sids"]]
+        for sid in sids:
+            self._push_counts[sid] = 0
+        return sids
+
+    def _consult_faults(self, sid: int) -> None:
+        """Abort the transport if the plan schedules a disconnect here."""
+        attempt = self._push_counts.get(sid, 0) + 1
+        self._push_counts[sid] = attempt
+        if self.faults is None:
+            return
+        fault = self.faults.match(f"{self.name}:{sid}", attempt)
+        if fault is not None and fault.kind == "disconnect":
+            self.abort()
+            raise ConnectionResetError(
+                f"injected disconnect before push {attempt} of session {sid}"
+            )
+
+    async def push(
+        self,
+        sid: int,
+        chunk,
+        *,
+        retry_busy: bool = True,
+        busy_backoff_s: float = 0.002,
+        max_retries: int = 1000,
+    ) -> int:
+        """Send one sample chunk; returns the session's queued depth.
+
+        A ``busy`` reply (backpressure) is retried after
+        ``busy_backoff_s`` — the decode pump only needs a moment — up to
+        ``max_retries`` times; pass ``retry_busy=False`` to surface
+        :class:`ServerBusy` instead.
+        """
+        self._consult_faults(sid)
+        msg = {
+            "op": "push",
+            "sid": int(sid),
+            "data": pack_array(np.asarray(chunk, dtype=float)),
+        }
+        for _ in range(max_retries):
+            try:
+                reply = await self._rpc(msg)
+            except ServerBusy:
+                if not retry_busy:
+                    raise
+                await asyncio.sleep(busy_backoff_s)
+                continue
+            return int(reply.get("queued", 0))
+        raise ServerBusy("busy", {"error": "busy", "sid": sid})
+
+    async def push_all(self, chunks: "dict[int, np.ndarray]") -> "dict[int, dict]":
+        """Batched push to many sessions in a single ``pushm`` frame —
+        one round trip for the whole wave instead of one per session,
+        and one JSON frame to parse server-side.  At 1k concurrent
+        sessions this is the difference between the socket boundary
+        costing a few percent and costing more than the decode.
+
+        ``busy`` replies are retried until every session's chunk is
+        accepted; other per-session failures raise
+        :class:`ServerReplyError`.  Returns ``{sid: reply}``.
+        """
+        done: "dict[int, dict]" = {}
+        todo = dict(chunks)
+        while todo:
+            sids, arrays = [], []
+            for sid, chunk in todo.items():
+                self._consult_faults(sid)
+                sids.append(int(sid))
+                arrays.append(np.asarray(chunk, dtype=float))
+            frame = {
+                "op": "pushm",
+                "sids": sids,
+                "lens": [a.size for a in arrays],
+                "data": pack_array(
+                    np.concatenate(arrays) if arrays else np.empty(0)
+                ),
+            }
+            self._send(frame)
+            await self._writer.drain()
+            reply = await self._read_reply()
+            if not reply.get("ok", False):
+                raise ServerReplyError(reply.get("error", "error"), reply)
+            retry = {}
+            for sid, result in zip(sids, reply["results"]):
+                if not result.get("ok", False):
+                    if result.get("error") == "busy":
+                        retry[sid] = todo[sid]
+                        # The retry re-consults the fault plan with a
+                        # fresh attempt number; undo the optimistic count
+                        # so attempts keep matching *delivered* pushes.
+                        self._push_counts[sid] -= 1
+                        continue
+                    raise ServerReplyError(
+                        result.get("error", "error"), result
+                    )
+                done[sid] = result
+            todo = retry
+            if todo:
+                await asyncio.sleep(0.002)
+        return done
+
+    async def drain(self, sid: int) -> EventStream:
+        """Events the session fired since its last drain."""
+        reply = await self._rpc({"op": "drain", "sid": int(sid)})
+        return _stream_from_reply(reply)
+
+    async def finalize(self, sid: int) -> SessionResult:
+        """Flush and close the session; returns its full stream+envelope.
+
+        The envelope is bit-identical to the scalar one-shot path on the
+        concatenated chunks (the ``SessionBatch`` contract, preserved
+        through the socket).
+        """
+        reply = await self._rpc({"op": "finalize", "sid": int(sid)})
+        return SessionResult(
+            session_id=int(reply["sid"]),
+            stream=_stream_from_reply(reply),
+            envelope=unpack_floats(reply["envelope"]),
+        )
+
+    async def stats(self) -> dict:
+        """The server's operational counters (see ``ServerStats``)."""
+        reply = await self._rpc({"op": "stats"})
+        return reply["stats"]
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Polite goodbye: ``close`` verb, then shut the transport."""
+        if self._closed:
+            return
+        try:
+            self._send({"op": "close"})
+            await self._writer.drain()
+            await self._read_reply()
+        except (ConnectionError, RuntimeError):
+            pass
+        self.abort()
+
+    def abort(self) -> None:
+        """Drop the TCP transport immediately — no goodbye, no flush."""
+        self._closed = True
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()

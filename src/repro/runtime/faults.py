@@ -30,9 +30,21 @@ Three injector kinds cover the failure taxonomy:
     re-runs the shard, and the stalled worker's late completion must be
     *fenced off* by the jobs table (the store itself is safe — entries
     are content-addressed and idempotent).
+``"disconnect"``
+    The streaming-server counterpart of ``"crash"``: a
+    :class:`~repro.runtime.client.StreamingClient` consulting the plan
+    aborts its TCP transport mid-conversation (no FIN handshake, no
+    ``close`` verb) before sending the matched push — byte-for-byte what
+    a wearer walking out of radio range leaves behind.  The server must
+    release the orphaned sessions and keep serving everyone else.  The
+    client's fingerprint is ``"<client name>:<sid>"`` and the attempt
+    number counts that session's pushes (1-based), so a mid-session
+    disconnect replays deterministically.  Queue workers ignore this
+    kind.
 
 Plans serialise to JSON and travel to worker subprocesses through the
-``REPRO_FAULTS`` environment variable (or ``repro worker --faults``).
+``REPRO_FAULTS`` environment variable (or ``repro worker --faults`` /
+``StreamingClient(faults=...)``).
 """
 
 from __future__ import annotations
@@ -52,7 +64,7 @@ __all__ = [
 ]
 
 ENV_FAULTS = "REPRO_FAULTS"
-FAULT_KINDS = ("error", "crash", "stall")
+FAULT_KINDS = ("error", "crash", "stall", "disconnect")
 
 
 class InjectedFault(RuntimeError):
@@ -67,8 +79,10 @@ class FaultSpec:
     ----------
     kind:
         ``"error"`` (raise :class:`InjectedFault`), ``"crash"``
-        (``os._exit(137)``, the deterministic SIGKILL) or ``"stall"``
-        (stop heartbeating and sleep ``stall_s`` mid-job).
+        (``os._exit(137)``, the deterministic SIGKILL), ``"stall"``
+        (stop heartbeating and sleep ``stall_s`` mid-job) or
+        ``"disconnect"`` (a streaming client aborts its socket before
+        the matched push).
     match:
         Fingerprint substring filter; ``""`` matches every job.
     attempts:

@@ -255,8 +255,11 @@ class AsyncStreamingPipeline:
         """Drive the pipeline from ``source``; yield envelope chunks.
 
         ``source`` may be an async iterable or a plain iterable of sample
-        chunks.  Synchronous sources get an explicit ``sleep(0)`` between
-        chunks so a long recording never starves the event loop.  The
+        chunks.  Both branches take an explicit ``sleep(0)`` between
+        chunks so a long recording never starves the event loop — an
+        async iterator whose ``__anext__`` returns already-ready chunks
+        without awaiting (a pre-buffered queue, a file tail) otherwise
+        never yields control, exactly like a plain iterable.  The
         final chunk yielded is :meth:`finish`'s tail, so the concatenation
         of everything yielded is the complete (one-shot-identical)
         envelope.
@@ -266,6 +269,7 @@ class AsyncStreamingPipeline:
                 out = self.push(samples)
                 if out.size:
                     yield out
+                await asyncio.sleep(0)
         else:
             for samples in source:
                 out = self.push(samples)

@@ -1,0 +1,799 @@
+"""Always-on streaming session server: sockets in, envelopes out.
+
+:class:`~repro.runtime.sessions.SessionBatch` made *decoding* thousands
+of concurrent wearers cheap; this module puts a long-running process in
+front of it.  :class:`SessionServer` is an asyncio TCP server speaking a
+newline-delimited JSON protocol (sample chunks ride as base64 float64,
+see ``docs/SERVING.md``) that multiplexes every connected client's
+sessions over **one** ``SessionBatch``: a pump task repeatedly gathers
+one queued chunk per session and advances them all in a single
+``push_many`` call, so the per-chunk decode cost is batched exactly as
+in the in-process engine, and sessions whose
+:meth:`~repro.runtime.sessions.SessionSpec.key` match share a
+homogeneous sub-batch for free.
+
+Operational semantics (the part a socket boundary forces you to get
+right):
+
+Backpressure
+    Each session owns a bounded ingest queue (``max_pending`` chunks).
+    A ``push`` that would overflow it is **refused** with a ``busy``
+    reply — the slow consumer is told to back off instead of growing an
+    unbounded buffer server-side.  Accepted chunks are acknowledged
+    immediately; decode happens asynchronously in the pump.
+
+Load shedding
+    When global ingest outruns decode — total queued chunks across all
+    sessions exceed ``max_total_pending`` — whole sessions are **shed**,
+    newest-joined first (they have the least sunk state), until the
+    backlog is back under the limit.  Shed sessions are released
+    without finalize; subsequent operations on them answer
+    ``{"error": "shed"}`` and the count is reported in ``stats``.
+
+Idle reaping
+    A session that receives no pushes for ``silence_timeout_s`` seconds
+    (and has nothing queued) is reaped: released, slot returned to the
+    pool, subsequent operations answer ``{"error": "reaped"}``.  The
+    default is off; servers fronting flaky radios set it to a small
+    multiple of the spec's own ``silence_timeout_s``.
+
+Graceful drain
+    :meth:`SessionServer.request_drain` (the CLI wires SIGTERM to it)
+    stops accepting ``create``/``push``, lets the pump flush every
+    queued chunk, then finalizes every remaining session — trailing
+    partial frames fire their events, decoder tails flush — and sends
+    each owning connection a ``{"event": "drained", ...}`` notice
+    carrying the final envelope before closing with
+    ``{"event": "goodbye"}``.  ``serve_forever`` then returns with zero
+    unfinalized sessions, mirroring ``run_worker``'s SIGTERM contract.
+
+Fault tolerance
+    A client that disconnects mid-session (cable pull, the chaos rig's
+    ``"disconnect"`` injector) orphans its live sessions; they are
+    released immediately and counted.  A malformed frame gets one
+    pointed error reply and the connection is dropped — framing can no
+    longer be trusted.  ``finalize`` is terminal: later operations on
+    the session answer ``{"error": "finalized"}``.
+
+Bit-identity is inherited, not re-implemented: every session's envelope
+is whatever ``SessionBatch`` produces, which is bit-identical to the
+scalar one-shot path (asserted through the full socket round-trip in
+``tests/runtime/test_server.py`` and ``bench --serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import collections
+import dataclasses
+import json
+import traceback
+
+import numpy as np
+
+from .sessions import SessionBatch, SessionSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServerStats",
+    "SessionServer",
+    "pack_array",
+    "unpack_floats",
+    "unpack_ints",
+]
+
+PROTOCOL_VERSION = 1
+
+# Generous frame cap: a 1 Mi-sample float64 chunk is ~10.7 MiB of
+# base64; anything larger is a protocol violation, not a big chunk.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Wire helpers (shared with the client)
+# ----------------------------------------------------------------------
+def pack_array(values: "np.ndarray | None") -> "str | None":
+    """Base64 of the array's little-endian bytes (``None`` passes through).
+
+    float64 for sample/envelope/time payloads, int64 for levels — the
+    dtype travels implicitly per field (the protocol fixes it), and the
+    round-trip is bit-exact.
+    """
+    if values is None:
+        return None
+    arr = np.ascontiguousarray(values)
+    if arr.dtype.kind == "f":
+        arr = arr.astype("<f8", copy=False)
+    else:
+        arr = arr.astype("<i8", copy=False)
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def _unpack(text: "str | None", dtype: str) -> "np.ndarray | None":
+    if text is None:
+        return None
+    try:
+        # strict_mode rejects invalid characters at C speed; the plain
+        # b64decode silently *drops* them, turning garbage into an
+        # empty-but-accepted chunk.
+        raw = binascii.a2b_base64(text.encode("ascii"), strict_mode=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ValueError(f"invalid base64 payload: {exc}")
+    width = np.dtype(dtype).itemsize
+    if len(raw) % width:
+        raise ValueError(
+            f"payload length {len(raw)} is not a whole number of "
+            f"{width}-byte items"
+        )
+    arr = np.frombuffer(raw, dtype=dtype)
+    if arr.dtype.isnative:
+        return arr  # zero-copy view (read-only, callers don't mutate)
+    return arr.astype(dtype[1:], copy=True)
+
+
+def unpack_floats(text: "str | None") -> "np.ndarray | None":
+    """Inverse of :func:`pack_array` for float64 payloads."""
+    return _unpack(text, "<f8")
+
+
+def unpack_ints(text: "str | None") -> "np.ndarray | None":
+    """Inverse of :func:`pack_array` for int64 payloads."""
+    return _unpack(text, "<i8")
+
+
+def decode_chunk(msg: dict) -> np.ndarray:
+    """The sample chunk of one ``push`` frame (``data`` b64 or ``samples``)."""
+    if "data" in msg and msg["data"] is not None:
+        chunk = unpack_floats(msg["data"])
+    elif "samples" in msg:
+        chunk = np.asarray(msg["samples"], dtype=float)
+    else:
+        raise ValueError("push needs 'data' (base64 float64) or 'samples'")
+    if chunk.ndim != 1:
+        raise ValueError(f"chunk must be 1-D, got shape {chunk.shape}")
+    return chunk
+
+
+# ----------------------------------------------------------------------
+# Server state
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ServerStats:
+    """Operational counters, exposed verbatim by the ``stats`` verb."""
+
+    n_connections: int = 0  # accepted over the server's lifetime
+    n_created: int = 0
+    n_pushed_chunks: int = 0  # accepted into a session queue
+    n_decoded_chunks: int = 0  # advanced through push_many
+    n_busy: int = 0  # pushes refused by per-session backpressure
+    n_shed: int = 0  # sessions shed by global overload
+    n_reaped: int = 0  # sessions reaped for silence
+    n_orphaned: int = 0  # live sessions lost to a closed connection
+    n_malformed: int = 0  # frames that dropped their connection
+    n_finalized: int = 0  # client-requested finalizes
+    n_drain_finalized: int = 0  # finalized server-side during drain
+    n_aborted: int = 0  # drain finalizes on too-short sessions
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class _Session:
+    __slots__ = (
+        "sid", "spec", "conn", "pending", "last_activity", "seq", "state",
+    )
+
+    def __init__(self, sid, spec, conn, seq, now) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.conn = conn
+        self.pending: "collections.deque[np.ndarray]" = collections.deque()
+        self.last_activity = now
+        self.seq = seq
+        self.state = "live"
+
+
+class _Connection:
+    __slots__ = ("writer", "sids", "alive")
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+        self.sids: "set[int]" = set()
+        self.alive = True
+
+
+class SessionServer:
+    """One process serving thousands of concurrent streaming sessions.
+
+    Usage (tests, embedded)::
+
+        server = SessionServer(port=0, max_sessions=4096)
+        await server.start()
+        host, port = server.address
+        ...                       # clients connect and stream
+        server.request_drain()
+        stats = await server.serve_forever()   # returns once drained
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    max_sessions:
+        ``create`` beyond this many live sessions answers
+        ``{"error": "server-full"}``.
+    max_pending:
+        Per-session ingest queue depth; a push beyond it answers
+        ``busy`` (backpressure).
+    max_total_pending:
+        Global queued-chunk budget; exceeding it sheds newest-joined
+        sessions until back under.  ``None`` (default) derives
+        ``4 * max(64, max_sessions)`` — bounded, but roomy enough that
+        only a genuine ingest-outruns-decode imbalance triggers it.
+    silence_timeout_s:
+        Idle-session reaping threshold (``None`` disables).
+    tick_s:
+        Pump wake-up period when idle — the reaping granularity.
+    batch:
+        The :class:`SessionBatch` to multiplex over (default: a fresh
+        one).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 4096,
+        max_pending: int = 32,
+        max_total_pending: "int | None" = None,
+        silence_timeout_s: "float | None" = None,
+        tick_s: float = 0.05,
+        batch: "SessionBatch | None" = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if max_total_pending is not None and max_total_pending < 1:
+            raise ValueError(
+                f"max_total_pending must be >= 1, got {max_total_pending}"
+            )
+        if silence_timeout_s is not None and silence_timeout_s <= 0:
+            raise ValueError(
+                f"silence_timeout_s must be positive, got {silence_timeout_s}"
+            )
+        if tick_s <= 0:
+            raise ValueError(f"tick_s must be positive, got {tick_s}")
+        self._host = host
+        self._port = port
+        self.max_sessions = max_sessions
+        self.max_pending = max_pending
+        self.max_total_pending = (
+            4 * max(64, max_sessions)
+            if max_total_pending is None
+            else max_total_pending
+        )
+        self.silence_timeout_s = silence_timeout_s
+        self.tick_s = tick_s
+        self.stats = ServerStats()
+        self._batch = batch if batch is not None else SessionBatch()
+        self._sessions: "dict[int, _Session]" = {}  # join order preserved
+        self._tombstones: "dict[int, str]" = {}  # sid -> terminal state
+        self._conns: "set[_Connection]" = set()
+        self._n_pending = 0  # queued chunks across all sessions
+        self._seq = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._work = asyncio.Event()
+        self._paused = False
+        self._resume = asyncio.Event()
+        self._resume.set()
+        self._server: "asyncio.AbstractServer | None" = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._pump_task: "asyncio.Task | None" = None
+        self._pump_error: "str | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the pump."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._pump_task = asyncio.ensure_future(self._pump())
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def n_sessions(self) -> int:
+        """Live sessions (queued or quiet, not yet finalized/released)."""
+        return len(self._sessions)
+
+    @property
+    def n_pending_chunks(self) -> int:
+        """Chunks accepted but not yet advanced through the batch."""
+        return self._n_pending
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_drain(self) -> None:
+        """Begin the graceful drain (idempotent; SIGTERM points here)."""
+        self._draining = True
+        self._work.set()
+        self._resume.set()  # drain overrides a test-paused pump
+
+    async def serve_forever(self) -> ServerStats:
+        """Run until a drain completes; returns the final counters."""
+        await self._drained.wait()
+        if self._pump_task is not None:
+            await self._pump_task
+        if self._pump_error is not None:
+            raise RuntimeError(f"session pump died:\n{self._pump_error}")
+        return self.stats
+
+    async def aclose(self) -> None:
+        """Hard stop: cancel the pump, drop every connection, unbind."""
+        if self._pump_task is not None and not self._pump_task.done():
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        for conn in list(self._conns):
+            self._close_connection(conn)
+        # Let handler tasks observe their closed transports (EOF) and
+        # exit, so loop teardown doesn't cancel them mid-read (noisy
+        # tracebacks); cancel only the ones that don't wind down.
+        if self._conn_tasks:
+            _, stuck = await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+            for task in stuck:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    # Test hooks: freeze the pump so backpressure/shedding paths are
+    # reachable deterministically (the pump otherwise drains queues as
+    # fast as they fill on a local socket).
+    def pause_pump(self) -> None:
+        self._paused = True
+        self._resume.clear()
+
+    def resume_pump(self) -> None:
+        self._paused = False
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # The pump: batched decode + reaping + drain completion
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                if self._paused and not self._draining:
+                    await self._resume.wait()
+                    continue
+                pushes: "dict[int, np.ndarray]" = {}
+                for sid, sess in self._sessions.items():
+                    if sess.pending:
+                        pushes[sid] = sess.pending.popleft()
+                if pushes:
+                    self._n_pending -= len(pushes)
+                    self._batch.push_many(pushes)
+                    self.stats.n_decoded_chunks += len(pushes)
+                self._reap(loop.time())
+                if self._draining and self._n_pending == 0:
+                    await self._finish_drain()
+                    return
+                if pushes:
+                    await asyncio.sleep(0)  # stay fair to the handlers
+                    continue
+                self._work.clear()
+                # Re-check after clearing so a push that landed between
+                # the scan and the clear is never a lost wakeup.
+                if self._n_pending or self._draining:
+                    continue
+                try:
+                    await asyncio.wait_for(self._work.wait(), self.tick_s)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # pragma: no cover - defensive: surface, don't hang
+            self._pump_error = traceback.format_exc()
+            for conn in list(self._conns):
+                self._close_connection(conn)
+            if self._server is not None:
+                self._server.close()
+            self._drained.set()
+
+    def _reap(self, now: float) -> None:
+        if self.silence_timeout_s is None:
+            return
+        victims = [
+            sess
+            for sess in self._sessions.values()
+            if not sess.pending
+            and now - sess.last_activity > self.silence_timeout_s
+        ]
+        for sess in victims:
+            self._release(sess, "reaped")
+            self.stats.n_reaped += 1
+
+    def _shed_overflow(self) -> None:
+        while self._n_pending > self.max_total_pending and self._sessions:
+            victim = max(self._sessions.values(), key=lambda s: s.seq)
+            self._release(victim, "shed")
+            self.stats.n_shed += 1
+
+    def _release(self, sess: _Session, state: str) -> None:
+        """Drop a live session without finalizing (shed/reap/orphan)."""
+        self._n_pending -= len(sess.pending)
+        sess.pending.clear()
+        sess.state = state
+        self._tombstones[sess.sid] = state
+        self._sessions.pop(sess.sid, None)
+        sess.conn.sids.discard(sess.sid)
+        self._batch.leave(sess.sid)
+
+    async def _finish_drain(self) -> None:
+        """Finalize every remaining session, notify owners, shut down."""
+        if self._server is not None:
+            self._server.close()
+        for sid in list(self._sessions):
+            sess = self._sessions[sid]
+            try:
+                result = self._batch.finalize(sid)
+            except ValueError as exc:
+                # Too short to cover one clock period: nothing to flush.
+                notice = {
+                    "event": "drained",
+                    "sid": sid,
+                    "ok": False,
+                    "error": "too-short",
+                    "detail": str(exc),
+                }
+                sess.state = "aborted"
+                self.stats.n_aborted += 1
+            else:
+                notice = {
+                    "event": "drained",
+                    "sid": sid,
+                    "ok": True,
+                    "envelope": pack_array(result.envelope),
+                    "n_events": int(result.stream.n_events),
+                    "duration_s": float(result.stream.duration_s),
+                }
+                sess.state = "drained"
+                self.stats.n_drain_finalized += 1
+            self._tombstones[sid] = sess.state
+            del self._sessions[sid]
+            sess.conn.sids.discard(sid)
+            self._batch.leave(sid)
+            if sess.conn.alive:
+                await self._send(sess.conn, notice)
+        for conn in list(self._conns):
+            if conn.alive:
+                await self._send(conn, {"event": "goodbye", "reason": "drained"})
+            self._close_connection(conn)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(writer)
+        self._conns.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.stats.n_connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.stats.n_malformed += 1
+                    await self._send(
+                        conn,
+                        {"ok": False, "error": "malformed",
+                         "detail": "frame exceeds the line limit"},
+                    )
+                    break
+                if not line:
+                    break  # EOF: client went away
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("frame must be a JSON object")
+                except ValueError as exc:
+                    self.stats.n_malformed += 1
+                    await self._send(
+                        conn,
+                        {"ok": False, "error": "malformed", "detail": str(exc)},
+                    )
+                    break  # framing can no longer be trusted
+                reply = await self._dispatch(conn, msg)
+                if reply is not None:
+                    if "id" in msg:
+                        reply["id"] = msg["id"]
+                    await self._send(conn, reply)
+                if msg.get("op") == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._drop_connection(conn)
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        for sid in list(conn.sids):
+            sess = self._sessions.get(sid)
+            if sess is not None:
+                self._release(sess, "orphaned")
+                self.stats.n_orphaned += 1
+        self._close_connection(conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        conn.alive = False
+        self._conns.discard(conn)
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    async def _send(self, conn: _Connection, payload: dict) -> None:
+        if not conn.alive:
+            return
+        try:
+            conn.writer.write(
+                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+            )
+            await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            conn.alive = False
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    async def _dispatch(self, conn: _Connection, msg: dict) -> "dict | None":
+        op = msg.get("op")
+        if op == "create":
+            return self._op_create(conn, msg)
+        if op == "push":
+            return self._op_push(conn, msg)
+        if op == "pushm":
+            return self._op_pushm(conn, msg)
+        if op == "drain":
+            return await self._op_drain(conn, msg)
+        if op == "finalize":
+            return await self._op_finalize(conn, msg)
+        if op == "stats":
+            return self._op_stats()
+        if op == "close":
+            return {"ok": True, "closing": True}
+        return {"ok": False, "error": "unknown-op", "detail": repr(op)}
+
+    def _lookup(self, msg: dict) -> "tuple[_Session | None, dict | None]":
+        sid = msg.get("sid")
+        if not isinstance(sid, int):
+            return None, {
+                "ok": False, "error": "bad-sid", "detail": repr(sid)
+            }
+        sess = self._sessions.get(sid)
+        if sess is None:
+            state = self._tombstones.get(sid)
+            error = state if state is not None else "unknown-session"
+            return None, {"ok": False, "error": error, "sid": sid}
+        return sess, None
+
+    def _op_create(self, conn: _Connection, msg: dict) -> dict:
+        n = msg.get("n")
+        if n is not None and (not isinstance(n, int) or n < 1):
+            return {"ok": False, "error": "bad-spec",
+                    "detail": f"n must be a positive integer, got {n!r}"}
+        if self._draining:
+            return {"ok": False, "error": "draining"}
+        if len(self._sessions) + (n or 1) > self.max_sessions:
+            return {"ok": False, "error": "server-full",
+                    "max_sessions": self.max_sessions}
+        try:
+            spec_data = msg.get("spec")
+            if isinstance(spec_data, dict):
+                spec = SessionSpec.from_dict(spec_data)
+            elif spec_data is None:
+                spec = SessionSpec()
+            else:
+                raise ValueError("spec must be a JSON object")
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": "bad-spec", "detail": str(exc)}
+        now = asyncio.get_running_loop().time()
+        sids = []
+        for _ in range(n or 1):
+            sid = self._batch.create(spec)
+            self._seq += 1
+            sess = _Session(sid, spec, conn, self._seq, now)
+            self._sessions[sid] = sess
+            conn.sids.add(sid)
+            self.stats.n_created += 1
+            sids.append(sid)
+        reply = {"ok": True, "spec_key": spec.key()}
+        if n is None:
+            reply["sid"] = sids[0]
+        else:
+            reply["sids"] = sids
+        return reply
+
+    def _push_chunk(self, sid, chunk: np.ndarray) -> dict:
+        """Enqueue one decoded chunk; the shared push/pushm core."""
+        sess, error = self._lookup({"sid": sid})
+        if error is not None:
+            return error
+        if self._draining:
+            return {"ok": False, "error": "draining", "sid": sess.sid}
+        if len(sess.pending) >= self.max_pending:
+            self.stats.n_busy += 1
+            return {
+                "ok": False,
+                "error": "busy",
+                "sid": sess.sid,
+                "pending": len(sess.pending),
+            }
+        sess.pending.append(chunk)
+        sess.last_activity = asyncio.get_running_loop().time()
+        self._n_pending += 1
+        self.stats.n_pushed_chunks += 1
+        self._work.set()
+        self._shed_overflow()
+        if sess.state != "live":  # the pusher itself was just shed
+            return {"ok": False, "error": sess.state, "sid": sess.sid}
+        return {"ok": True, "sid": sess.sid, "queued": len(sess.pending)}
+
+    def _op_push(self, conn: _Connection, msg: dict) -> dict:
+        try:
+            chunk = decode_chunk(msg)
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-chunk", "detail": str(exc)}
+        return self._push_chunk(msg.get("sid"), chunk)
+
+    def _op_pushm(self, conn: _Connection, msg: dict) -> dict:
+        """Batched push: one frame carries chunks for many sessions.
+
+        ``sids``/``lens`` describe how to split the concatenated float64
+        ``data`` payload; each slice is enqueued exactly like a single
+        ``push`` and gets its own entry in ``results`` (so ``busy``/
+        tombstone outcomes stay per-session).  One frame per client wave
+        instead of one per session is what keeps the socket boundary
+        from erasing the batch-decode win at 1k+ sessions.
+        """
+        sids = msg.get("sids")
+        lens = msg.get("lens")
+        if (
+            not isinstance(sids, list)
+            or not isinstance(lens, list)
+            or len(sids) != len(lens)
+            or any(not isinstance(n, int) or n < 0 for n in lens)
+        ):
+            return {
+                "ok": False, "error": "bad-chunk",
+                "detail": "pushm needs matching 'sids' and 'lens' lists",
+            }
+        try:
+            flat = unpack_floats(msg.get("data"))
+            if flat is None:
+                raise ValueError("pushm needs 'data' (base64 float64)")
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-chunk", "detail": str(exc)}
+        if sum(lens) != flat.size:
+            return {
+                "ok": False, "error": "bad-chunk",
+                "detail": f"'lens' sums to {sum(lens)} but 'data' holds "
+                f"{flat.size} samples",
+            }
+        results = []
+        offset = 0
+        for sid, n in zip(sids, lens):
+            results.append(self._push_chunk(sid, flat[offset : offset + n]))
+            offset += n
+        return {"ok": True, "results": results}
+
+    async def _flush(self, sess: _Session) -> None:
+        """Wait until everything queued for this session has decoded."""
+        while sess.state == "live" and sess.pending:
+            self._work.set()
+            if self._paused and not self._draining:
+                await self._resume.wait()
+            await asyncio.sleep(0)
+
+    async def _op_drain(self, conn: _Connection, msg: dict) -> dict:
+        sess, error = self._lookup(msg)
+        if error is not None:
+            return error
+        await self._flush(sess)
+        if sess.state != "live":  # shed/reaped/drained while flushing
+            return {"ok": False, "error": sess.state, "sid": sess.sid}
+        stream = self._batch.drain(sess.sid)
+        return {
+            "ok": True,
+            "sid": sess.sid,
+            "times": pack_array(stream.times),
+            "levels": pack_array(stream.levels),
+            "duration_s": float(stream.duration_s),
+            "clock_hz": float(stream.clock_hz),
+            "symbols_per_event": int(stream.symbols_per_event),
+        }
+
+    async def _op_finalize(self, conn: _Connection, msg: dict) -> dict:
+        sess, error = self._lookup(msg)
+        if error is not None:
+            return error
+        await self._flush(sess)
+        if sess.state != "live":
+            return {"ok": False, "error": sess.state, "sid": sess.sid}
+        try:
+            result = self._batch.finalize(sess.sid)
+        except ValueError as exc:
+            # Too short to cover one clock period — release the slot,
+            # the session is over either way.
+            self._release(sess, "aborted")
+            self.stats.n_aborted += 1
+            return {
+                "ok": False, "error": "too-short",
+                "sid": sess.sid, "detail": str(exc),
+            }
+        stream = result.stream
+        sess.state = "finalized"
+        self._tombstones[sess.sid] = "finalized"
+        self._sessions.pop(sess.sid, None)
+        sess.conn.sids.discard(sess.sid)
+        self._batch.leave(sess.sid)
+        self.stats.n_finalized += 1
+        return {
+            "ok": True,
+            "sid": sess.sid,
+            "envelope": pack_array(result.envelope),
+            "times": pack_array(stream.times),
+            "levels": pack_array(stream.levels),
+            "duration_s": float(stream.duration_s),
+            "clock_hz": float(stream.clock_hz),
+            "symbols_per_event": int(stream.symbols_per_event),
+        }
+
+    def _op_stats(self) -> dict:
+        payload = self.stats.to_dict()
+        payload.update(
+            active_sessions=len(self._sessions),
+            active_connections=len(self._conns),
+            pending_chunks=self._n_pending,
+            groups=self._batch.n_groups,
+            draining=self._draining,
+            max_sessions=self.max_sessions,
+            max_pending=self.max_pending,
+            max_total_pending=self.max_total_pending,
+            protocol=PROTOCOL_VERSION,
+        )
+        return {"ok": True, "stats": payload}

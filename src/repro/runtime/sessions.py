@@ -114,6 +114,15 @@ class SessionSpec:
             raise ValueError(f"fs_out must be positive, got {self.fs_out}")
         if self.window_s <= 0:
             raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.silence_timeout_s <= 0:
+            raise ValueError(
+                f"silence_timeout_s must be positive, got "
+                f"{self.silence_timeout_s}"
+            )
+        if self.decay_tau_s <= 0:
+            raise ValueError(
+                f"decay_tau_s must be positive, got {self.decay_tau_s}"
+            )
         if not 0.0 <= self.rate_weight <= 1.0:
             raise ValueError(
                 f"rate_weight must be within [0, 1], got {self.rate_weight}"
@@ -156,6 +165,42 @@ class SessionSpec:
             # hash sits on the hot push path of every session).
             object.__setattr__(self, "_key", cached)
         return cached
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionSpec":
+        """Rebuild from :meth:`to_dict` output (the wire/server format).
+
+        Round-trips exactly: ``SessionSpec.from_dict(spec.to_dict())``
+        has the same :meth:`key` as ``spec``.  Validation runs as usual,
+        so a malformed payload fails with the same pointed errors as a
+        direct construction.
+        """
+        data = dict(data)
+        version = data.pop("version", SESSION_SPEC_VERSION)
+        if version != SESSION_SPEC_VERSION:
+            raise ValueError(
+                f"unsupported SessionSpec version {version!r} "
+                f"(this build speaks {SESSION_SPEC_VERSION})"
+            )
+        config_type = data.pop("config_type", None)
+        config = data.pop("config", None)
+        if config is not None and not isinstance(config, (ATCConfig, DATCConfig)):
+            by_name = {"ATCConfig": ATCConfig, "DATCConfig": DATCConfig}
+            if config_type not in by_name:
+                raise ValueError(
+                    f"config_type must be one of {sorted(by_name)}, "
+                    f"got {config_type!r}"
+                )
+            fields = dict(config)
+            for name in ("frame_sizes", "weights"):
+                if name in fields and fields[name] is not None:
+                    fields[name] = tuple(fields[name])
+            config = by_name[config_type](**fields)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SessionSpec fields: {unknown}")
+        return cls(config=config, **data)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -35,6 +35,17 @@ class TestFaultSpec:
         spec = FaultSpec(kind="stall", match="abc", attempts=(2,), stall_s=1.5)
         assert FaultSpec.from_dict(spec.to_dict()) == spec
 
+    def test_disconnect_is_a_first_class_kind(self):
+        # The streaming client's injector: must construct, serialise and
+        # match like the queue kinds (queue workers simply ignore it).
+        spec = FaultSpec(kind="disconnect", match="client:7", attempts=(2,))
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        plan = FaultPlan(faults=(spec,))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert plan.match("client:7", 2) is spec
+        assert plan.match("client:7", 1) is None  # wrong attempt
+        assert plan.match("client:8", 2) is None  # wrong session
+
 
 class TestFaultPlan:
     def test_rejects_non_spec_faults(self):

@@ -140,6 +140,53 @@ class TestAsyncDrivers:
         assert np.array_equal(np.concatenate(emitted), expected)
         assert np.array_equal(pipe.envelope, expected)
 
+    def test_ready_async_source_does_not_starve_the_loop(self, signal):
+        # Regression: the async-source branch of ``stream`` had no
+        # explicit ``sleep(0)``, so a source whose ``__anext__`` returns
+        # already-buffered chunks without awaiting (file tail, warm
+        # queue) monopolised the event loop for the whole recording.
+
+        class ReadySource:
+            """Async iterator that never actually awaits."""
+
+            def __init__(self, chunks):
+                self._it = iter(chunks)
+
+            def __aiter__(self):
+                return self
+
+            async def __anext__(self):
+                try:
+                    return next(self._it)  # ready immediately: no await
+                except StopIteration:
+                    raise StopAsyncIteration
+
+        config = DATCConfig()
+        chunks = chunked(signal, 100)
+
+        async def consume():
+            ticks = 0
+            streaming = True
+
+            async def ticker():
+                nonlocal ticks
+                while streaming:
+                    ticks += 1
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(ticker())
+            pipe = AsyncStreamingPipeline(FS, "datc", config)
+            emitted = [c async for c in pipe.stream(ReadySource(chunks))]
+            streaming = False
+            await task
+            return ticks, emitted, pipe
+
+        ticks, emitted, pipe = asyncio.run(consume())
+        # The ticker must have run *between* chunks, not only before and
+        # after the stream: one loop turn per chunk.
+        assert ticks >= len(chunks) // 2
+        assert np.array_equal(pipe.envelope, one_shot_datc(signal, config))
+
     def test_stream_yields_only_nonempty_chunks(self, signal):
         async def consume():
             pipe = AsyncStreamingPipeline(FS, "atc")

@@ -86,6 +86,14 @@ class TestSessionSpec:
         with pytest.raises(ValueError):
             SessionSpec(rate_weight=1.5)
 
+    @pytest.mark.parametrize("field", ["silence_timeout_s", "decay_tau_s"])
+    @pytest.mark.parametrize("value", [0.0, -0.5])
+    def test_non_positive_receiver_times_rejected(self, field, value):
+        # Zero or negative timeouts used to slip through and only blow
+        # up (or silently misbehave) deep inside the batched decoder.
+        with pytest.raises(ValueError, match=field):
+            SessionSpec(**{field: value})
+
 
 class TestBitIdentity:
     @pytest.mark.parametrize(
