@@ -62,6 +62,27 @@ def test_cli_queue_smoke(capsys):
     assert all(row["time_ms"] > 0 for row in record["rows"])
 
 
+def test_cli_queue_remote_transport_smoke(capsys):
+    """`bench --queue --transport remote` runs the sweep through a
+    dispatcher subprocess and no-mount workers, same bit-identity gate,
+    and records rows under the remote label with the transport param."""
+    rc = cli.main(SMOKE_ARGS + ["--transport", "remote"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "remote sweeps bit-identical to serial: yes" in out
+    records = _smoke_record()
+    record = records[-1]
+    assert record["area"] == "queue"
+    # Same headline metric name as the file transport: the trajectory
+    # stays one comparable series across transports.
+    assert record["headline"]["metric"] == (
+        "2-worker-vs-serial queued sweep speedup"
+    )
+    names = [row["name"] for row in record["rows"]]
+    assert names == ["serial", "remote-1", "remote-2"]
+    assert record["params"]["transport"] == "remote"
+
+
 def test_gate_skips_on_single_core(monkeypatch, capsys):
     """An unreachable floor must not fail the run on a 1-core box."""
     if MULTICORE:

@@ -62,6 +62,9 @@ from .runtime import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    QueueBackend,
+    RemoteBackend,
+    RemoteStore,
     ResultStore,
     ServerBusy,
     ServerReplyError,
@@ -119,6 +122,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "QueueBackend",
+    "RemoteBackend",
+    "RemoteStore",
     "ResultStore",
     "ServerBusy",
     "ServerReplyError",

@@ -229,6 +229,12 @@ def _append_lock(path: Path, timeout_s: float = LOCK_TIMEOUT_S):
     ``.lock`` file closes that window: ``flock`` where available (held
     locks die with their process, so no staleness), else an ``O_EXCL``
     spin whose stale locks are broken by mtime age.
+
+    Both paths remove the sidecar on release, so a clean run leaves no
+    ``.lock`` litter next to the trajectory.  The flock path guards the
+    unlink-vs-open race (peer opens the path, we unlink it, peer locks
+    an orphaned inode nobody else can see) by re-checking after locking
+    that the file on disk is still the one we locked, retrying if not.
     """
     lock_path = path.with_name(path.name + ".lock")
     try:
@@ -236,12 +242,31 @@ def _append_lock(path: Path, timeout_s: float = LOCK_TIMEOUT_S):
     except ImportError:
         fcntl = None
     if fcntl is not None:
-        with open(lock_path, "a+") as fh:
+        while True:
+            fh = open(lock_path, "a+")
             fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
             try:
-                yield
-            finally:
-                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                on_disk = os.stat(lock_path)
+            except FileNotFoundError:
+                # The previous holder unlinked it between our open and
+                # our flock; we hold a lock on an orphan — start over.
+                fh.close()
+                continue
+            if on_disk.st_ino != os.fstat(fh.fileno()).st_ino:
+                fh.close()  # same race, path already points elsewhere
+                continue
+            break
+        try:
+            yield
+        finally:
+            # Unlink while still holding the lock: any peer that opened
+            # the old inode will detect the swap and retry above.
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            fh.close()
         return
     deadline = time.monotonic() + timeout_s
     while True:

@@ -1459,10 +1459,11 @@ def _bench_serve(args: argparse.Namespace) -> int:
 
 
 def _spawn_worker(
-    db: str,
-    store_root: str,
+    db: "str | None" = None,
+    store_root: "str | None" = None,
     *,
     max_idle_s: float,
+    dispatcher: "str | None" = None,
     ready_file: "str | None" = None,
     lease_s: "float | None" = None,
     env: "dict | None" = None,
@@ -1470,8 +1471,10 @@ def _spawn_worker(
 ):
     """Launch one ``repro worker`` subprocess against a shared queue.
 
-    The child gets this process's ``repro`` package on ``PYTHONPATH`` so
-    the bench works from a source checkout without installation.
+    Either ``db`` + ``store_root`` (shared-mount sqlite) or
+    ``dispatcher`` (``host:port``, no shared mount).  The child gets
+    this process's ``repro`` package on ``PYTHONPATH`` so the bench
+    works from a source checkout without installation.
     """
     import subprocess
     from pathlib import Path
@@ -1483,18 +1486,12 @@ def _spawn_worker(
     child_env["PYTHONPATH"] = (
         src + os.pathsep + child_env.get("PYTHONPATH", "")
     ).rstrip(os.pathsep)
-    cmd = [
-        sys.executable,
-        "-m",
-        "repro",
-        "worker",
-        "--db",
-        db,
-        "--store",
-        store_root,
-        "--max-idle",
-        str(max_idle_s),
-    ]
+    cmd = [sys.executable, "-m", "repro", "worker"]
+    if dispatcher is not None:
+        cmd += ["--dispatcher", dispatcher]
+    else:
+        cmd += ["--db", db, "--store", store_root]
+    cmd += ["--max-idle", str(max_idle_s)]
     if ready_file is not None:
         cmd += ["--ready-file", ready_file]
     if lease_s is not None:
@@ -1569,6 +1566,128 @@ def _queued_sweep(spec, dataset, n_workers: int, work_root: str):
     return elapsed, result, store
 
 
+def _spawn_dispatcher(db: str, store_root: str, ready_file: str):
+    """Launch a ``repro dispatch`` subprocess; returns (proc, "host:port").
+
+    Blocks on the ``--ready-file`` handshake (pid line, then the
+    resolved bind address) so the caller can hand workers a dialable
+    address immediately.
+    """
+    import subprocess
+    import time as _time
+    from pathlib import Path
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "dispatch",
+            "--db", db, "--store", store_root,
+            "--port", "0", "--ready-file", ready_file,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = _time.monotonic() + 120.0
+    while True:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"dispatcher exited before becoming ready "
+                f"(code {proc.returncode}):\n{proc.stdout.read()}"
+            )
+        if os.path.exists(ready_file):
+            with open(ready_file) as fh:
+                lines = fh.read().splitlines()
+            if len(lines) >= 2:
+                host, port = lines[1].split()
+                return proc, f"{host}:{port}"
+        if _time.monotonic() > deadline:
+            raise RuntimeError("dispatcher never became ready")
+        _time.sleep(0.01)
+
+
+def _queued_sweep_remote(spec, dataset, n_workers: int, work_root: str):
+    """One dispatched N-worker sweep; returns (seconds, result, store).
+
+    The remote-transport leg of ``bench --queue``: a ``repro dispatch``
+    subprocess owns the queue db and the store, workers connect with
+    ``--dispatcher host:port`` and never touch either path — the only
+    shared thing is a loopback socket.  Submission goes through a
+    :class:`~repro.runtime.transport.RemoteBackend` so the timed region
+    exercises the full wire path; collection afterwards is one warm
+    ``dataset_sweep`` over the dispatcher's (local) store root.
+    """
+    import time as _time
+
+    from .api import Experiment
+    from .runtime.queue import ExperimentQueue
+    from .runtime.store import ResultStore
+    from .runtime.transport import RemoteBackend
+
+    db = os.path.join(work_root, "queue.db")
+    store_root = os.path.join(work_root, "store")
+    dispatcher, workers = None, []
+    try:
+        dispatcher, address = _spawn_dispatcher(
+            db, store_root, os.path.join(work_root, "dispatch-ready")
+        )
+        ready = [
+            os.path.join(work_root, f"ready-{i}") for i in range(n_workers)
+        ]
+        workers = [
+            _spawn_worker(
+                dispatcher=address, max_idle_s=120.0, ready_file=path
+            )
+            for path in ready
+        ]
+        deadline = _time.monotonic() + 120.0
+        while not all(os.path.exists(path) for path in ready):
+            for proc in workers:
+                if proc.poll() is not None:
+                    raise RuntimeError(
+                        f"worker exited before becoming ready "
+                        f"(code {proc.returncode}):\n{proc.stdout.read()}"
+                    )
+            if _time.monotonic() > deadline:
+                raise RuntimeError("workers never became ready")
+            _time.sleep(0.01)
+        with ExperimentQueue(RemoteBackend(address)) as queue:
+            t0 = perf_counter()
+            queue.submit_dataset(spec, dataset, workers_hint=n_workers)
+            for proc in workers:
+                proc.wait(timeout=600)
+            elapsed = perf_counter() - t0
+            if queue.unfinished():
+                raise RuntimeError(
+                    f"queue did not drain: {queue.counts()} "
+                    f"(worker output: {workers[0].stdout.read()!r})"
+                )
+            queue.raise_first_error()
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+        if dispatcher is not None:
+            if dispatcher.poll() is None:
+                dispatcher.terminate()
+                try:
+                    dispatcher.wait(timeout=30)
+                except Exception:
+                    dispatcher.kill()
+            dispatcher.stdout.close()
+    store = ResultStore(store_root)
+    result = Experiment(spec, store=store).dataset_sweep(dataset)
+    return elapsed, result, store
+
+
 def _bench_queue(args: argparse.Namespace) -> int:
     """Queued N-worker dataset sweep vs the serial spec path.
 
@@ -1585,6 +1704,9 @@ def _bench_queue(args: argparse.Namespace) -> int:
     from .signals.dataset import DatasetSpec
 
     scheme = "datc" if args.scheme == "both" else args.scheme
+    transport = getattr(args, "transport", "file")
+    sweep = _queued_sweep_remote if transport == "remote" else _queued_sweep
+    label = "remote" if transport == "remote" else "queued"
     counts = sorted(
         {int(c) for c in args.queue_workers.split(",") if c.strip()}
     )
@@ -1596,7 +1718,8 @@ def _bench_queue(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.for_scheme(scheme)
     print(
         f"queue throughput: {args.signals} patterns x {args.duration:g} s "
-        f"dataset sweep [{scheme}], workers {counts}, best of {args.repeats}"
+        f"dataset sweep [{scheme}], workers {counts}, "
+        f"transport {transport}, best of {args.repeats}"
     )
     t_serial, serial = _best_of(
         lambda: Experiment(spec).dataset_sweep(dataset), args.repeats
@@ -1625,7 +1748,7 @@ def _bench_queue(args: argparse.Namespace) -> int:
         for _ in range(args.repeats):
             work_root = tempfile.mkdtemp(prefix="repro-bench-queue-")
             try:
-                elapsed, result, _store = _queued_sweep(
+                elapsed, result, _store = sweep(
                     spec, dataset, count, work_root
                 )
             finally:
@@ -1636,7 +1759,7 @@ def _bench_queue(args: argparse.Namespace) -> int:
         ) and np.array_equal(result.n_events, serial.n_events)
         if not same:
             raise AssertionError(
-                f"{count}-worker queued sweep diverged from the serial "
+                f"{count}-worker {label} sweep diverged from the serial "
                 "results (must be bit-identical)"
             )
         speedup = t_serial / best
@@ -1644,17 +1767,17 @@ def _bench_queue(args: argparse.Namespace) -> int:
             headline = speedup
         record_rows.append(
             {
-                "name": f"queued-{count}",
+                "name": f"{label}-{count}",
                 "time_ms": best * 1e3,
                 "throughput": args.signals / best,
                 "speedup": speedup,
             }
         )
         print(
-            f"{f'queued-{count}':<18}{best * 1e3:>11.1f}"
+            f"{f'{label}-{count}':<18}{best * 1e3:>11.1f}"
             f"{args.signals / best:>13.3g}{speedup:>8.1f}x{'yes':>11}"
         )
-    print("queued sweeps bit-identical to serial: yes")
+    print(f"{label} sweeps bit-identical to serial: yes")
     _record_bench(
         args,
         "queue",
@@ -1667,6 +1790,7 @@ def _bench_queue(args: argparse.Namespace) -> int:
             "workers": counts,
             "repeats": args.repeats,
             "scheme": scheme,
+            "transport": transport,
         },
         spec_keys=_spec_keys((scheme,)),
     )
@@ -1812,6 +1936,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from .runtime.faults import FaultPlan
     from .runtime.queue import run_worker
 
+    if args.dispatcher is None:
+        if args.db is None or args.store is None:
+            raise SystemExit(
+                "worker needs --db and --store (shared mount) "
+                "or --dispatcher HOST:PORT (no shared mount)"
+            )
+    elif args.db is not None or args.store is not None:
+        raise SystemExit(
+            "--dispatcher replaces --db/--store; pass one form, not both"
+        )
     if args.faults:
         faults = FaultPlan.from_json(args.faults)
     else:
@@ -1842,12 +1976,62 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         faults=faults,
         should_stop=stop_event.is_set,
         log=print if args.verbose else None,
+        dispatcher=args.dispatcher,
     )
     print(
         f"worker {stats.worker_id}: claimed {stats.claimed}, "
         f"completed {stats.completed}, requeued {stats.requeued}, "
         f"quarantined {stats.quarantined}, lost {stats.lost}, "
         f"released {stats.released}, evaluated {stats.evaluated}"
+    )
+    return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    """Run the queue dispatcher until SIGTERM/SIGINT.
+
+    One dispatcher owns the jobs database and the result store; workers
+    started with ``repro worker --dispatcher HOST:PORT`` need neither
+    path — every queue verb and every result blob travels the socket
+    (see docs/DISPATCH.md).  The process is disposable: all durable
+    state is on disk, so SIGKILL + restart on the same paths simply
+    resumes the sweep (workers reconnect through channel backoff and
+    expired leases are reclaimed by the next claim).
+    """
+    import asyncio
+    import signal as _signal
+
+    from .runtime.dispatcher import DispatcherServer
+
+    async def _run():
+        server = DispatcherServer(
+            args.db, args.store, host=args.host, port=args.port
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"dispatching on {host}:{port} (db {args.db}, store "
+            f"{args.store}); SIGTERM stops",
+            flush=True,
+        )
+        if args.ready_file:
+            # Same handshake as `repro serve --ready-file`: pid, then
+            # the resolved bind address (--port 0 picks a free port).
+            with open(args.ready_file, "w") as fh:
+                fh.write(f"{os.getpid()}\n{host} {port}\n")
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+        await server.serve_forever()
+        return server
+
+    server = asyncio.run(_run())
+    print(
+        f"dispatcher stopped: {server.connections} connection(s), "
+        f"{server.requests} request(s) served"
     )
     return 0
 
@@ -2089,8 +2273,13 @@ def build_parser() -> argparse.ArgumentParser:
         "worker",
         help="pull and execute queued shards until the queue drains",
     )
-    p.add_argument("--db", required=True, help="shared queue database file")
-    p.add_argument("--store", required=True, help="shared result store dir")
+    p.add_argument("--db", default=None, help="shared queue database file")
+    p.add_argument("--store", default=None, help="shared result store dir")
+    p.add_argument(
+        "--dispatcher", default=None, metavar="HOST:PORT",
+        help="pull jobs and ship results over a repro dispatch server "
+        "instead of --db/--store (no shared mount needed)",
+    )
     p.add_argument("--worker-id", default=None, help="default: host-pid-rand")
     p.add_argument(
         "--lease", type=_positive_float, default=30.0,
@@ -2120,6 +2309,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "dispatch",
+        help="queue dispatcher: serve jobs + results to --dispatcher "
+        "workers over TCP (see docs/DISPATCH.md)",
+    )
+    p.add_argument("--db", required=True, help="jobs database file")
+    p.add_argument("--store", required=True, help="result store dir")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7416,
+        help="bind port (0 = pick a free one; see --ready-file)",
+    )
+    p.add_argument(
+        "--ready-file", default=None,
+        help="write pid + resolved host/port here once listening",
+    )
+    p.set_defaults(func=_cmd_dispatch)
 
     p = sub.add_parser(
         "serve",
@@ -2258,6 +2465,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-workers",
         default="1,2",
         help="comma-separated worker counts (--queue)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("file", "remote"),
+        default="file",
+        help="queue transport (--queue): 'file' = shared-mount sqlite, "
+        "'remote' = workers dial a repro dispatch subprocess over TCP",
     )
     p.add_argument(
         "--serve-sessions",

@@ -6,10 +6,14 @@ streaming encoder/decoder pair from async chunk sources; ``sessions``
 packs N concurrent streaming sessions into one vectorized
 :class:`SessionBatch` engine; ``queue`` + ``faults`` add the
 fault-tolerant multi-worker jobs table and its deterministic chaos
-test-rig; ``server`` + ``client`` put an always-on socket front
-(:class:`SessionServer` / :class:`StreamingClient`) over one
-``SessionBatch`` with backpressure, load-shedding and graceful drain.
-See ``docs/SCALING.md``, ``docs/STREAMING.md``, ``docs/QUEUE.md`` and
+test-rig; ``transport`` + ``dispatcher`` lift the queue contract behind
+a pluggable :class:`QueueBackend` and serve it over TCP
+(:class:`RemoteBackend` / :class:`RemoteStore` dialing a
+``repro dispatch`` server) so workers need no shared mount; ``server``
++ ``client`` put an always-on socket front (:class:`SessionServer` /
+:class:`StreamingClient`) over one ``SessionBatch`` with backpressure,
+load-shedding and graceful drain.  See ``docs/SCALING.md``,
+``docs/STREAMING.md``, ``docs/QUEUE.md``, ``docs/DISPATCH.md`` and
 ``docs/SERVING.md``.
 """
 
@@ -22,9 +26,10 @@ from .executors import (
     resolve_backend,
 )
 from .client import ServerBusy, ServerReplyError, StreamingClient
+from .dispatcher import DispatcherServer, DispatcherThread
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .ingest import AsyncStreamingPipeline, run_sessions
-from .queue import ExperimentQueue, Job, WorkerStats, run_worker
+from .queue import ExperimentQueue, Job, SqliteBackend, WorkerStats, run_worker
 from .server import ServerStats, SessionServer
 from .sessions import SessionBatch, SessionResult, SessionSpec
 from .store import (
@@ -33,16 +38,29 @@ from .store import (
     fingerprint_arrays,
     fingerprint_value,
 )
+from .transport import (
+    DispatchError,
+    QueueBackend,
+    RemoteBackend,
+    RemoteStore,
+    TransportError,
+)
 
 __all__ = [
     "AsyncStreamingPipeline",
     "BACKENDS",
+    "DispatchError",
+    "DispatcherServer",
+    "DispatcherThread",
     "ExperimentQueue",
     "FaultPlan",
     "FaultSpec",
     "FsckReport",
     "InjectedFault",
     "Job",
+    "QueueBackend",
+    "RemoteBackend",
+    "RemoteStore",
     "RemoteTraceback",
     "ResultStore",
     "ServerBusy",
@@ -52,7 +70,9 @@ __all__ = [
     "SessionResult",
     "SessionServer",
     "SessionSpec",
+    "SqliteBackend",
     "StreamingClient",
+    "TransportError",
     "WorkerStats",
     "default_jobs",
     "fingerprint_arrays",

@@ -44,6 +44,14 @@ status lifecycle::
   as a :class:`~repro.runtime.executors.RemoteTraceback` ``__cause__`` —
   the same convention the process backend uses.
 
+Since PR 10 the lifecycle contract lives in
+:class:`~repro.runtime.transport.QueueBackend`: :class:`SqliteBackend`
+(here) is the storage engine, :class:`ExperimentQueue` is a thin
+frontend over *any* backend — pass a path and get sqlite, pass a
+:class:`~repro.runtime.transport.RemoteBackend` and the identical
+semantics run against a ``repro dispatch`` server with no shared mount
+(see ``docs/DISPATCH.md``).
+
 Workers (:func:`run_worker`, CLI: ``repro worker``) pull one shard at a
 time, execute it through :class:`repro.api.Experiment` and write the
 shared store; results are bit-identical to the serial path whatever the
@@ -59,7 +67,6 @@ clock logically; production callers leave it ``None`` (wall clock).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import signal
@@ -69,19 +76,27 @@ import threading
 import time
 import traceback
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .executors import RemoteTraceback, plan_shards
+from .executors import plan_shards
 from .faults import FaultPlan, InjectedFault
 from .store import ResultStore
+from .transport import (
+    Job,
+    QueueBackend,
+    RemoteBackend,
+    RemoteStore,
+    _backoff_jitter,
+)
 
 __all__ = [
     "DEFAULT_LEASE_S",
     "DEFAULT_MAX_ATTEMPTS",
     "ExperimentQueue",
     "Job",
+    "SqliteBackend",
     "WorkerStats",
     "execute_job",
     "install_sigterm_drain",
@@ -122,29 +137,7 @@ CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, not_before);
 """
 
 
-@dataclass(frozen=True)
-class Job:
-    """One claimed shard: everything a worker needs to execute it."""
-
-    spec_key: str
-    fingerprint: str
-    spec: dict
-    payload: dict
-    attempt: int
-    max_attempts: int
-    lease_s: float
-    worker_id: str
-
-
-def _backoff_jitter(spec_key: str, fingerprint: str, attempt: int) -> float:
-    """Deterministic uniform in [0, 1) — same delay on every machine."""
-    digest = hashlib.sha256(
-        f"backoff:{spec_key}:{fingerprint}:{attempt}".encode()
-    ).digest()
-    return int.from_bytes(digest[:8], "big") / 2.0**64
-
-
-class ExperimentQueue:
+class SqliteBackend(QueueBackend):
     """The sqlite-WAL jobs table (one connection per instance).
 
     Parameters
@@ -193,27 +186,17 @@ class ExperimentQueue:
         with self._lock:
             self._conn.close()
 
-    def __enter__(self) -> "ExperimentQueue":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def spawn(self) -> "SqliteBackend":
+        """A fresh connection to the same database file."""
+        return SqliteBackend(
+            self.path,
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
+            backoff_jitter=self.backoff_jitter,
+        )
 
     def __repr__(self) -> str:
-        counts = self.counts()
-        body = ", ".join(f"{s}={counts[s]}" for s in STATUSES)
-        return f"ExperimentQueue({self.path!r}, {body})"
-
-    @staticmethod
-    def _now(now: "float | None") -> float:
-        return time.time() if now is None else float(now)
-
-    def _backoff_s(self, spec_key: str, fingerprint: str, attempt: int) -> float:
-        delay = min(
-            self.backoff_cap_s, self.backoff_base_s * 2.0 ** max(attempt - 1, 0)
-        )
-        jitter = _backoff_jitter(spec_key, fingerprint, attempt)
-        return delay * (1.0 + self.backoff_jitter * jitter)
+        return f"SqliteBackend({self.path!r})"
 
     # ------------------------------------------------------------------
     # Submission
@@ -252,64 +235,6 @@ class ExperimentQueue:
                 ),
             )
             return cursor.rowcount == 1
-
-    def submit_dataset(
-        self,
-        spec,
-        dataset,
-        limit: "int | None" = None,
-        shard_size: "int | None" = None,
-        workers_hint: int = 4,
-        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-        now: "float | None" = None,
-    ) -> int:
-        """Shard a dataset sweep into jobs; returns how many were inserted.
-
-        Shards come from :func:`~repro.runtime.executors.plan_shards`
-        (``~4 * workers_hint`` shards by default, ``shard_size``
-        overrides), each job carrying the spec dict, the dataset's
-        generating fields and its pattern ids.  Workers write per-pattern
-        summaries to the shared store under exactly the addresses
-        :meth:`repro.api.Experiment.dataset_sweep` uses, so collecting
-        the finished sweep is one *warm* ``dataset_sweep`` call — zero
-        re-evaluations, bit-identical to the serial path.
-        """
-        from ..api import ExperimentSpec, dataset_fingerprint
-        from ..signals.dataset import DatasetSpec
-
-        if not isinstance(spec, ExperimentSpec):
-            raise TypeError(
-                f"spec must be an ExperimentSpec, got {type(spec).__name__}"
-            )
-        fields = {name: getattr(dataset, name) for name in _DATASET_FIELDS}
-        if DatasetSpec(**fields) != dataset:
-            raise ValueError(
-                "queue jobs serialise a dataset by its generating fields "
-                f"{_DATASET_FIELDS}; this dataset carries explicit subjects "
-                "that would not survive the round-trip"
-            )
-        n = dataset.n_patterns if limit is None else min(limit, dataset.n_patterns)
-        if n < 1:
-            raise ValueError(f"nothing to submit: limit={limit}")
-        spec_dict = spec.to_dict()
-        spec_key = spec.key()
-        base = dataset_fingerprint(dataset)
-        from .store import fingerprint_value
-
-        submitted = 0
-        for shard in plan_shards(n, max(workers_hint, 1), shard_size):
-            ids = list(range(shard.start, shard.stop))
-            fingerprint = fingerprint_value({"dataset": base, "ids": ids})
-            payload = {"kind": "dataset_shard", "dataset": fields, "ids": ids}
-            submitted += self.submit(
-                spec_key,
-                fingerprint,
-                spec_dict,
-                payload,
-                max_attempts=max_attempts,
-                now=now,
-            )
-        return submitted
 
     # ------------------------------------------------------------------
     # The lease lifecycle
@@ -568,15 +493,6 @@ class ExperimentQueue:
             out[row["status"]] = row["n"]
         return out
 
-    def total(self) -> int:
-        """Total number of job rows."""
-        return sum(self.counts().values())
-
-    def unfinished(self) -> int:
-        """Rows still in flight (open or leased)."""
-        counts = self.counts()
-        return counts["open"] + counts["leased"]
-
     def rows(self, status: "str | None" = None) -> "list[dict]":
         """A snapshot of job rows (optionally one status), as dicts."""
         if status is not None and status not in STATUSES:
@@ -593,9 +509,165 @@ class ExperimentQueue:
             rows = self._conn.execute(query, params).fetchall()
         return [dict(row) for row in rows]
 
+
+class ExperimentQueue:
+    """The jobs-table frontend over a pluggable backend.
+
+    ``ExperimentQueue(path)`` opens the classic sqlite-WAL table
+    (:class:`SqliteBackend`); ``ExperimentQueue(backend)`` wraps any
+    ready-made :class:`~repro.runtime.transport.QueueBackend` — e.g. a
+    :class:`~repro.runtime.transport.RemoteBackend` talking to a
+    ``repro dispatch`` server — behind the identical API, so sweep
+    drivers and tests are backend-agnostic.  Everything
+    backend-independent lives here: dataset sharding
+    (:meth:`submit_dataset`), drain accounting and the quarantine
+    re-raise; the lease verbs delegate.
+
+    Parameters
+    ----------
+    source:
+        A database path (sqlite) or a :class:`QueueBackend` instance
+        (adopted as-is; the backoff parameters then come from it).
+    backoff_base_s / backoff_cap_s / backoff_jitter:
+        Retry delay after a failed attempt ``a`` is
+        ``min(cap, base * 2**(a-1)) * (1 + jitter * u)`` with ``u``
+        deterministic in ``(spec_key, fingerprint, a)``.
+    """
+
+    def __init__(
+        self,
+        source: "str | os.PathLike | QueueBackend",
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 30.0,
+        backoff_jitter: float = 0.25,
+    ) -> None:
+        if isinstance(source, QueueBackend):
+            self.backend = source
+        else:
+            self.backend = SqliteBackend(
+                source,
+                backoff_base_s=backoff_base_s,
+                backoff_cap_s=backoff_cap_s,
+                backoff_jitter=backoff_jitter,
+            )
+
+    # -- frontend plumbing ---------------------------------------------
+    @property
+    def path(self) -> str:
+        """The backend's location (file path or ``dispatch://`` URL)."""
+        return self.backend.path
+
+    @property
+    def backoff_base_s(self) -> float:
+        return self.backend.backoff_base_s
+
+    @property
+    def backoff_cap_s(self) -> float:
+        return self.backend.backoff_cap_s
+
+    @property
+    def backoff_jitter(self) -> float:
+        return self.backend.backoff_jitter
+
+    def _backoff_s(self, spec_key: str, fingerprint: str, attempt: int) -> float:
+        return self.backend._backoff_s(spec_key, fingerprint, attempt)
+
+    def close(self) -> None:
+        """Close the backend connection (the queue state persists)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ExperimentQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        body = ", ".join(f"{s}={counts[s]}" for s in STATUSES)
+        return f"ExperimentQueue({self.path!r}, {body})"
+
+    @staticmethod
+    def _now(now: "float | None") -> float:
+        return time.time() if now is None else float(now)
+
+    # -- delegated lease lifecycle -------------------------------------
+    def submit(
+        self,
+        spec_key: str,
+        fingerprint: str,
+        spec: dict,
+        payload: dict,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: "float | None" = None,
+    ) -> bool:
+        """Insert one job row; returns False when the key already exists."""
+        return self.backend.submit(
+            spec_key, fingerprint, spec, payload,
+            max_attempts=max_attempts, now=now,
+        )
+
+    def claim(
+        self,
+        worker_id: str,
+        lease_s: float = DEFAULT_LEASE_S,
+        now: "float | None" = None,
+    ) -> "Job | None":
+        """Atomically lease the oldest claimable open job, if any."""
+        return self.backend.claim(worker_id, lease_s=lease_s, now=now)
+
+    def heartbeat(self, job: Job, now: "float | None" = None) -> bool:
+        """Refresh the lease; False means it was lost (stop working)."""
+        return self.backend.heartbeat(job, now=now)
+
+    def complete(self, job: Job, now: "float | None" = None) -> bool:
+        """Mark a leased job done (fenced); False means the lease was lost."""
+        return self.backend.complete(job, now=now)
+
+    def fail(
+        self,
+        job: Job,
+        error: str,
+        tb: "str | None" = None,
+        retryable: bool = True,
+        now: "float | None" = None,
+    ) -> "str | None":
+        """Record a failed attempt (fenced); the row's new status or None."""
+        return self.backend.fail(
+            job, error, tb=tb, retryable=retryable, now=now
+        )
+
+    def release(self, job: Job, now: "float | None" = None) -> bool:
+        """Hand back an unstarted lease (fenced); the attempt is uncounted."""
+        return self.backend.release(job, now=now)
+
+    def reap(self, now: "float | None" = None) -> int:
+        """Reclaim every expired lease; returns how many rows changed."""
+        return self.backend.reap(now=now)
+
+    def reset(self, now: "float | None" = None) -> int:
+        """Re-open every quarantined row; returns how many were re-opened."""
+        return self.backend.reset(now=now)
+
+    def counts(self) -> "dict[str, int]":
+        """Row count per status (every status present, zero-filled)."""
+        return self.backend.counts()
+
+    def rows(self, status: "str | None" = None) -> "list[dict]":
+        """A snapshot of job rows (optionally one status), as dicts."""
+        return self.backend.rows(status)
+
+    def total(self) -> int:
+        """Total number of job rows."""
+        return self.backend.total()
+
+    def unfinished(self) -> int:
+        """Rows still in flight (open or leased)."""
+        return self.backend.unfinished()
+
     def errors(self) -> "list[dict]":
         """The quarantined rows (status ``'error'``), with tracebacks."""
-        return self.rows("error")
+        return self.backend.errors()
 
     def raise_first_error(self) -> None:
         """Re-raise the first quarantined failure, traceback chained.
@@ -605,23 +677,72 @@ class ExperimentQueue:
         the same convention ``map_jobs``'s process backend uses, so the
         original failure site shows up in the caller's output.
         """
-        failures = self.errors()
-        if not failures:
-            return
-        row = failures[0]
-        exc = RuntimeError(
-            f"job {row['fingerprint'][:12]} quarantined after "
-            f"{row['attempt']} attempt(s): {row['error']}"
-        )
-        if row["traceback"]:
-            raise exc from RemoteTraceback(row["traceback"])
-        raise exc
+        self.backend.raise_first_error()
+
+    # -- dataset sharding ----------------------------------------------
+    def submit_dataset(
+        self,
+        spec,
+        dataset,
+        limit: "int | None" = None,
+        shard_size: "int | None" = None,
+        workers_hint: int = 4,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: "float | None" = None,
+    ) -> int:
+        """Shard a dataset sweep into jobs; returns how many were inserted.
+
+        Shards come from :func:`~repro.runtime.executors.plan_shards`
+        (``~4 * workers_hint`` shards by default, ``shard_size``
+        overrides), each job carrying the spec dict, the dataset's
+        generating fields and its pattern ids.  Workers write per-pattern
+        summaries to the shared store under exactly the addresses
+        :meth:`repro.api.Experiment.dataset_sweep` uses, so collecting
+        the finished sweep is one *warm* ``dataset_sweep`` call — zero
+        re-evaluations, bit-identical to the serial path.
+        """
+        from ..api import ExperimentSpec, dataset_fingerprint
+        from ..signals.dataset import DatasetSpec
+
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(
+                f"spec must be an ExperimentSpec, got {type(spec).__name__}"
+            )
+        fields = {name: getattr(dataset, name) for name in _DATASET_FIELDS}
+        if DatasetSpec(**fields) != dataset:
+            raise ValueError(
+                "queue jobs serialise a dataset by its generating fields "
+                f"{_DATASET_FIELDS}; this dataset carries explicit subjects "
+                "that would not survive the round-trip"
+            )
+        n = dataset.n_patterns if limit is None else min(limit, dataset.n_patterns)
+        if n < 1:
+            raise ValueError(f"nothing to submit: limit={limit}")
+        spec_dict = spec.to_dict()
+        spec_key = spec.key()
+        base = dataset_fingerprint(dataset)
+        from .store import fingerprint_value
+
+        submitted = 0
+        for shard in plan_shards(n, max(workers_hint, 1), shard_size):
+            ids = list(range(shard.start, shard.stop))
+            fingerprint = fingerprint_value({"dataset": base, "ids": ids})
+            payload = {"kind": "dataset_shard", "dataset": fields, "ids": ids}
+            submitted += self.submit(
+                spec_key,
+                fingerprint,
+                spec_dict,
+                payload,
+                max_attempts=max_attempts,
+                now=now,
+            )
+        return submitted
 
 
 # ----------------------------------------------------------------------
 # Job execution
 # ----------------------------------------------------------------------
-def execute_job(job: Job, store: ResultStore) -> int:
+def execute_job(job: Job, store) -> int:
     """Run one claimed job against the shared store; returns evaluations.
 
     A ``dataset_shard`` job regenerates its patterns, evaluates the ones
@@ -630,7 +751,11 @@ def execute_job(job: Job, store: ResultStore) -> int:
     summaries under the same ``(spec.key(), dataset-point fingerprint)``
     addresses a cached :meth:`~repro.api.Experiment.dataset_sweep` reads.
     Skipping already-stored patterns makes re-runs of a reclaimed,
-    half-finished shard cheap and keeps every path idempotent.
+    half-finished shard cheap and keeps every path idempotent.  ``store``
+    is any object with the store ``get``/``put`` surface — the on-disk
+    :class:`~repro.runtime.store.ResultStore` or a
+    :class:`~repro.runtime.transport.RemoteStore` shipping blobs to the
+    dispatcher.
     """
     from ..api import (
         Experiment,
@@ -690,23 +815,23 @@ class WorkerStats:
 class _Heartbeat:
     """A daemon thread refreshing one job's lease on its own connection."""
 
-    def __init__(self, queue_path: str, job: Job, interval_s: float) -> None:
+    def __init__(self, spawn, job: Job, interval_s: float) -> None:
         self.lost = False
         self._stop = threading.Event()
         self._thread = threading.Thread(
-            target=self._run, args=(queue_path, job, interval_s), daemon=True
+            target=self._run, args=(spawn, job, interval_s), daemon=True
         )
         self._thread.start()
 
-    def _run(self, queue_path: str, job: Job, interval_s: float) -> None:
-        queue = ExperimentQueue(queue_path)
+    def _run(self, spawn, job: Job, interval_s: float) -> None:
+        backend = spawn()
         try:
             while not self._stop.wait(interval_s):
-                if not queue.heartbeat(job):
+                if not backend.heartbeat(job):
                     self.lost = True
                     return
         finally:
-            queue.close()
+            backend.close()
 
     def stop(self) -> None:
         self._stop.set()
@@ -714,8 +839,8 @@ class _Heartbeat:
 
 
 def run_worker(
-    queue_path: "str | os.PathLike",
-    store_root: "str | os.PathLike",
+    queue_path: "str | os.PathLike | None" = None,
+    store_root: "str | os.PathLike | None" = None,
     worker_id: "str | None" = None,
     lease_s: float = DEFAULT_LEASE_S,
     poll_s: float = 0.2,
@@ -726,6 +851,11 @@ def run_worker(
     faults: "FaultPlan | None" = None,
     should_stop=None,
     log=None,
+    *,
+    dispatcher: "str | None" = None,
+    idle_cap_s: float = 2.0,
+    sleep=None,
+    clock=None,
 ) -> WorkerStats:
     """Pull and execute shards until the queue drains (or we are stopped).
 
@@ -739,13 +869,40 @@ def run_worker(
     ``should_stop()`` turns true (the SIGTERM drain: the in-flight shard
     finishes, prefetched leases are released, exit is clean).
 
+    With ``dispatcher="host:port"`` the worker needs no shared mount:
+    the queue is a :class:`~repro.runtime.transport.RemoteBackend` and
+    results ship to the dispatcher's store through a
+    :class:`~repro.runtime.transport.RemoteStore`; ``queue_path`` /
+    ``store_root`` must then be None.
+
+    Empty claims back off: consecutive idle polls wait
+    ``min(idle_cap_s, poll_s * 2**idle)`` with deterministic jitter
+    (reset by the next successful claim), so a large idle fleet probes
+    the queue at a trickle instead of hammering it at ``1/poll_s`` Hz.
+    ``sleep`` and ``clock`` are injectable for tests (default
+    ``time.sleep`` / ``time.monotonic``).
+
     ``faults`` applies the deterministic injectors from
     :mod:`repro.runtime.faults` — see that module for the taxonomy.
     """
     if prefetch < 1:
         raise ValueError(f"prefetch must be >= 1, got {prefetch}")
-    queue = ExperimentQueue(queue_path)
-    store = ResultStore(store_root)
+    if dispatcher is not None:
+        if queue_path is not None or store_root is not None:
+            raise ValueError(
+                "pass either dispatcher=... or queue_path/store_root, not both"
+            )
+        queue = ExperimentQueue(RemoteBackend(dispatcher, faults=faults))
+        store = RemoteStore(dispatcher, faults=faults)
+    else:
+        if queue_path is None or store_root is None:
+            raise ValueError(
+                "run_worker needs queue_path and store_root (or dispatcher=)"
+            )
+        queue = ExperimentQueue(queue_path)
+        store = ResultStore(store_root)
+    sleep = time.sleep if sleep is None else sleep
+    clock = time.monotonic if clock is None else clock
     worker_id = worker_id or new_worker_id()
     stats = WorkerStats(worker_id=worker_id)
     heartbeat_s = (
@@ -754,6 +911,7 @@ def run_worker(
     say = log or (lambda message: None)
     backlog: "list[Job]" = []
     idle_since: "float | None" = None
+    idle_polls = 0  # consecutive empty claims since the last success
     try:
         while True:
             if should_stop is not None and should_stop():
@@ -769,6 +927,7 @@ def run_worker(
                 job = queue.claim(worker_id, lease_s=lease_s)
                 if job is None:
                     break
+                idle_polls = 0
                 stats.claimed += 1
                 backlog.append(job)
             if not backlog:
@@ -778,14 +937,21 @@ def run_worker(
                 if total > 0 and queue.unfinished() == 0:
                     break  # drained: every row is done or quarantined
                 if idle_since is None:
-                    idle_since = time.monotonic()
+                    idle_since = clock()
                 if (
                     total == 0
                     and max_idle_s is not None
-                    and time.monotonic() - idle_since >= max_idle_s
+                    and clock() - idle_since >= max_idle_s
                 ):
                     break  # nothing was ever submitted within the grace
-                time.sleep(poll_s)
+                # Exponent clamped: past ~2**30 the doubling is
+                # academic and 2.0**idle_polls overflows a float.
+                delay = min(idle_cap_s, poll_s * 2.0 ** min(idle_polls, 30))
+                delay *= 1.0 + 0.25 * _backoff_jitter(
+                    worker_id, "idle", idle_polls
+                )
+                idle_polls += 1
+                sleep(delay)
                 continue
             idle_since = None
             job = backlog.pop(0)
@@ -794,7 +960,7 @@ def run_worker(
                 if faults is not None
                 else None
             )
-            heartbeat = _Heartbeat(queue.path, job, heartbeat_s)
+            heartbeat = _Heartbeat(queue.backend.spawn, job, heartbeat_s)
             try:
                 if fault is not None and fault.kind == "crash":
                     # SIGKILL equivalent: no cleanup, no finally blocks.
@@ -842,6 +1008,8 @@ def run_worker(
                 heartbeat.stop()
     finally:
         queue.close()
+        if dispatcher is not None:
+            store.close()
     return stats
 
 

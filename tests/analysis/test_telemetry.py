@@ -122,13 +122,15 @@ class TestStrictLoading:
 class TestConcurrentAppend:
     """The append path is a locked read-modify-write: no lost records."""
 
-    def test_lock_file_sits_next_to_the_trajectory(self, tmp_path):
+    def test_append_leaves_no_lock_sidecar(self, tmp_path):
+        # The sidecar exists only while an append holds it; a clean
+        # release removes it, so trajectories never accumulate litter.
         telemetry.append_record(
             telemetry.make_record("queue", "speedup", 1.0, []),
             directory=tmp_path,
         )
-        assert (tmp_path / "BENCH_queue.json.lock").exists()
-        # ... and is invisible to the loader.
+        assert not (tmp_path / "BENCH_queue.json.lock").exists()
+        assert list(tmp_path.glob("*.lock")) == []
         assert set(telemetry.load_trajectories(tmp_path)) == {"queue"}
 
     def test_threaded_appends_keep_every_record(self, tmp_path):

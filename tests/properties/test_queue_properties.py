@@ -14,15 +14,58 @@ purely logical clock.  After any such program:
   honest workers to quiescence leaves zero open/leased rows: every shard
   ends ``done`` (or ``error`` only if its attempts were exhausted, in
   which case ``reset`` + another drain finishes the job).
+
+Both tests are parametrized over the sqlite backend and the remote
+dispatch transport (an in-process dispatcher on a real loopback
+socket), so every random program fuzzes the wire protocol too.
 """
 
-from hypothesis import given, settings
+import contextlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.runtime.dispatcher import DispatcherThread
 from repro.runtime.queue import ExperimentQueue
+from repro.runtime.transport import RemoteBackend
 
 LEASE_S = 10.0
 WORKERS = ("w0", "w1", "w2")
+
+
+@pytest.fixture(params=["sqlite", "remote"])
+def make_queue(request, tmp_path):
+    """A factory building a fresh empty queue per Hypothesis example.
+
+    The remote flavor keeps ONE dispatcher (socket + thread setup is
+    too slow per-example) on an in-memory jobs table and resets it
+    between examples by deleting every row — each example still starts
+    from a blank queue, now reached through the real wire path.
+    """
+    if request.param == "sqlite":
+
+        @contextlib.contextmanager
+        def factory():
+            with ExperimentQueue(":memory:") as queue:
+                yield queue
+
+        yield factory
+        return
+
+    with DispatcherThread(
+        ":memory:", str(tmp_path / "dispatch-store")
+    ) as dispatcher:
+
+        @contextlib.contextmanager
+        def factory():
+            backend = dispatcher.server.backend
+            with backend._lock:
+                backend._conn.execute("DELETE FROM jobs")
+            with ExperimentQueue(RemoteBackend(dispatcher.address)) as queue:
+                yield queue
+
+        yield factory
 
 # One program step: (op, worker_index, payload)
 ops = st.one_of(
@@ -50,17 +93,23 @@ def drain(queue, clock, submitted):
     return clock
 
 
-@settings(max_examples=60, deadline=None)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(
     n_jobs=st.integers(min_value=1, max_value=6),
     program=st.lists(ops, max_size=40),
 )
-def test_lifecycle_never_loses_or_duplicates_a_shard(n_jobs, program):
+def test_lifecycle_never_loses_or_duplicates_a_shard(
+    make_queue, n_jobs, program
+):
     submitted = {("spec", f"fp{i}") for i in range(n_jobs)}
     clock = 0.0
     held = {w: None for w in WORKERS}  # each worker's live Job, if any
 
-    with ExperimentQueue(":memory:") as queue:
+    with make_queue() as queue:
         for i in range(n_jobs):
             assert queue.submit(
                 "spec", f"fp{i}", {"s": i}, {"kind": "noop"},
@@ -122,13 +171,17 @@ def test_lifecycle_never_loses_or_duplicates_a_shard(n_jobs, program):
         assert queue.unfinished() == 0
 
 
-@settings(max_examples=30, deadline=None)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(st.data())
-def test_two_workers_never_hold_the_same_shard(data):
+def test_two_workers_never_hold_the_same_shard(make_queue, data):
     """Interleaved claims with expiries: at most one live lease per row."""
     clock = 0.0
     holders = {}  # fingerprint -> worker_id of the live lease
-    with ExperimentQueue(":memory:") as queue:
+    with make_queue() as queue:
         for i in range(3):
             queue.submit("spec", f"fp{i}", {}, {"kind": "noop"}, now=clock)
         for _ in range(30):

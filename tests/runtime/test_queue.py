@@ -3,6 +3,12 @@
 Lifecycle tests drive the lease clock *logically* through the ``now``
 parameter, so lease expiry and backoff are exact — no sleeps, no races.
 Worker-loop tests run real (in-process) workers against tiny datasets.
+
+The ``queue`` fixture is parametrized over both backends — ``sqlite``
+(the classic shared-mount jobs table) and ``remote`` (the same verbs
+spoken to an in-process dispatcher over a real loopback socket) — so
+every lifecycle/fencing/backoff/quarantine assertion in this file is
+the conformance suite for the :class:`QueueBackend` contract.
 """
 
 import threading
@@ -16,6 +22,7 @@ from repro.api import (
     dataset_fingerprint,
     dataset_point_fingerprint,
 )
+from repro.runtime.dispatcher import DispatcherThread
 from repro.runtime.executors import RemoteTraceback
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.queue import (
@@ -26,13 +33,21 @@ from repro.runtime.queue import (
     run_worker,
 )
 from repro.runtime.store import ResultStore
+from repro.runtime.transport import RemoteBackend
 from repro.signals.dataset import DatasetSpec
 
 
-@pytest.fixture
-def queue(tmp_path):
-    with ExperimentQueue(tmp_path / "q.db") as q:
-        yield q
+@pytest.fixture(params=["sqlite", "remote"])
+def queue(request, tmp_path):
+    if request.param == "sqlite":
+        with ExperimentQueue(tmp_path / "q.db") as q:
+            yield q
+        return
+    with DispatcherThread(
+        str(tmp_path / "q.db"), str(tmp_path / "dispatch-store")
+    ) as dispatcher:
+        with ExperimentQueue(RemoteBackend(dispatcher.address)) as q:
+            yield q
 
 
 def submit_n(queue, n, max_attempts=DEFAULT_MAX_ATTEMPTS, now=0.0):
@@ -340,6 +355,77 @@ class TestRunWorker:
         )
         assert stats.claimed == 0
 
+    def test_idle_polls_back_off_exponentially_to_a_cap(self, tmp_path):
+        # An idle worker must probe at a decaying rate, not a fixed
+        # 1/poll_s hammer: delays double from poll_s up to idle_cap_s
+        # (plus bounded deterministic jitter), driven here by an
+        # injectable clock/sleep so the test takes zero wall time.
+        delays = []
+        t = [0.0]
+
+        def fake_sleep(s):
+            delays.append(s)
+            t[0] += s
+
+        stats = run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            worker_id="idler", poll_s=0.1, idle_cap_s=2.0,
+            max_idle_s=30.0, sleep=fake_sleep, clock=lambda: t[0],
+        )
+        assert stats.claimed == 0
+        assert len(delays) >= 6
+        bare = [min(2.0, 0.1 * 2.0**k) for k in range(len(delays))]
+        for delay, base in zip(delays, bare):
+            assert base <= delay <= base * 1.25  # jitter in [0, 25%)
+        # Strictly increasing until the cap region, then flat-ish.
+        assert delays[0] < delays[1] < delays[2] < delays[3]
+        assert max(delays) <= 2.0 * 1.25
+        # Deterministic: the same worker re-run sees the same schedule.
+        rerun = []
+        t[0] = 0.0
+        run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            worker_id="idler", poll_s=0.1, idle_cap_s=2.0,
+            max_idle_s=30.0, sleep=lambda s: (rerun.append(s), t.__setitem__(0, t[0] + s)),
+            clock=lambda: t[0],
+        )
+        assert rerun == delays
+
+    def test_idle_backoff_resets_after_a_successful_claim(self, tmp_path):
+        # Submit nothing at first; during the third idle sleep a job
+        # appears.  Its first attempt hits an injected transient error
+        # (requeued with a retry not_before in the future), so the very
+        # next poll is empty again — and having just claimed, it must
+        # restart the backoff ladder at poll_s, not continue from the
+        # pre-claim rung.
+        spec = ExperimentSpec.for_scheme("datc")
+        dataset = DatasetSpec(n_patterns=1, duration_s=2.0, seed=2015)
+        delays = []
+        t = [0.0]
+
+        def fake_sleep(s):
+            delays.append(s)
+            t[0] += s
+            if len(delays) == 3:
+                with ExperimentQueue(tmp_path / "q.db") as queue:
+                    queue.submit_dataset(spec, dataset)
+
+        stats = run_worker(
+            tmp_path / "q.db", tmp_path / "store",
+            worker_id="idler", poll_s=0.1, idle_cap_s=2.0,
+            max_idle_s=1000.0, sleep=fake_sleep, clock=lambda: t[0],
+            faults=FaultPlan(
+                faults=(FaultSpec(kind="error", match="", attempts=(1,)),)
+            ),
+        )
+        assert stats.requeued == 1
+        assert stats.completed == 1  # attempt 2 drains the queue
+        # Ladder climbed for 3 rungs pre-claim; the claim reset it, so
+        # the first post-claim idle poll is back at the base rung.
+        assert delays[1] > delays[0]
+        assert delays[2] > delays[1]
+        assert delays[3] <= 0.1 * 1.25
+
     def test_transient_fault_retries_to_success(self, tmp_path):
         spec = ExperimentSpec.for_scheme("datc")
         dataset = DatasetSpec(n_patterns=2, duration_s=2.0, seed=2015)
@@ -433,10 +519,13 @@ class TestRunWorker:
         results = {}
 
         def stalled():
+            # max_jobs=1: after the fenced attempt the stalled worker
+            # exits instead of racing the peer for the reopened row
+            # (idle backoff makes the peer's re-claim cadence variable).
             results["stalled"] = run_worker(
                 tmp_path / "q.db", tmp_path / "store",
                 worker_id="stalled", lease_s=0.3, poll_s=0.02,
-                heartbeat_s=0.05, faults=faults,
+                heartbeat_s=0.05, faults=faults, max_jobs=1,
             )
 
         thread = threading.Thread(target=stalled)
